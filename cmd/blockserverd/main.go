@@ -1,0 +1,58 @@
+// Command blockserverd runs a Lepton blockserver: it accepts compression
+// and decompression requests over a Unix-domain socket or TCP, and can
+// outsource work to peers or a dedicated cluster when oversubscribed
+// (paper §5.5).
+//
+// Usage:
+//
+//	blockserverd -listen unix:/tmp/lepton.sock
+//	blockserverd -listen tcp:0.0.0.0:7731 -dedicated tcp:10.0.0.5:7731,tcp:10.0.0.6:7731
+//	blockserverd -listen tcp::7731 -peers tcp:peer1:7731,tcp:peer2:7731 -threshold 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"lepton/internal/server"
+)
+
+func main() {
+	listen := flag.String("listen", "unix:/tmp/lepton.sock", "listen address (unix:<path> or tcp:<host:port>)")
+	dedicated := flag.String("dedicated", "", "comma-separated dedicated outsourcing targets")
+	peers := flag.String("peers", "", "comma-separated peer blockservers for to-self outsourcing")
+	threshold := flag.Int("threshold", 3, "outsource when more conversions than this are in flight")
+	flag.Parse()
+
+	b := &server.Blockserver{
+		OutsourceThreshold: *threshold,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "blockserverd: "+format+"\n", args...)
+		},
+	}
+	switch {
+	case *dedicated != "":
+		b.Outsource = server.NewDedicatedPool(strings.Split(*dedicated, ","), time.Now().UnixNano())
+	case *peers != "":
+		b.Outsource = server.NewPeerPool(strings.Split(*peers, ","), time.Now().UnixNano())
+	}
+
+	addr, err := server.ListenAndServe(*listen, b)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "blockserverd:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("blockserverd listening on %s (threshold %d)\n", addr, *threshold)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Printf("shutting down: compresses=%d decompresses=%d outsourced=%d errors=%d\n",
+		b.Stats.Compresses.Load(), b.Stats.Decompresses.Load(),
+		b.Stats.Outsourced.Load(), b.Stats.Errors.Load())
+	_ = b.Close()
+}

@@ -1,0 +1,66 @@
+// Command corpusgen generates the synthetic evaluation corpus: procedural
+// baseline JPEGs across a range of sizes and encoding parameters, plus the
+// §6.2 anomaly classes (progressive, CMYK, non-image, truncated, ...).
+//
+// Usage:
+//
+//	corpusgen -n 200 -out ./corpus [-seed 1] [-errors]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"lepton/internal/cluster"
+	"lepton/internal/imagegen"
+)
+
+func main() {
+	n := flag.Int("n", 100, "number of files")
+	out := flag.String("out", "corpus", "output directory")
+	seed := flag.Int64("seed", 1, "generator seed")
+	withErrors := flag.Bool("errors", false, "use the §6.2 anomaly mix instead of all-valid files")
+	minDim := flag.Int("min", 64, "minimum image dimension")
+	maxDim := flag.Int("max", 640, "maximum image dimension")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	if *withErrors {
+		files := cluster.BuildErrorCorpus(*seed, *n)
+		for i, data := range files {
+			write(*out, i, data)
+		}
+		fmt.Printf("wrote %d files (anomaly mix) to %s\n", len(files), *out)
+		return
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	var total int64
+	for i := 0; i < *n; i++ {
+		w := *minDim + rng.Intn(*maxDim-*minDim+1)
+		h := *minDim + rng.Intn(*maxDim-*minDim+1)
+		data, err := imagegen.Generate(rng.Int63(), w, h)
+		if err != nil {
+			fatal(err)
+		}
+		write(*out, i, data)
+		total += int64(len(data))
+	}
+	fmt.Printf("wrote %d JPEGs (%.1f MB) to %s\n", *n, float64(total)/1e6, *out)
+}
+
+func write(dir string, i int, data []byte) {
+	name := filepath.Join(dir, fmt.Sprintf("img-%05d.jpg", i))
+	if err := os.WriteFile(name, data, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "corpusgen:", err)
+	os.Exit(1)
+}

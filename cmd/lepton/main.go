@@ -1,0 +1,231 @@
+// Command lepton is the standalone compression tool: it round-trip
+// compresses and decompresses baseline JPEG files, mirroring the production
+// binary's roles (compress, decompress, verify) plus chunked operation.
+//
+// Usage:
+//
+//	lepton compress  [-threads N] [-verify] <in.jpg>  <out.lep>
+//	lepton decompress <in.lep> <out.jpg>
+//	lepton verify    <in.jpg>
+//	lepton chunk     [-size BYTES] <in.jpg> <outdir>
+//	lepton unchunk   <outdir> <out.jpg>
+//	lepton info      <in.lep>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"lepton"
+	"lepton/internal/core"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	args := os.Args[2:]
+	var err error
+	switch cmd {
+	case "compress":
+		err = cmdCompress(args)
+	case "decompress":
+		err = cmdDecompress(args)
+	case "verify":
+		err = cmdVerify(args)
+	case "chunk":
+		err = cmdChunk(args)
+	case "unchunk":
+		err = cmdUnchunk(args)
+	case "info":
+		err = cmdInfo(args)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lepton:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: lepton <compress|decompress|verify|chunk|unchunk|info> [flags] ...`)
+	os.Exit(2)
+}
+
+func cmdCompress(args []string) error {
+	fs := flag.NewFlagSet("compress", flag.ExitOnError)
+	threads := fs.Int("threads", 0, "thread segments (0 = by size)")
+	verify := fs.Bool("verify", true, "verify round trip before writing")
+	oneWay := fs.Bool("1way", false, "single-model maximum-compression mode")
+	progressive := fs.Bool("progressive", false, "accept spectral-selection progressive JPEGs")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		return fmt.Errorf("compress: need input and output paths")
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	res, err := lepton.Compress(data, &lepton.Options{
+		Threads: *threads, Verify: *verify, SingleModel: *oneWay,
+		AllowProgressive: *progressive,
+	})
+	if err != nil {
+		return fmt.Errorf("%s (reason: %v)", err, lepton.ReasonOf(err))
+	}
+	if err := os.WriteFile(fs.Arg(1), res.Compressed, 0o644); err != nil {
+		return err
+	}
+	el := time.Since(start)
+	fmt.Printf("%d -> %d bytes (%.2f%% savings), %d threads, %.0f ms, %.1f Mbps\n",
+		len(data), len(res.Compressed),
+		100*(1-float64(len(res.Compressed))/float64(len(data))),
+		res.Threads, float64(el.Milliseconds()),
+		float64(len(data))*8/1e6/el.Seconds())
+	return nil
+}
+
+func cmdDecompress(args []string) error {
+	fs := flag.NewFlagSet("decompress", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		return fmt.Errorf("decompress: need input and output paths")
+	}
+	comp, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	out, err := lepton.Decompress(comp)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(fs.Arg(1), out, 0o644); err != nil {
+		return err
+	}
+	el := time.Since(start)
+	fmt.Printf("%d -> %d bytes, %.0f ms, %.1f Mbps\n",
+		len(comp), len(out), float64(el.Milliseconds()),
+		float64(len(out))*8/1e6/el.Seconds())
+	return nil
+}
+
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("verify: need an input path")
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if err := lepton.Verify(data, nil); err != nil {
+		return fmt.Errorf("FAILED: %v (reason: %v)", err, lepton.ReasonOf(err))
+	}
+	fmt.Println("round trip OK")
+	return nil
+}
+
+func cmdChunk(args []string) error {
+	fs := flag.NewFlagSet("chunk", flag.ExitOnError)
+	size := fs.Int("size", lepton.ChunkSize, "chunk size in bytes")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		return fmt.Errorf("chunk: need input path and output directory")
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	chunks, err := lepton.CompressChunks(data, &lepton.ChunkOptions{ChunkSize: *size, Verify: true})
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(fs.Arg(1), 0o755); err != nil {
+		return err
+	}
+	total := 0
+	for i, c := range chunks {
+		name := filepath.Join(fs.Arg(1), fmt.Sprintf("chunk-%04d.lep", i))
+		if err := os.WriteFile(name, c, 0o644); err != nil {
+			return err
+		}
+		total += len(c)
+	}
+	fmt.Printf("%d chunks, %d -> %d bytes (%.2f%% savings)\n",
+		len(chunks), len(data), total, 100*(1-float64(total)/float64(len(data))))
+	return nil
+}
+
+func cmdUnchunk(args []string) error {
+	fs := flag.NewFlagSet("unchunk", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		return fmt.Errorf("unchunk: need input directory and output path")
+	}
+	names, err := filepath.Glob(filepath.Join(fs.Arg(0), "chunk-*.lep"))
+	if err != nil {
+		return err
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("no chunks in %s", fs.Arg(0))
+	}
+	sort.Strings(names)
+	var chunks [][]byte
+	for _, n := range names {
+		c, err := os.ReadFile(n)
+		if err != nil {
+			return err
+		}
+		chunks = append(chunks, c)
+	}
+	out, err := lepton.ReassembleChunks(chunks)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(fs.Arg(1), out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("reassembled %d bytes from %d chunks\n", len(out), len(chunks))
+	return nil
+}
+
+func cmdInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("info: need an input path")
+	}
+	comp, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if !lepton.IsCompressed(comp) {
+		return fmt.Errorf("not a Lepton container")
+	}
+	c, err := core.Unmarshal(comp)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mode: %c\noutput size: %d\n", c.Mode, c.OutputSize)
+	if c.Mode == core.ModeLepton {
+		fmt.Printf("jpeg header: %d bytes\ntrailer: %d bytes\nprepend: %d bytes\n",
+			len(c.JPEGHeader), len(c.Trailer), len(c.Prepend))
+		fmt.Printf("pad bit: %d\nrestart markers: %d\nMCU range: [%d, %d)\n",
+			c.PadBit, c.RSTCount, c.MCUStart, c.MCUEnd)
+		fmt.Printf("thread segments: %d\n", len(c.Segments))
+		for i, s := range c.Segments {
+			fmt.Printf("  segment %d: startMCU=%d bitOff=%d rstSeen=%d arith=%d bytes\n",
+				i, s.StartMCU, s.Handover.BitOff, s.Handover.RSTSeen, s.ArithLen)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lepton/internal/imagegen"
+)
+
+func writeSample(t *testing.T, dir string, seed int64) string {
+	t.Helper()
+	data, err := imagegen.Generate(seed, 200, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(dir, "in.jpg")
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCompressDecompressCommands(t *testing.T) {
+	dir := t.TempDir()
+	in := writeSample(t, dir, 1)
+	lep := filepath.Join(dir, "out.lep")
+	out := filepath.Join(dir, "out.jpg")
+
+	if err := cmdCompress([]string{in, lep}); err != nil {
+		t.Fatalf("compress: %v", err)
+	}
+	if err := cmdDecompress([]string{lep, out}); err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	a, _ := os.ReadFile(in)
+	b, _ := os.ReadFile(out)
+	if !bytes.Equal(a, b) {
+		t.Fatal("CLI round trip mismatch")
+	}
+	li, _ := os.Stat(lep)
+	if li.Size() >= int64(len(a)) {
+		t.Fatal("no compression via CLI")
+	}
+}
+
+func TestVerifyCommand(t *testing.T) {
+	dir := t.TempDir()
+	in := writeSample(t, dir, 2)
+	if err := cmdVerify([]string{in}); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	// A progressive file must fail verification with a reason.
+	data, _ := os.ReadFile(in)
+	prog := filepath.Join(dir, "prog.jpg")
+	if err := os.WriteFile(prog, imagegen.MakeProgressive(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdVerify([]string{prog}); err == nil {
+		t.Fatal("progressive file verified")
+	}
+}
+
+func TestChunkUnchunkCommands(t *testing.T) {
+	dir := t.TempDir()
+	in := writeSample(t, dir, 3)
+	chunkDir := filepath.Join(dir, "chunks")
+	out := filepath.Join(dir, "re.jpg")
+
+	if err := cmdChunk([]string{"-size", "1024", in, chunkDir}); err != nil {
+		t.Fatalf("chunk: %v", err)
+	}
+	names, _ := filepath.Glob(filepath.Join(chunkDir, "chunk-*.lep"))
+	if len(names) < 2 {
+		t.Fatalf("only %d chunks", len(names))
+	}
+	if err := cmdUnchunk([]string{chunkDir, out}); err != nil {
+		t.Fatalf("unchunk: %v", err)
+	}
+	a, _ := os.ReadFile(in)
+	b, _ := os.ReadFile(out)
+	if !bytes.Equal(a, b) {
+		t.Fatal("chunk/unchunk round trip mismatch")
+	}
+}
+
+func TestInfoCommand(t *testing.T) {
+	dir := t.TempDir()
+	in := writeSample(t, dir, 4)
+	lep := filepath.Join(dir, "x.lep")
+	if err := cmdCompress([]string{"-threads", "3", in, lep}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdInfo([]string{lep}); err != nil {
+		t.Fatalf("info: %v", err)
+	}
+	if err := cmdInfo([]string{in}); err == nil {
+		t.Fatal("info accepted a non-Lepton file")
+	}
+}
+
+func TestCommandArgErrors(t *testing.T) {
+	if err := cmdCompress([]string{"only-one"}); err == nil {
+		t.Fatal("missing output accepted")
+	}
+	if err := cmdDecompress([]string{"nonexistent.lep", "out"}); err == nil {
+		t.Fatal("missing input accepted")
+	}
+	if err := cmdUnchunk([]string{t.TempDir(), "out"}); err == nil {
+		t.Fatal("empty chunk dir accepted")
+	}
+}

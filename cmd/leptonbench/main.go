@@ -1,0 +1,115 @@
+// Command leptonbench regenerates every table and figure of the paper's
+// evaluation (§4, §5, §6.2) against this repository's implementation. Each
+// experiment prints the series or table the paper plots; EXPERIMENTS.md
+// records paper-vs-measured values.
+//
+// Usage:
+//
+//	leptonbench -fig 1        # Figure 1: savings vs decompression speed
+//	leptonbench -fig 9        # Figure 9: outsourcing concurrency
+//	leptonbench -ablation     # §4.3 component ablations
+//	leptonbench -errors       # §6.2 exit-code table
+//	leptonbench -cost         # §5.6.1 cost effectiveness
+//	leptonbench -outsource    # §5.5 unix-vs-TCP overhead (real sockets)
+//	leptonbench -all          # everything
+//	flags: -n <corpus size> -seed <seed> -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"lepton/internal/imagegen"
+)
+
+type options struct {
+	n     int
+	seed  int64
+	quick bool
+}
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number to regenerate (1-14)")
+	ablation := flag.Bool("ablation", false, "§4.3 component ablation table")
+	errorsT := flag.Bool("errors", false, "§6.2 exit-code table")
+	cost := flag.Bool("cost", false, "§5.6.1 cost effectiveness")
+	outsource := flag.Bool("outsource", false, "§5.5 socket overhead measurement")
+	extensions := flag.Bool("extensions", false, "opt-in progressive/CMYK capabilities")
+	all := flag.Bool("all", false, "run everything")
+	n := flag.Int("n", 40, "corpus size for codec experiments")
+	seed := flag.Int64("seed", 1, "corpus seed")
+	quick := flag.Bool("quick", false, "smaller deployments sims")
+	flag.Parse()
+
+	opt := options{n: *n, seed: *seed, quick: *quick}
+	ran := false
+	run := func(cond bool, f func(options)) {
+		if cond || *all {
+			f(opt)
+			ran = true
+		}
+	}
+	run(*fig == 1, figure1)
+	run(*fig == 2, figure2)
+	run(*fig == 3, figure3)
+	run(*fig == 4, figure4)
+	run(*fig == 5, figure5)
+	run(*fig == 6, figure6)
+	run(*fig == 7, figure7)
+	run(*fig == 8, figure8)
+	run(*fig == 9, figure9)
+	run(*fig == 10, figure10)
+	run(*fig == 11, figure11)
+	run(*fig == 12, figure12)
+	run(*fig == 13, figure13)
+	run(*fig == 14, figure14)
+	run(*ablation, ablationTable)
+	run(*errorsT, errorTable)
+	run(*cost, costTable)
+	run(*outsource, outsourceOverhead)
+	run(*extensions, extensionsTable)
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// corpus generates n deterministic JPEGs across a spread of dimensions
+// (roughly 10 KB - 700 KB at default settings).
+func corpus(seed int64, n int) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		w := 96 + rng.Intn(900)
+		h := 96 + rng.Intn(700)
+		data, err := imagegen.Generate(rng.Int63(), w, h)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, data)
+	}
+	return out
+}
+
+// corpusLarge generates bigger files (roughly 100 KiB - 1.5 MiB), matching
+// Figure 1's corpus range, where multithreaded decode pays off.
+func corpusLarge(seed int64, n int) [][]byte {
+	rng := rand.New(rand.NewSource(seed ^ 0x9e3779b9))
+	out := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		w := 700 + rng.Intn(1400)
+		h := w * 3 / 4
+		data, err := imagegen.Generate(rng.Int63(), w, h)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, data)
+	}
+	return out
+}
+
+func header(title string) {
+	fmt.Printf("\n=== %s ===\n", title)
+}

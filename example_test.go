@@ -1,0 +1,64 @@
+package lepton_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"lepton"
+	"lepton/internal/imagegen"
+)
+
+// ExampleCompress round-trips a baseline JPEG through the codec.
+func ExampleCompress() {
+	jpegBytes, _ := imagegen.Generate(1, 160, 120)
+
+	res, err := lepton.Compress(jpegBytes, nil)
+	if err != nil {
+		fmt.Println("rejected:", lepton.ReasonOf(err))
+		return
+	}
+	orig, _ := lepton.Decompress(res.Compressed)
+	fmt.Println("bit-exact:", bytes.Equal(orig, jpegBytes))
+	fmt.Println("smaller:", len(res.Compressed) < len(jpegBytes))
+	// Output:
+	// bit-exact: true
+	// smaller: true
+}
+
+// ExampleCompressChunks shows independent chunk decompression.
+func ExampleCompressChunks() {
+	jpegBytes, _ := imagegen.Generate(2, 400, 300)
+
+	chunks, _ := lepton.CompressChunks(jpegBytes, &lepton.ChunkOptions{ChunkSize: 8 << 10})
+	// Any chunk reconstructs its exact byte range with no other chunk's
+	// data — even when the boundary falls mid-Huffman-symbol.
+	part, _ := lepton.DecompressChunk(chunks[1])
+	fmt.Println("chunk 1 matches:", bytes.Equal(part, jpegBytes[8<<10:16<<10]))
+	// Output:
+	// chunk 1 matches: true
+}
+
+// ExampleDecompressTo streams output with low time-to-first-byte.
+func ExampleDecompressTo() {
+	jpegBytes, _ := imagegen.Generate(3, 160, 120)
+	res, _ := lepton.Compress(jpegBytes, &lepton.Options{Threads: 2})
+
+	var buf bytes.Buffer
+	_ = lepton.DecompressTo(&buf, res.Compressed)
+	fmt.Println("streamed bit-exact:", bytes.Equal(buf.Bytes(), jpegBytes))
+	// Output:
+	// streamed bit-exact: true
+}
+
+// ExampleVerify is the production admission check.
+func ExampleVerify() {
+	jpegBytes, _ := imagegen.Generate(4, 96, 96)
+	fmt.Println("admitted:", lepton.Verify(jpegBytes, nil) == nil)
+
+	progressive := imagegen.MakeProgressive(jpegBytes)
+	err := lepton.Verify(progressive, nil)
+	fmt.Println("progressive rejected as:", lepton.ReasonOf(err))
+	// Output:
+	// admitted: true
+	// progressive rejected as: Progressive
+}

@@ -1,0 +1,82 @@
+// Blockserver demonstrates the serving path of §5.5: a frontend
+// blockserver on a Unix-domain socket (the production transport), a
+// dedicated outsourcing worker on TCP, and outsourcing kicking in when the
+// frontend is oversubscribed.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"lepton/internal/imagegen"
+	"lepton/internal/server"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "lepton-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// A dedicated Lepton worker on TCP — the machines "packed full of
+	// work" in the paper's best strategy.
+	worker := &server.Blockserver{}
+	workerAddr, err := server.ListenAndServe("tcp:127.0.0.1:0", worker)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer worker.Close()
+
+	// The frontend blockserver on a Unix socket, outsourcing to the worker
+	// when more than one conversion is already in flight.
+	front := &server.Blockserver{
+		Outsource:          server.NewDedicatedPool([]string{workerAddr}, 1),
+		OutsourceThreshold: 1,
+	}
+	sock := filepath.Join(dir, "lepton.sock")
+	frontAddr, err := server.ListenAndServe("unix:"+sock, front)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer front.Close()
+	fmt.Printf("frontend on %s\nworker on %s\n", frontAddr, workerAddr)
+
+	// Eight clients upload photos concurrently — a burst like a camera
+	// roll syncing.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			data, err := imagegen.Generate(int64(i), 512, 384)
+			if err != nil {
+				log.Fatal(err)
+			}
+			comp, err := server.Do(frontAddr, server.OpCompress, data, 30*time.Second)
+			if err != nil {
+				log.Fatalf("client %d: %v", i, err)
+			}
+			back, err := server.Do(frontAddr, server.OpDecompress, comp, 30*time.Second)
+			if err != nil {
+				log.Fatalf("client %d decompress: %v", i, err)
+			}
+			if !bytes.Equal(back, data) {
+				log.Fatalf("client %d: round trip mismatch", i)
+			}
+			fmt.Printf("client %d: %6d -> %6d bytes (%.1f%% savings)\n",
+				i, len(data), len(comp), 100*(1-float64(len(comp))/float64(len(data))))
+		}(i)
+	}
+	wg.Wait()
+
+	fmt.Printf("\nfrontend: %d compressed locally, %d outsourced, %d decompressed\n",
+		front.Stats.Compresses.Load(), front.Stats.Outsourced.Load(),
+		front.Stats.Decompresses.Load())
+	fmt.Printf("worker:   %d compressed\n", worker.Stats.Compresses.Load())
+}

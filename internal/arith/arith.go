@@ -1,0 +1,211 @@
+// Package arith implements the adaptive binary arithmetic coder at the heart
+// of Lepton. The paper uses "a modified version of a VP8 range coder"
+// (§3.1); this implementation uses the equivalent carry-safe shift-low
+// formulation (as in LZMA) because it avoids VP8's backward carry
+// propagation, which is awkward to make robust at segment boundaries. The
+// coding role, adaptivity, and performance envelope are the same: one
+// binary symbol per call against a 12-bit probability drawn from an
+// adaptive statistic bin.
+//
+// All state is integer; encode and decode are exact inverses and
+// deterministic across platforms (paper §5.2).
+package arith
+
+import "errors"
+
+// probBits is the precision of bin probabilities.
+const probBits = 12
+
+const (
+	topValue = 1 << 24 // renormalization threshold
+	probMax  = 1<<probBits - 1
+)
+
+// Bin is one adaptive statistic bin: it tracks how many zeros and ones have
+// been coded in its context and yields the probability of the next bit being
+// zero (paper §3.2). The zero value is a valid 50-50 bin.
+type Bin struct {
+	counts [2]uint16
+}
+
+// binRescaleLimit caps the per-bin counts; when a count saturates, both are
+// halved so the bin keeps adapting to recent statistics.
+const binRescaleLimit = 1024
+
+// Prob returns the 12-bit probability that the next bit is zero, clamped to
+// (0, 1) exclusive so both symbols stay codeable.
+func (b *Bin) Prob() uint32 {
+	c0 := uint32(b.counts[0]) + 1
+	c1 := uint32(b.counts[1]) + 1
+	p := (c0 << probBits) / (c0 + c1)
+	if p < 1 {
+		p = 1
+	}
+	if p > probMax {
+		p = probMax
+	}
+	return p
+}
+
+// Update records an observed bit.
+func (b *Bin) Update(bit int) {
+	b.counts[bit]++
+	if b.counts[bit] >= binRescaleLimit {
+		b.counts[0] = (b.counts[0] + 1) >> 1
+		b.counts[1] = (b.counts[1] + 1) >> 1
+	}
+}
+
+// Reset returns the bin to its initial 50-50 state.
+func (b *Bin) Reset() { b.counts[0], b.counts[1] = 0, 0 }
+
+// Counts returns the observed (zeros, ones) counts.
+func (b *Bin) Counts() (uint16, uint16) { return b.counts[0], b.counts[1] }
+
+// Encoder encodes binary symbols into a byte buffer.
+type Encoder struct {
+	low      uint64
+	rng      uint32
+	cache    byte
+	pending  int64 // count of pending 0xFF bytes awaiting carry resolution
+	started  bool  // first shiftLow discards the initial zero cache
+	out      []byte
+	bitCount int64 // number of binary symbols encoded (for accounting)
+}
+
+// NewEncoder returns an Encoder ready for use.
+func NewEncoder() *Encoder {
+	return &Encoder{rng: 0xFFFFFFFF}
+}
+
+// Reset reinitializes the encoder, retaining the output buffer's capacity.
+func (e *Encoder) Reset() {
+	e.low, e.rng, e.cache, e.pending, e.started = 0, 0xFFFFFFFF, 0, 0, false
+	e.out = e.out[:0]
+	e.bitCount = 0
+}
+
+// EncodeBit encodes one bit with the given 12-bit probability of zero.
+func (e *Encoder) EncodeBit(prob0 uint32, bit int) {
+	bound := (e.rng >> probBits) * prob0
+	if bit == 0 {
+		e.rng = bound
+	} else {
+		e.low += uint64(bound)
+		e.rng -= bound
+	}
+	for e.rng < topValue {
+		e.shiftLow()
+		e.rng <<= 8
+	}
+	e.bitCount++
+}
+
+// Encode codes bit against bin and updates the bin. This pairing —
+// probability lookup, code, adapt — is the fundamental operation of
+// Lepton's model.
+func (e *Encoder) Encode(bin *Bin, bit int) {
+	e.EncodeBit(bin.Prob(), bit)
+	bin.Update(bit)
+}
+
+func (e *Encoder) shiftLow() {
+	if e.low < 0xFF000000 || e.low > 0xFFFFFFFF {
+		carry := byte(e.low >> 32)
+		if e.started {
+			e.out = append(e.out, e.cache+carry)
+		}
+		for ; e.pending > 0; e.pending-- {
+			e.out = append(e.out, 0xFF+carry)
+		}
+		e.cache = byte(e.low >> 24)
+		e.started = true
+	} else {
+		e.pending++
+	}
+	e.low = (e.low << 8) & 0xFFFFFFFF
+}
+
+// Flush terminates the stream and returns the encoded bytes. The encoder
+// must not be used again without Reset.
+func (e *Encoder) Flush() []byte {
+	for i := 0; i < 5; i++ {
+		e.shiftLow()
+	}
+	return e.out
+}
+
+// Bytes returns the output emitted so far (not including buffered state).
+func (e *Encoder) Bytes() []byte { return e.out }
+
+// BitsEncoded returns the number of binary symbols encoded.
+func (e *Encoder) BitsEncoded() int64 { return e.bitCount }
+
+// ErrShortStream is returned when the decoder runs out of input. A valid
+// stream never triggers it; corrupt or truncated input does.
+var ErrShortStream = errors.New("arith: truncated arithmetic-coded stream")
+
+// Decoder decodes binary symbols from a byte slice produced by Encoder.
+type Decoder struct {
+	code uint32
+	rng  uint32
+	in   []byte
+	pos  int
+	err  error
+}
+
+// NewDecoder returns a Decoder over data.
+func NewDecoder(data []byte) *Decoder {
+	d := &Decoder{rng: 0xFFFFFFFF, in: data}
+	for i := 0; i < 4; i++ {
+		d.code = d.code<<8 | uint32(d.next())
+	}
+	return d
+}
+
+func (d *Decoder) next() byte {
+	if d.pos >= len(d.in) {
+		// Virtual zero padding: a truncated stream yields deterministic
+		// garbage rather than a crash; the caller detects corruption via
+		// the round-trip check (paper §5.7).
+		d.err = ErrShortStream
+		return 0
+	}
+	b := d.in[d.pos]
+	d.pos++
+	return b
+}
+
+// DecodeBit decodes one bit with the given 12-bit probability of zero.
+func (d *Decoder) DecodeBit(prob0 uint32) int {
+	bound := (d.rng >> probBits) * prob0
+	var bit int
+	if d.code < bound {
+		d.rng = bound
+		bit = 0
+	} else {
+		d.code -= bound
+		d.rng -= bound
+		bit = 1
+	}
+	for d.rng < topValue {
+		d.code = d.code<<8 | uint32(d.next())
+		d.rng <<= 8
+	}
+	return bit
+}
+
+// Decode decodes a bit against bin and updates the bin, mirroring
+// Encoder.Encode.
+func (d *Decoder) Decode(bin *Bin) int {
+	bit := d.DecodeBit(bin.Prob())
+	bin.Update(bit)
+	return bit
+}
+
+// Err returns ErrShortStream if the decoder has read past the end of its
+// input, and nil otherwise.
+func (d *Decoder) Err() error { return d.err }
+
+// Consumed returns the number of input bytes consumed so far.
+func (d *Decoder) Consumed() int { return d.pos }

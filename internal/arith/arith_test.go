@@ -1,0 +1,279 @@
+package arith
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFixedProbRoundTrip(t *testing.T) {
+	e := NewEncoder()
+	rng := rand.New(rand.NewSource(1))
+	var bits []int
+	var probs []uint32
+	for i := 0; i < 20000; i++ {
+		p := uint32(rng.Intn(probMax-2) + 1)
+		b := 0
+		if rng.Intn(100) < 37 {
+			b = 1
+		}
+		probs = append(probs, p)
+		bits = append(bits, b)
+		e.EncodeBit(p, b)
+	}
+	data := e.Flush()
+	d := NewDecoder(data)
+	for i := range bits {
+		if got := d.DecodeBit(probs[i]); got != bits[i] {
+			t.Fatalf("bit %d: got %d want %d", i, got, bits[i])
+		}
+	}
+	if d.Err() != nil {
+		t.Fatalf("decoder overran: %v", d.Err())
+	}
+}
+
+func TestAdaptiveBinRoundTrip(t *testing.T) {
+	e := NewEncoder()
+	var ebins [16]Bin
+	rng := rand.New(rand.NewSource(2))
+	var bits []int
+	var ctxs []int
+	for i := 0; i < 50000; i++ {
+		c := rng.Intn(16)
+		// Each context has its own bias so adaptation matters.
+		b := 0
+		if rng.Intn(16) < c {
+			b = 1
+		}
+		ctxs = append(ctxs, c)
+		bits = append(bits, b)
+		e.Encode(&ebins[c], b)
+	}
+	data := e.Flush()
+	d := NewDecoder(data)
+	var dbins [16]Bin
+	for i := range bits {
+		if got := d.Decode(&dbins[ctxs[i]]); got != bits[i] {
+			t.Fatalf("bit %d: got %d want %d", i, got, bits[i])
+		}
+	}
+	// Encoder and decoder bins must end in identical states.
+	for i := range ebins {
+		if ebins[i] != dbins[i] {
+			t.Fatalf("bin %d diverged: %v vs %v", i, ebins[i], dbins[i])
+		}
+	}
+}
+
+func TestCompressionOfSkewedSource(t *testing.T) {
+	// A heavily biased source must compress well below 1 bit/symbol.
+	e := NewEncoder()
+	var bin Bin
+	rng := rand.New(rand.NewSource(3))
+	n := 100000
+	for i := 0; i < n; i++ {
+		b := 0
+		if rng.Intn(100) < 3 {
+			b = 1
+		}
+		e.Encode(&bin, b)
+	}
+	data := e.Flush()
+	bitsPerSym := float64(len(data)*8) / float64(n)
+	// H(0.03) ~ 0.194 bits; allow adaptation overhead.
+	if bitsPerSym > 0.30 {
+		t.Fatalf("poor compression: %.3f bits/symbol", bitsPerSym)
+	}
+}
+
+func TestBalancedSourceNearOneBit(t *testing.T) {
+	e := NewEncoder()
+	var bin Bin
+	rng := rand.New(rand.NewSource(4))
+	n := 50000
+	for i := 0; i < n; i++ {
+		e.Encode(&bin, rng.Intn(2))
+	}
+	data := e.Flush()
+	bitsPerSym := float64(len(data)*8) / float64(n)
+	if bitsPerSym > 1.02 {
+		t.Fatalf("expansion on random source: %.4f bits/symbol", bitsPerSym)
+	}
+}
+
+func TestBinProbEvolution(t *testing.T) {
+	var b Bin
+	if p := b.Prob(); p != 1<<(probBits-1) {
+		t.Fatalf("initial prob = %d, want %d", p, 1<<(probBits-1))
+	}
+	for i := 0; i < 100; i++ {
+		b.Update(0)
+	}
+	if p := b.Prob(); p < 3500 {
+		t.Fatalf("prob after 100 zeros = %d, want high", p)
+	}
+	b.Reset()
+	for i := 0; i < 100; i++ {
+		b.Update(1)
+	}
+	if p := b.Prob(); p > 600 {
+		t.Fatalf("prob after 100 ones = %d, want low", p)
+	}
+}
+
+func TestBinRescale(t *testing.T) {
+	var b Bin
+	for i := 0; i < 10*binRescaleLimit; i++ {
+		b.Update(1)
+	}
+	c0, c1 := b.Counts()
+	if c1 >= binRescaleLimit {
+		t.Fatalf("counts not rescaled: %d/%d", c0, c1)
+	}
+	if p := b.Prob(); p > 100 {
+		t.Fatalf("prob after rescale lost skew: %d", p)
+	}
+}
+
+func TestTruncatedStreamDetected(t *testing.T) {
+	e := NewEncoder()
+	var bin Bin
+	for i := 0; i < 10000; i++ {
+		e.Encode(&bin, i%3&1)
+	}
+	data := e.Flush()
+	d := NewDecoder(data[:len(data)/4])
+	var dbin Bin
+	for i := 0; i < 10000; i++ {
+		d.Decode(&dbin)
+	}
+	if d.Err() == nil {
+		t.Fatal("expected ErrShortStream on truncated input")
+	}
+}
+
+func TestEmptyStream(t *testing.T) {
+	e := NewEncoder()
+	data := e.Flush()
+	// Decoding from an empty encode must not panic.
+	d := NewDecoder(data)
+	_ = d.DecodeBit(2048)
+}
+
+func TestEncoderReset(t *testing.T) {
+	e := NewEncoder()
+	var bin Bin
+	for i := 0; i < 100; i++ {
+		e.Encode(&bin, i&1)
+	}
+	first := append([]byte(nil), e.Flush()...)
+	e.Reset()
+	bin.Reset()
+	for i := 0; i < 100; i++ {
+		e.Encode(&bin, i&1)
+	}
+	second := e.Flush()
+	if string(first) != string(second) {
+		t.Fatal("Reset did not restore initial state")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(pattern []byte, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEncoder()
+		var ebins [4]Bin
+		var bits []int
+		var ctxs []int
+		for _, p := range pattern {
+			for j := 0; j < int(p%7)+1; j++ {
+				c := rng.Intn(4)
+				b := int(p>>uint(j%8)) & 1
+				e.Encode(&ebins[c], b)
+				bits = append(bits, b)
+				ctxs = append(ctxs, c)
+			}
+		}
+		data := e.Flush()
+		d := NewDecoder(data)
+		var dbins [4]Bin
+		for i := range bits {
+			if d.Decode(&dbins[ctxs[i]]) != bits[i] {
+				return false
+			}
+		}
+		return d.Err() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCarryPropagation drives the encoder toward maximal low values to
+// exercise the pending-0xFF carry path.
+func TestCarryPropagation(t *testing.T) {
+	e := NewEncoder()
+	// Encoding improbable bits (bit=1 with high prob of zero) pushes low up.
+	var bits []int
+	for i := 0; i < 5000; i++ {
+		b := 1
+		if i%97 == 0 {
+			b = 0
+		}
+		bits = append(bits, b)
+		e.EncodeBit(probMax, b)
+	}
+	data := e.Flush()
+	d := NewDecoder(data)
+	for i, want := range bits {
+		if got := d.DecodeBit(probMax); got != want {
+			t.Fatalf("bit %d: got %d want %d", i, got, want)
+		}
+	}
+}
+
+func BenchmarkEncodeAdaptive(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	bits := make([]int, 1<<16)
+	for i := range bits {
+		if rng.Intn(10) < 2 {
+			bits[i] = 1
+		}
+	}
+	b.SetBytes(int64(len(bits)) / 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := NewEncoder()
+		var bin Bin
+		for _, bit := range bits {
+			e.Encode(&bin, bit)
+		}
+		e.Flush()
+	}
+}
+
+func BenchmarkDecodeAdaptive(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	bits := make([]int, 1<<16)
+	for i := range bits {
+		if rng.Intn(10) < 2 {
+			bits[i] = 1
+		}
+	}
+	e := NewEncoder()
+	var bin Bin
+	for _, bit := range bits {
+		e.Encode(&bin, bit)
+	}
+	data := e.Flush()
+	b.SetBytes(int64(len(bits)) / 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := NewDecoder(data)
+		var dbin Bin
+		for range bits {
+			d.Decode(&dbin)
+		}
+	}
+}

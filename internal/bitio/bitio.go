@@ -1,0 +1,262 @@
+// Package bitio provides MSB-first bit readers and writers for JPEG entropy
+// streams, including the byte-stuffing rule (a 0x00 byte follows every data
+// byte equal to 0xFF), restart-marker alignment, and the partial-byte state
+// needed to seed a writer from a Lepton "Huffman handover word".
+package bitio
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrMarker is returned by Reader when the entropy stream is interrupted by a
+// marker (0xFF followed by a non-zero, non-stuffing byte).
+var ErrMarker = errors.New("bitio: marker encountered in entropy stream")
+
+// ErrTruncated is returned when the input ends in the middle of the entropy
+// stream.
+var ErrTruncated = errors.New("bitio: truncated entropy stream")
+
+// Writer writes bits MSB-first, inserting a 0x00 stuffing byte after every
+// emitted 0xFF data byte when stuffing is enabled. The zero value is a Writer
+// that appends to an internal buffer with stuffing enabled.
+type Writer struct {
+	buf     []byte
+	cur     uint8 // partially filled byte
+	nbits   uint8 // number of bits already in cur (0..7)
+	stuff   bool
+	limit   int  // maximum output length in bytes; 0 means unlimited
+	clipped bool // output exceeded limit and was discarded
+}
+
+// NewWriter returns a Writer with JPEG byte stuffing enabled.
+func NewWriter() *Writer { return &Writer{stuff: true} }
+
+// NewRawWriter returns a Writer with byte stuffing disabled.
+func NewRawWriter() *Writer { return &Writer{} }
+
+// Seed initializes the writer's partial-byte state from a Huffman handover
+// word: the first nbits bits of partial (counted from the MSB) have already
+// been decided by the previous segment. Seed must be called before any bits
+// are written.
+func (w *Writer) Seed(partial uint8, nbits uint8) {
+	w.cur = partial & (^uint8(0) << (8 - nbits) & 0xFF)
+	if nbits == 0 {
+		w.cur = 0
+	}
+	w.nbits = nbits
+}
+
+// SetLimit caps the number of whole bytes the writer will retain. Bytes past
+// the limit are counted but discarded; Clipped reports whether that happened.
+// A JPEG chunk writer uses this to stop at a 4-MiB boundary while the final
+// block's bits spill into the next chunk.
+func (w *Writer) SetLimit(n int) { w.limit = n }
+
+// Clipped reports whether any output bytes were discarded due to SetLimit.
+func (w *Writer) Clipped() bool { return w.clipped }
+
+func (w *Writer) emit(b byte) {
+	if w.limit > 0 && len(w.buf) >= w.limit {
+		w.clipped = true
+		return
+	}
+	w.buf = append(w.buf, b)
+	if w.stuff && b == 0xFF {
+		if w.limit > 0 && len(w.buf) >= w.limit {
+			w.clipped = true
+			return
+		}
+		w.buf = append(w.buf, 0x00)
+	}
+}
+
+// WriteBit writes a single bit.
+func (w *Writer) WriteBit(bit uint8) {
+	w.cur |= (bit & 1) << (7 - w.nbits)
+	w.nbits++
+	if w.nbits == 8 {
+		w.emit(w.cur)
+		w.cur, w.nbits = 0, 0
+	}
+}
+
+// WriteBits writes the low n bits of v, most significant first. n may be 0.
+func (w *Writer) WriteBits(v uint32, n uint8) {
+	for i := int(n) - 1; i >= 0; i-- {
+		w.WriteBit(uint8(v>>uint(i)) & 1)
+	}
+}
+
+// AlignPad pads the current byte to a boundary using the given pad bit
+// (0 or 1), as a JPEG encoder does before a restart marker or EOI.
+func (w *Writer) AlignPad(padBit uint8) {
+	for w.nbits != 0 {
+		w.WriteBit(padBit)
+	}
+}
+
+// WriteMarker emits a two-byte marker (0xFF, code) without stuffing. The
+// writer must be byte-aligned.
+func (w *Writer) WriteMarker(code byte) {
+	if w.nbits != 0 {
+		panic("bitio: WriteMarker on unaligned writer")
+	}
+	if w.limit > 0 && len(w.buf)+2 > w.limit {
+		// Emit what fits.
+		if len(w.buf) < w.limit {
+			w.buf = append(w.buf, 0xFF)
+		}
+		w.clipped = true
+		return
+	}
+	w.buf = append(w.buf, 0xFF, code)
+}
+
+// AppendRaw appends bytes verbatim (no stuffing). The writer must be
+// byte-aligned; used to reproduce arbitrary prepend/append data recorded in
+// a Lepton container.
+func (w *Writer) AppendRaw(b []byte) {
+	if w.nbits != 0 {
+		panic("bitio: AppendRaw on unaligned writer")
+	}
+	for _, c := range b {
+		if w.limit > 0 && len(w.buf) >= w.limit {
+			w.clipped = true
+			return
+		}
+		w.buf = append(w.buf, c)
+	}
+}
+
+// Bytes returns the completed output bytes. The partial byte, if any, is not
+// included; use Partial to retrieve it.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of completed output bytes.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Partial returns the current partial byte and the number of bits in it.
+func (w *Writer) Partial() (partial uint8, nbits uint8) { return w.cur, w.nbits }
+
+// Aligned reports whether the writer is at a byte boundary.
+func (w *Writer) Aligned() bool { return w.nbits == 0 }
+
+// Reader reads bits MSB-first from a JPEG entropy stream, transparently
+// removing 0x00 stuffing bytes after 0xFF. When it encounters a marker it
+// stops and returns ErrMarker from the next read.
+type Reader struct {
+	data []byte
+	pos  int   // index of the byte containing the next unread bit
+	bit  uint8 // next bit within data[pos] (0 = MSB)
+	// marker handling
+	atMarker bool
+	marker   byte
+}
+
+// NewReader returns a Reader over the entropy-coded segment in data.
+func NewReader(data []byte) *Reader { return &Reader{data: data} }
+
+// Pos returns the raw-stream position of the next unread bit: the byte index
+// (including stuffing bytes) and the bit offset within that byte. This is the
+// position recorded in Huffman handover words.
+func (r *Reader) Pos() (byteOff int, bitOff uint8) { return r.pos, r.bit }
+
+// PartialByte returns the bits of the current byte that have already been
+// consumed, left-aligned, with the remaining bits zeroed. Together with Pos
+// this is the handover partial byte.
+func (r *Reader) PartialByte() uint8 {
+	if r.bit == 0 || r.pos >= len(r.data) {
+		return 0
+	}
+	return r.data[r.pos] & (^uint8(0) << (8 - r.bit))
+}
+
+// ReadBit reads one bit. It returns ErrMarker if a marker interrupts the
+// stream and ErrTruncated at end of input. A 0xFF data byte is always
+// followed by a 0x00 stuffing byte; a 0xFF followed by anything else is a
+// marker and none of its bits are consumed as data.
+func (r *Reader) ReadBit() (uint8, error) {
+	if r.atMarker {
+		return 0, ErrMarker
+	}
+	if r.pos >= len(r.data) {
+		return 0, ErrTruncated
+	}
+	if r.bit == 0 && r.data[r.pos] == 0xFF {
+		// Starting a new byte: distinguish stuffed data from a marker.
+		if r.pos+1 >= len(r.data) {
+			return 0, ErrTruncated
+		}
+		if r.data[r.pos+1] != 0x00 {
+			r.atMarker = true
+			r.marker = r.data[r.pos+1]
+			return 0, ErrMarker
+		}
+	}
+	b := r.data[r.pos]
+	bit := (b >> (7 - r.bit)) & 1
+	r.bit++
+	if r.bit == 8 {
+		r.bit = 0
+		r.pos++
+		if b == 0xFF {
+			r.pos++ // skip the 0x00 stuffing byte verified above
+		}
+	}
+	return bit, nil
+}
+
+// ReadBits reads n bits MSB-first. n must be <= 32.
+func (r *Reader) ReadBits(n uint8) (uint32, error) {
+	var v uint32
+	for i := uint8(0); i < n; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint32(b)
+	}
+	return v, nil
+}
+
+// AtMarker reports whether the reader has stopped at a marker, and returns
+// the marker code (the byte following 0xFF).
+func (r *Reader) AtMarker() (bool, byte) { return r.atMarker, r.marker }
+
+// AlignSkipPad consumes pad bits up to the next byte boundary and returns
+// them. JPEG encoders pad with all-zero or all-one bits; the caller inspects
+// the returned bits to detect the pad bit in use.
+func (r *Reader) AlignSkipPad() (bits []uint8, err error) {
+	for r.bit != 0 {
+		b, err := r.ReadBit()
+		if err != nil {
+			return bits, err
+		}
+		bits = append(bits, b)
+	}
+	return bits, nil
+}
+
+// SkipMarker consumes the pending marker (0xFF plus code byte), allowing the
+// entropy stream to continue (used for restart markers). It returns the
+// marker code.
+func (r *Reader) SkipMarker() (byte, error) {
+	if !r.atMarker {
+		return 0, errors.New("bitio: SkipMarker with no pending marker")
+	}
+	if r.pos+1 >= len(r.data) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	code := r.data[r.pos+1]
+	r.pos += 2
+	r.bit = 0
+	r.atMarker = false
+	r.marker = 0
+	return code, nil
+}
+
+// Remaining returns the unread suffix of the underlying data, beginning at
+// the current byte. When stopped at a marker the suffix starts at the
+// marker's 0xFF byte.
+func (r *Reader) Remaining() []byte { return r.data[r.pos:] }

@@ -1,0 +1,223 @@
+package bitio
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	w := NewWriter()
+	vals := []struct {
+		v uint32
+		n uint8
+	}{
+		{0x5, 3}, {0xFF, 8}, {0x0, 1}, {0x1FF, 9}, {0xABCDE, 20}, {1, 1},
+	}
+	for _, x := range vals {
+		w.WriteBits(x.v, x.n)
+	}
+	w.AlignPad(1)
+	r := NewReader(w.Bytes())
+	for _, x := range vals {
+		got, err := r.ReadBits(x.n)
+		if err != nil {
+			t.Fatalf("ReadBits: %v", err)
+		}
+		if got != x.v {
+			t.Fatalf("roundtrip got %#x want %#x (n=%d)", got, x.v, x.n)
+		}
+	}
+}
+
+func TestByteStuffing(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0xFF, 8)
+	w.WriteBits(0xFF, 8)
+	w.WriteBits(0x12, 8)
+	got := w.Bytes()
+	want := []byte{0xFF, 0x00, 0xFF, 0x00, 0x12}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("stuffing: got % x want % x", got, want)
+	}
+	// Reader must remove the stuffing transparently.
+	r := NewReader(got)
+	for _, want := range []uint32{0xFF, 0xFF, 0x12} {
+		v, err := r.ReadBits(8)
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if v != want {
+			t.Fatalf("unstuff got %#x want %#x", v, want)
+		}
+	}
+}
+
+func TestRawWriterNoStuffing(t *testing.T) {
+	w := NewRawWriter()
+	w.WriteBits(0xFF, 8)
+	if !bytes.Equal(w.Bytes(), []byte{0xFF}) {
+		t.Fatalf("raw writer stuffed: % x", w.Bytes())
+	}
+}
+
+func TestMarkerDetection(t *testing.T) {
+	// Data byte, then RST0 marker, then more data.
+	data := []byte{0xAB, 0xFF, 0xD0, 0xCD}
+	r := NewReader(data)
+	if v, _ := r.ReadBits(8); v != 0xAB {
+		t.Fatalf("got %#x", v)
+	}
+	if _, err := r.ReadBit(); err != ErrMarker {
+		t.Fatalf("expected ErrMarker, got %v", err)
+	}
+	at, m := r.AtMarker()
+	if !at || m != 0xD0 {
+		t.Fatalf("marker = %v %#x", at, m)
+	}
+	code, err := r.SkipMarker()
+	if err != nil || code != 0xD0 {
+		t.Fatalf("SkipMarker = %#x, %v", code, err)
+	}
+	if v, _ := r.ReadBits(8); v != 0xCD {
+		t.Fatalf("after marker got %#x", v)
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	r := NewReader([]byte{0x80})
+	if _, err := r.ReadBits(9); err != ErrTruncated {
+		t.Fatalf("want ErrTruncated, got %v", err)
+	}
+}
+
+func TestSeedHandover(t *testing.T) {
+	// Write 13 bits in one writer; replay the last bits in a writer seeded
+	// with the first writer's partial state and verify byte continuity.
+	w1 := NewWriter()
+	w1.WriteBits(0x1ABC>>3, 10) // first 10 bits
+	partial, nbits := w1.Partial()
+	if nbits != 2 {
+		t.Fatalf("nbits = %d", nbits)
+	}
+	w2 := NewWriter()
+	w2.Seed(partial, nbits)
+	w2.WriteBits(0x1ABC&0x7, 3)
+	w2.AlignPad(0)
+
+	ref := NewWriter()
+	ref.WriteBits(0x1ABC, 13)
+	ref.AlignPad(0)
+	full := append(append([]byte{}, w1.Bytes()...), w2.Bytes()...)
+	if !bytes.Equal(full, ref.Bytes()) {
+		t.Fatalf("handover: got % x want % x", full, ref.Bytes())
+	}
+}
+
+func TestAlignPadAndPartial(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0b101, 3)
+	p, n := w.Partial()
+	if n != 3 || p != 0b10100000 {
+		t.Fatalf("partial = %#08b n=%d", p, n)
+	}
+	w.AlignPad(1)
+	if got := w.Bytes(); len(got) != 1 || got[0] != 0b10111111 {
+		t.Fatalf("padded = % x", got)
+	}
+}
+
+func TestAlignSkipPad(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0b11, 2)
+	w.AlignPad(1)
+	r := NewReader(w.Bytes())
+	if _, err := r.ReadBits(2); err != nil {
+		t.Fatal(err)
+	}
+	pad, err := r.AlignSkipPad()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pad) != 6 {
+		t.Fatalf("pad len = %d", len(pad))
+	}
+	for _, b := range pad {
+		if b != 1 {
+			t.Fatalf("pad bit = %d", b)
+		}
+	}
+}
+
+func TestSetLimitClipping(t *testing.T) {
+	w := NewWriter()
+	w.SetLimit(2)
+	for i := 0; i < 5; i++ {
+		w.WriteBits(uint32(i), 8)
+	}
+	if w.Len() != 2 {
+		t.Fatalf("len = %d", w.Len())
+	}
+	if !w.Clipped() {
+		t.Fatal("expected clipped")
+	}
+}
+
+func TestQuickWriteReadInverse(t *testing.T) {
+	f := func(words []uint16, seed int64) bool {
+		if len(words) == 0 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		w := NewWriter()
+		var lens []uint8
+		for _, v := range words {
+			n := uint8(rng.Intn(16) + 1)
+			lens = append(lens, n)
+			w.WriteBits(uint32(v)&(1<<n-1), n)
+		}
+		w.AlignPad(1)
+		r := NewReader(w.Bytes())
+		for i, v := range words {
+			got, err := r.ReadBits(lens[i])
+			if err != nil {
+				return false
+			}
+			if got != uint32(v)&(1<<lens[i]-1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReaderPosTracking(t *testing.T) {
+	// Positions must be raw-stream positions including stuffing bytes.
+	w := NewWriter()
+	w.WriteBits(0xFF, 8) // emits FF 00
+	w.WriteBits(0xA, 4)
+	w.AlignPad(0)
+	raw := w.Bytes()
+	r := NewReader(raw)
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatal(err)
+	}
+	byteOff, bitOff := r.Pos()
+	if byteOff != 2 || bitOff != 0 {
+		t.Fatalf("pos after stuffed byte = (%d,%d), want (2,0)", byteOff, bitOff)
+	}
+	if _, err := r.ReadBits(3); err != nil {
+		t.Fatal(err)
+	}
+	byteOff, bitOff = r.Pos()
+	if byteOff != 2 || bitOff != 3 {
+		t.Fatalf("pos = (%d,%d), want (2,3)", byteOff, bitOff)
+	}
+	if pb := r.PartialByte(); pb != raw[2]&0xE0 {
+		t.Fatalf("partial byte = %#x", pb)
+	}
+}

@@ -1,0 +1,255 @@
+// Package chunk implements the 4-MiB chunk layer: the Dropbox back-end
+// stores files in independent chunks spread across servers, and Lepton must
+// be able to decompress any chunk of a JPEG without access to the others
+// (paper §1, §3.4).
+//
+// Chunk boundaries fall at arbitrary byte offsets — mid-Huffman-symbol, mid
+// restart marker, even mid-header. Each chunk's container therefore carries:
+//
+//   - the full JPEG header (for the entropy tables), never emitted except by
+//     chunk 0 — the paper's "original Huffman probability model at the start
+//     of each chunk";
+//   - a Huffman handover word for the first MCU the chunk owns;
+//   - verbatim "prepend" bytes covering the gap between the chunk's start
+//     offset and the first bit of its first owned MCU (the previous chunk's
+//     spill-over);
+//   - an exact output size, clipping the final MCU's spill into the next
+//     chunk (which stores those bytes in its own prepend).
+//
+// Ownership is rounded to MCU-row boundaries, which keeps the model's
+// row-based thread segmentation intact at the cost of a slightly longer
+// verbatim prepend.
+package chunk
+
+import (
+	"bytes"
+	"fmt"
+
+	"lepton/internal/core"
+	"lepton/internal/jpeg"
+	"lepton/internal/model"
+)
+
+// DefaultChunkSize is the Dropbox block size.
+const DefaultChunkSize = 4 << 20
+
+// Options configures chunked compression.
+type Options struct {
+	// ChunkSize in bytes; 0 means DefaultChunkSize.
+	ChunkSize int
+	// SegmentsPerChunk forces the thread-segment count per chunk (0 = by
+	// chunk payload size, as in core.SegmentCountFor).
+	SegmentsPerChunk int
+	// Flags selects model predictors; nil means the deployed configuration.
+	Flags *model.Flags
+	// VerifyRoundtrip decompresses every chunk and compares against the
+	// original bytes before returning (production admission, §5.7).
+	VerifyRoundtrip bool
+}
+
+// Compress splits data into chunks and compresses each one independently.
+// If the data is not a JPEG that Lepton supports, every chunk is stored in
+// raw (deflate) mode — the caller can inspect Mode to know which path was
+// taken. The error return reports only internal failures; unsupported
+// inputs are not errors at this layer.
+func Compress(data []byte, opt Options) ([][]byte, error) {
+	size := opt.ChunkSize
+	if size <= 0 {
+		size = DefaultChunkSize
+	}
+	nChunks := (len(data) + size - 1) / size
+	if nChunks == 0 {
+		nChunks = 1
+	}
+
+	f, err := jpeg.Parse(data, core.DefaultMemEncodeBudget)
+	var s *jpeg.Scan
+	if err == nil {
+		if int64(f.CoefficientCount())*2 > core.DefaultMemDecodeBudget {
+			err = fmt.Errorf("over decode budget")
+		} else {
+			s, err = jpeg.DecodeScan(f)
+		}
+	}
+	if err != nil {
+		// Not a (supported) JPEG: raw chunks.
+		return rawChunks(data, size), nil
+	}
+
+	flags := model.DefaultFlags()
+	if opt.Flags != nil {
+		flags = *opt.Flags
+	}
+
+	scanStart := int64(len(f.Header))
+	scanEnd := scanStart + int64(len(f.ScanData))
+	total := f.TotalMCUs()
+	// absPos(m) = absolute file offset of MCU m's first bit's byte.
+	absPos := func(m int) int64 {
+		if m >= total {
+			return scanEnd
+		}
+		return scanStart + s.Positions[m].ByteOff
+	}
+	// rowStartMCU(k) = first row-aligned MCU whose position is >= offset.
+	rowStartAtOrAfter := func(off int64) int {
+		lo, hi := 0, f.MCUsHigh
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if absPos(mid*f.MCUsWide) >= off {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		return lo * f.MCUsWide
+	}
+
+	out := make([][]byte, 0, nChunks)
+	for k := 0; k < nChunks; k++ {
+		o0 := int64(k) * int64(size)
+		o1 := o0 + int64(size)
+		if o1 > int64(len(data)) {
+			o1 = int64(len(data))
+		}
+		chunkBytes, err := compressOne(data, f, s, flags, opt, k, o0, o1,
+			scanStart, scanEnd, total, absPos, rowStartAtOrAfter)
+		if err != nil {
+			return nil, err
+		}
+		if opt.VerifyRoundtrip {
+			back, err := core.Decode(chunkBytes, 0)
+			if err != nil || !bytes.Equal(back, data[o0:o1]) {
+				return nil, &jpeg.Error{Reason: jpeg.ReasonRoundtrip,
+					Detail: fmt.Sprintf("chunk %d does not round trip", k)}
+			}
+		}
+		out = append(out, chunkBytes)
+	}
+	return out, nil
+}
+
+func compressOne(data []byte, f *jpeg.File, s *jpeg.Scan, flags model.Flags,
+	opt Options, k int, o0, o1, scanStart, scanEnd int64, total int,
+	absPos func(int) int64, rowStartAtOrAfter func(int64) int) ([]byte, error) {
+
+	// Chunks entirely outside the scan hold verbatim data.
+	if o1 <= scanStart || o0 >= scanEnd {
+		return rawContainer(data[o0:o1])
+	}
+	mStart := rowStartAtOrAfter(o0)
+	mEnd := rowStartAtOrAfter(o1)
+	if mEnd > total {
+		mEnd = total
+	}
+	if o1 >= scanEnd {
+		mEnd = total
+	}
+	if mStart >= mEnd {
+		// No MCU row starts inside this chunk; store it verbatim.
+		return rawContainer(data[o0:o1])
+	}
+
+	prependFrom := o0
+	if k == 0 {
+		prependFrom = scanStart // the header is emitted structurally
+	}
+	prependTo := absPos(mStart)
+	if prependTo > o1 {
+		prependTo = o1
+	}
+
+	c := &core.Container{
+		Mode:       core.ModeLepton,
+		OutputSize: uint32(o1 - o0),
+		JPEGHeader: f.Header,
+		PadBit:     s.PadBit,
+		EmitHeader: k == 0,
+		RSTCount:   uint32(s.RSTCount),
+		MCUStart:   uint32(mStart),
+		MCUEnd:     uint32(mEnd),
+		ModelFlags: flagsByteOf(flags),
+		Prepend:    data[prependFrom:prependTo],
+	}
+	if mEnd == total {
+		// This chunk reaches the end of the scan: it owns the tail garbage
+		// and whatever part of the trailer falls inside it (the output-size
+		// clip cuts the rest; later chunks carry the remainder verbatim).
+		c.EmitTail = true
+		c.Tail = s.Tail
+		trailerWant := o1 - scanEnd
+		if trailerWant < 0 {
+			trailerWant = 0
+		}
+		if trailerWant > int64(len(f.Trailer)) {
+			trailerWant = int64(len(f.Trailer))
+		}
+		c.Trailer = f.Trailer[:trailerWant]
+	}
+
+	nSeg := opt.SegmentsPerChunk
+	if nSeg == 0 {
+		nSeg = core.SegmentCountFor(int(o1 - o0))
+	}
+	segs, streams, _ := core.EncodeSegments(f, s, mStart, mEnd, nSeg, flags, false)
+	c.Segments = segs
+	c.Streams = streams
+	return c.Marshal()
+}
+
+func flagsByteOf(flags model.Flags) uint8 {
+	var v uint8
+	if flags.EdgePrediction {
+		v |= 1
+	}
+	if flags.DCGradient {
+		v |= 2
+	}
+	return v
+}
+
+func rawChunks(data []byte, size int) [][]byte {
+	n := (len(data) + size - 1) / size
+	if n == 0 {
+		n = 1
+	}
+	out := make([][]byte, 0, n)
+	for k := 0; k < n; k++ {
+		o0 := k * size
+		o1 := o0 + size
+		if o1 > len(data) {
+			o1 = len(data)
+		}
+		b, err := rawContainer(data[o0:o1])
+		if err != nil {
+			// Marshal of a raw container cannot fail; defensive only.
+			panic(err)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+func rawContainer(payload []byte) ([]byte, error) {
+	c := &core.Container{Mode: core.ModeRaw, Raw: payload, OutputSize: uint32(len(payload))}
+	return c.Marshal()
+}
+
+// Decompress reconstructs one chunk's original bytes. Chunks are fully
+// independent: no other chunk's data is needed.
+func Decompress(chunkData []byte) ([]byte, error) {
+	return core.Decode(chunkData, 0)
+}
+
+// Reassemble decompresses all chunks and concatenates them.
+func Reassemble(chunks [][]byte) ([]byte, error) {
+	var out []byte
+	for i, ch := range chunks {
+		b, err := Decompress(ch)
+		if err != nil {
+			return nil, fmt.Errorf("chunk %d: %w", i, err)
+		}
+		out = append(out, b...)
+	}
+	return out, nil
+}

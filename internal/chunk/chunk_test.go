@@ -1,0 +1,193 @@
+package chunk_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lepton/internal/chunk"
+	"lepton/internal/core"
+	"lepton/internal/imagegen"
+)
+
+func gen(t testing.TB, seed int64, w, h int) []byte {
+	t.Helper()
+	data, err := imagegen.Generate(seed, w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func testChunked(t *testing.T, data []byte, chunkSize int) [][]byte {
+	t.Helper()
+	chunks, err := chunk.Compress(data, chunk.Options{ChunkSize: chunkSize})
+	if err != nil {
+		t.Fatalf("Compress: %v", err)
+	}
+	wantChunks := (len(data) + chunkSize - 1) / chunkSize
+	if len(chunks) != wantChunks {
+		t.Fatalf("%d chunks, want %d", len(chunks), wantChunks)
+	}
+	back, err := chunk.Reassemble(chunks)
+	if err != nil {
+		t.Fatalf("Reassemble: %v", err)
+	}
+	if !bytes.Equal(back, data) {
+		i := 0
+		for i < len(back) && i < len(data) && back[i] == data[i] {
+			i++
+		}
+		t.Fatalf("reassembly differs at byte %d (lens %d vs %d)", i, len(back), len(data))
+	}
+	return chunks
+}
+
+func TestChunkedRoundTrip(t *testing.T) {
+	data := gen(t, 1, 512, 384)
+	for _, size := range []int{1 << 10, 4 << 10, 16 << 10, 64 << 10, len(data) + 100} {
+		testChunked(t, data, size)
+	}
+}
+
+func TestChunkIndependence(t *testing.T) {
+	// Decompress chunks in random order, one at a time, and verify each
+	// against its slice of the original — no shared state allowed.
+	data := gen(t, 2, 640, 480)
+	size := 8 << 10
+	chunks := testChunked(t, data, size)
+	order := rand.New(rand.NewSource(3)).Perm(len(chunks))
+	for _, k := range order {
+		b, err := chunk.Decompress(chunks[k])
+		if err != nil {
+			t.Fatalf("chunk %d: %v", k, err)
+		}
+		o0 := k * size
+		o1 := o0 + size
+		if o1 > len(data) {
+			o1 = len(data)
+		}
+		if !bytes.Equal(b, data[o0:o1]) {
+			t.Fatalf("chunk %d content mismatch", k)
+		}
+	}
+}
+
+func TestChunkedNonJPEG(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	data := make([]byte, 50<<10)
+	rng.Read(data)
+	chunks, err := chunk.Compress(data, chunk.Options{ChunkSize: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := chunk.Reassemble(chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, data) {
+		t.Fatal("raw chunk mismatch")
+	}
+}
+
+func TestChunkedCompressible(t *testing.T) {
+	data := gen(t, 5, 512, 512)
+	chunks := testChunked(t, data, 8<<10)
+	var total int
+	for _, c := range chunks {
+		total += len(c)
+	}
+	if total >= len(data) {
+		t.Fatalf("chunked compression expanded: %d >= %d", total, len(data))
+	}
+	t.Logf("chunked savings: %.1f%% over %d chunks",
+		100*(1-float64(total)/float64(len(data))), len(chunks))
+}
+
+func TestChunkedWithRestartsAndTrailer(t *testing.T) {
+	img := imagegen.Synthesize(6, 400, 300)
+	junk := make([]byte, 3000)
+	rand.New(rand.NewSource(7)).Read(junk)
+	data, err := imagegen.EncodeJPEG(img, imagegen.Options{
+		Quality: 88, SubsampleChroma: true, RestartInterval: 3, PadBit: 0,
+		TrailerGarbage: junk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range []int{2 << 10, 7 << 10, 31 << 10} {
+		testChunked(t, data, size)
+	}
+}
+
+func TestChunkedTinyChunks(t *testing.T) {
+	// Chunks far smaller than an MCU row: most become verbatim, round trip
+	// must still hold.
+	data := gen(t, 8, 256, 192)
+	testChunked(t, data, 512)
+}
+
+func TestChunkedVerifyOption(t *testing.T) {
+	data := gen(t, 9, 300, 200)
+	if _, err := chunk.Compress(data, chunk.Options{ChunkSize: 8 << 10, VerifyRoundtrip: true}); err != nil {
+		t.Fatalf("verified chunk compress failed: %v", err)
+	}
+}
+
+func TestChunkHeaderOnlyFirstChunk(t *testing.T) {
+	// Chunk size smaller than the JPEG header: chunk 0 must fall back to
+	// verbatim and everything still reassembles.
+	data := gen(t, 10, 128, 96)
+	testChunked(t, data, 300)
+}
+
+func TestChunksAreLeptonContainers(t *testing.T) {
+	data := gen(t, 11, 256, 256)
+	chunks := testChunked(t, data, 8<<10)
+	for i, c := range chunks {
+		if !core.IsLepton(c) {
+			t.Fatalf("chunk %d is not a Lepton container", i)
+		}
+	}
+}
+
+func TestChunkGrayscale(t *testing.T) {
+	img := imagegen.Synthesize(12, 320, 240)
+	data, err := imagegen.EncodeJPEG(img, imagegen.Options{Quality: 80, Grayscale: true, PadBit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	testChunked(t, data, 6<<10)
+}
+
+func TestChunkQuickRandomSizes(t *testing.T) {
+	// Property: for any chunk size, compress+reassemble is the identity and
+	// every chunk decodes independently to its exact slice.
+	data := gen(t, 40, 360, 270)
+	f := func(rawSize uint16) bool {
+		size := int(rawSize)%20000 + 700
+		chunks, err := chunk.Compress(data, chunk.Options{ChunkSize: size})
+		if err != nil {
+			return false
+		}
+		for k, cb := range chunks {
+			part, err := chunk.Decompress(cb)
+			if err != nil {
+				return false
+			}
+			o0 := k * size
+			o1 := o0 + size
+			if o1 > len(data) {
+				o1 = len(data)
+			}
+			if !bytes.Equal(part, data[o0:o1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,295 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"lepton/internal/jpeg"
+	"lepton/internal/stats"
+)
+
+func shortConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Blockservers = 32
+	cfg.Duration = 2 * 3600
+	return cfg
+}
+
+func TestSimRunsAndConserves(t *testing.T) {
+	cfg := shortConfig()
+	m := NewSim(cfg).Run()
+	if m.Encodes == 0 || m.Decodes == 0 {
+		t.Fatalf("no arrivals: %d/%d", m.Encodes, m.Decodes)
+	}
+	// Most jobs arriving well before the end must complete.
+	done := len(m.EncodeLatency) + len(m.DecodeLatency)
+	total := int(m.Encodes + m.Decodes)
+	if float64(done) < 0.9*float64(total) {
+		t.Fatalf("only %d of %d jobs completed", done, total)
+	}
+	// Latencies must be at least the base service time (minus noise floor)
+	// and positive.
+	for _, l := range m.EncodeLatency[:min(100, len(m.EncodeLatency))] {
+		if l <= 0 {
+			t.Fatalf("non-positive latency %v", l)
+		}
+	}
+}
+
+func TestSimDeterministic(t *testing.T) {
+	a := NewSim(shortConfig()).Run()
+	b := NewSim(shortConfig()).Run()
+	if a.Encodes != b.Encodes || a.Decodes != b.Decodes ||
+		len(a.EncodeLatency) != len(b.EncodeLatency) {
+		t.Fatal("same seed produced different runs")
+	}
+	for i := range a.EncodeLatency {
+		if a.EncodeLatency[i] != b.EncodeLatency[i] {
+			t.Fatalf("latency %d differs", i)
+		}
+	}
+}
+
+func TestOutsourcingReducesTail(t *testing.T) {
+	// Figure 10's headline: outsourcing halves the p99 at peak.
+	p99 := func(strat Strategy) float64 {
+		cfg := shortConfig()
+		cfg.Duration = 4 * 3600
+		cfg.Strategy = strat
+		cfg.Threshold = 3
+		m := NewSim(cfg).Run()
+		return stats.Summarize(m.EncodeLatency).P99
+	}
+	control := p99(Control)
+	dedicated := p99(ToDedicated)
+	self := p99(ToSelf)
+	if dedicated >= control {
+		t.Fatalf("dedicated p99 %.3f not better than control %.3f", dedicated, control)
+	}
+	if self >= control {
+		t.Fatalf("to-self p99 %.3f not better than control %.3f", self, control)
+	}
+	t.Logf("p99: control=%.2fs dedicated=%.2fs self=%.2fs", control, dedicated, self)
+}
+
+func TestOutsourcingReducesConcurrency(t *testing.T) {
+	rows := Figure9(1, 4)
+	avg := map[Strategy]float64{}
+	for _, r := range rows {
+		var sum float64
+		n := 0
+		for _, v := range r.P99 {
+			if !math.IsNaN(v) {
+				sum += v
+				n++
+			}
+		}
+		avg[r.Strategy] = sum / float64(n)
+	}
+	if avg[Control] <= avg[ToDedicated] || avg[Control] <= avg[ToSelf] {
+		t.Fatalf("control concurrency %.2f not worst: dedicated %.2f self %.2f",
+			avg[Control], avg[ToDedicated], avg[ToSelf])
+	}
+	t.Logf("mean hourly p99 concurrency: control=%.1f dedicated=%.1f self=%.1f",
+		avg[Control], avg[ToDedicated], avg[ToSelf])
+}
+
+func TestFigure5WeekendStructure(t *testing.T) {
+	dec, enc := Figure5(2)
+	if len(dec.Vals) != 7*24 || len(enc.Vals) != 7*24 {
+		t.Fatalf("series lengths %d/%d", len(dec.Vals), len(enc.Vals))
+	}
+	// Decode:encode ratio on weekdays must exceed weekends.
+	ratio := func(days []int) float64 {
+		var d, e float64
+		for _, day := range days {
+			for h := 0; h < 24; h++ {
+				d += dec.Vals[day*24+h]
+				e += enc.Vals[day*24+h]
+			}
+		}
+		return d / e
+	}
+	weekday := ratio([]int{0, 1, 2, 3, 4})
+	weekend := ratio([]int{5, 6})
+	if weekday <= weekend {
+		t.Fatalf("weekday ratio %.2f not above weekend %.2f", weekday, weekend)
+	}
+}
+
+func TestFigure10Shape(t *testing.T) {
+	rows := Figure10(3)
+	if len(rows) != 5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	var control, bestPeak float64
+	bestPeak = math.Inf(1)
+	for _, r := range rows {
+		if r.Strategy == Control {
+			control = r.Peak.P99
+		} else if r.Peak.P99 < bestPeak {
+			bestPeak = r.Peak.P99
+		}
+		// Peak tail must not be better than near-peak tail by much.
+		if r.Peak.P99 < r.NearPeak.P99*0.5 {
+			t.Errorf("%v/%d: peak p99 %.2f oddly below near-peak %.2f",
+				r.Strategy, r.Threshold, r.Peak.P99, r.NearPeak.P99)
+		}
+	}
+	if bestPeak >= control {
+		t.Fatalf("no strategy beat control at peak: best %.2f vs %.2f", bestPeak, control)
+	}
+}
+
+func TestFigure12THPDrop(t *testing.T) {
+	pts := Figure12(4)
+	if len(pts) < 12 {
+		t.Fatalf("%d points", len(pts))
+	}
+	// p95 before the 6h disable must exceed p95 well after it.
+	var before, after float64
+	var nb, na int
+	for _, p := range pts {
+		if p.Hour < 6 {
+			before += p.P95
+			nb++
+		} else if p.Hour >= 8 {
+			after += p.P95
+			na++
+		}
+	}
+	before /= float64(nb)
+	after /= float64(na)
+	if before <= after*1.5 {
+		t.Fatalf("THP disable had no effect: p95 before=%.3f after=%.3f", before, after)
+	}
+	t.Logf("p95 before=%.2fs after=%.2fs", before, after)
+}
+
+func TestFigure13Ramp(t *testing.T) {
+	days, ratio := Figure13(90)
+	if len(days) != 90 {
+		t.Fatal("length")
+	}
+	if ratio[0] != 0 {
+		t.Fatalf("day 0 ratio = %v", ratio[0])
+	}
+	for i := 1; i < len(ratio); i++ {
+		if ratio[i] < ratio[i-1] {
+			t.Fatalf("ratio not monotone at day %d", i)
+		}
+	}
+	if ratio[89] < 1.0 || ratio[89] > 2.0 {
+		t.Fatalf("day-89 ratio %.2f outside the paper's range", ratio[89])
+	}
+}
+
+func TestFigure14Degradation(t *testing.T) {
+	pts := Figure14(5, 90, 30)
+	if len(pts) != 4 {
+		t.Fatalf("%d points", len(pts))
+	}
+	if pts[len(pts)-1].P99 <= pts[0].P99 {
+		t.Fatalf("p99 did not degrade: day0=%.3f day90=%.3f",
+			pts[0].P99, pts[len(pts)-1].P99)
+	}
+	t.Logf("decode p99 ramp: day0=%.2fs day90=%.2fs", pts[0].P99, pts[len(pts)-1].P99)
+}
+
+func TestFigure11OutageDrop(t *testing.T) {
+	cfg := DefaultBackfillConfig()
+	samples := Figure11(cfg)
+	var during, outside, rateDuring float64
+	var nd, no int
+	for _, s := range samples {
+		if s.Hour > cfg.OutageStartHour+1 && s.Hour < cfg.OutageEndHour {
+			during += s.PowerKW
+			rateDuring += s.CompressPerSec
+			nd++
+		} else if s.Hour < cfg.OutageStartHour {
+			outside += s.PowerKW
+			no++
+		}
+	}
+	during /= float64(nd)
+	outside /= float64(no)
+	drop := outside - during
+	// The paper observed a 121 kW drop; ours is ~278 kW of backfill power
+	// minus base wobble — assert a large, same-order drop.
+	if drop < 150 || drop > 400 {
+		t.Fatalf("outage power drop %.0f kW out of range", drop)
+	}
+	if rateDuring/float64(nd) > 100 {
+		t.Fatalf("compressions continued during outage")
+	}
+}
+
+func TestCostReportMatchesPaperArithmetic(t *testing.T) {
+	c := Cost(DefaultBackfillConfig())
+	// Paper: one kWh ~ 72,300 conversions, ~24 GiB saved, breakeven $0.58,
+	// 964 machines at 278 kW doing 5,583 chunks/s; 181.5M images and
+	// ~58.8 TiB saved per machine-year; ~$9,031/yr at S3 IA pricing.
+	if c.ConversionsPerKWh < 65000 || c.ConversionsPerKWh > 80000 {
+		t.Fatalf("conversions/kWh = %.0f", c.ConversionsPerKWh)
+	}
+	if c.GiBSavedPerKWh < 20 || c.GiBSavedPerKWh > 28 {
+		t.Fatalf("GiB/kWh = %.1f", c.GiBSavedPerKWh)
+	}
+	if c.BreakevenUSDPerKWh < 0.45 || c.BreakevenUSDPerKWh > 0.70 {
+		t.Fatalf("breakeven $/kWh = %.2f", c.BreakevenUSDPerKWh)
+	}
+	if c.ImagesPerYearPerMachine < 1.7e8 || c.ImagesPerYearPerMachine > 1.95e8 {
+		t.Fatalf("images/yr/machine = %.3g", c.ImagesPerYearPerMachine)
+	}
+	if c.TiBSavedPerYearPerMachine < 50 || c.TiBSavedPerYearPerMachine > 65 {
+		t.Fatalf("TiB/yr/machine = %.1f", c.TiBSavedPerYearPerMachine)
+	}
+	if c.S3AnnualUSDPerMachine < 7500 || c.S3AnnualUSDPerMachine > 10500 {
+		t.Fatalf("S3 $/yr/machine = %.0f", c.S3AnnualUSDPerMachine)
+	}
+}
+
+func TestMetaserverBatches(t *testing.T) {
+	ms := NewMetaserver(1, 4, 1000, 200)
+	seen := 0
+	for i := 0; i < 200; i++ {
+		b := ms.NextBatch()
+		if b.Users > 128 || b.Chunks > 16384 {
+			t.Fatalf("batch limits violated: %+v", b)
+		}
+		seen += b.Users
+	}
+	if seen == 0 {
+		t.Fatal("no users scanned")
+	}
+	if ms.Remaining() >= 4*1000 {
+		t.Fatal("remaining did not shrink")
+	}
+}
+
+func TestErrorCodeTable(t *testing.T) {
+	q := ErrorCodeTable(1, 120)
+	if q.Total != 120 {
+		t.Fatalf("total = %d", q.Total)
+	}
+	// Success dominates; each injected class is classified correctly.
+	if float64(q.ByReason[jpeg.ReasonNone])/float64(q.Total) < 0.85 {
+		t.Fatalf("success rate too low: %s", q)
+	}
+	for _, r := range []jpeg.Reason{jpeg.ReasonProgressive, jpeg.ReasonNotImage, jpeg.ReasonCMYK} {
+		if q.ByReason[r] == 0 {
+			t.Fatalf("reason %v missing from table: %s", r, q)
+		}
+	}
+	if q.CrossCheckFailures != 0 {
+		t.Fatalf("cross-check failures: %s", q)
+	}
+	t.Logf("\n%s", q)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

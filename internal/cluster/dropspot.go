@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DropSpot is the spare-capacity manager of §5.6: it watches free machines
+// per server room, allocates a machine for Lepton backfill when a room's
+// free count exceeds a high threshold, and releases machines back when free
+// capacity runs low. Wiping and reimaging takes hours, so allocations pass
+// through a pipeline before they contribute encoding throughput.
+type DropSpot struct {
+	// AllocateAbove: allocate from a room when its free-machine count
+	// exceeds this.
+	AllocateAbove int
+	// ReleaseBelow: release back to a room when its free count drops below
+	// this. Must be < AllocateAbove for hysteresis.
+	ReleaseBelow int
+	// ReimageTicks is how many Step calls a machine spends wiping and
+	// reimaging before it encodes (paper: 2-4 hours).
+	ReimageTicks int
+
+	rooms map[string]*room
+}
+
+type room struct {
+	name     string
+	free     int
+	imaging  []int // countdown per machine in the reimage pipeline
+	encoding int
+}
+
+// NewDropSpot builds a manager with the given hysteresis thresholds.
+func NewDropSpot(allocateAbove, releaseBelow, reimageTicks int) (*DropSpot, error) {
+	if releaseBelow >= allocateAbove {
+		return nil, fmt.Errorf("dropspot: release threshold %d must be below allocate threshold %d",
+			releaseBelow, allocateAbove)
+	}
+	if reimageTicks < 0 {
+		return nil, fmt.Errorf("dropspot: negative reimage time")
+	}
+	return &DropSpot{
+		AllocateAbove: allocateAbove,
+		ReleaseBelow:  releaseBelow,
+		ReimageTicks:  reimageTicks,
+		rooms:         map[string]*room{},
+	}, nil
+}
+
+// ObserveRoom updates a room's current free-machine count (from the
+// capacity monitoring system).
+func (d *DropSpot) ObserveRoom(name string, free int) {
+	r, ok := d.rooms[name]
+	if !ok {
+		r = &room{name: name}
+		d.rooms[name] = r
+	}
+	r.free = free
+}
+
+// Step advances one tick: machines finish reimaging, over-provisioned
+// rooms allocate one more machine into the pipeline, under-provisioned
+// rooms get one encoding machine back immediately (release is fast; only
+// acquisition pays the reimage cost).
+func (d *DropSpot) Step() {
+	for _, name := range d.roomNames() {
+		r := d.rooms[name]
+		// Advance the reimage pipeline.
+		var still []int
+		for _, ticks := range r.imaging {
+			if ticks <= 1 {
+				r.encoding++
+			} else {
+				still = append(still, ticks-1)
+			}
+		}
+		r.imaging = still
+		switch {
+		case r.free > d.AllocateAbove:
+			// A sufficiently diverse reserve must stay available (§5.6);
+			// take one machine per tick, not all of them.
+			r.free--
+			if d.ReimageTicks == 0 {
+				r.encoding++
+			} else {
+				r.imaging = append(r.imaging, d.ReimageTicks)
+			}
+		case r.free < d.ReleaseBelow:
+			// Give capacity back: drain the pipeline first (those machines
+			// were not productive yet), then encoding machines.
+			if len(r.imaging) > 0 {
+				r.imaging = r.imaging[:len(r.imaging)-1]
+				r.free++
+			} else if r.encoding > 0 {
+				r.encoding--
+				r.free++
+			}
+		}
+	}
+}
+
+func (d *DropSpot) roomNames() []string {
+	names := make([]string, 0, len(d.rooms))
+	for n := range d.rooms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Encoding returns the total machines currently running Lepton backfill.
+func (d *DropSpot) Encoding() int {
+	n := 0
+	for _, r := range d.rooms {
+		n += r.encoding
+	}
+	return n
+}
+
+// Imaging returns machines in the wipe/reimage pipeline.
+func (d *DropSpot) Imaging() int {
+	n := 0
+	for _, r := range d.rooms {
+		n += len(r.imaging)
+	}
+	return n
+}
+
+// RoomEncoding returns one room's backfill machine count.
+func (d *DropSpot) RoomEncoding(name string) int {
+	if r, ok := d.rooms[name]; ok {
+		return r.encoding
+	}
+	return 0
+}
+
+// ReleaseAll returns every machine (pipeline and encoding) to its room —
+// the shutoff path.
+func (d *DropSpot) ReleaseAll() {
+	for _, r := range d.rooms {
+		r.free += len(r.imaging) + r.encoding
+		r.imaging = nil
+		r.encoding = 0
+	}
+}

@@ -1,0 +1,118 @@
+package cluster
+
+import "testing"
+
+func TestDropSpotValidation(t *testing.T) {
+	if _, err := NewDropSpot(5, 5, 3); err == nil {
+		t.Fatal("equal thresholds must be rejected")
+	}
+	if _, err := NewDropSpot(5, 8, 3); err == nil {
+		t.Fatal("inverted thresholds must be rejected")
+	}
+	if _, err := NewDropSpot(5, 2, -1); err == nil {
+		t.Fatal("negative reimage time must be rejected")
+	}
+}
+
+func TestDropSpotAllocatesThroughPipeline(t *testing.T) {
+	d, err := NewDropSpot(10, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.ObserveRoom("east-1", 20)
+	// Machines must not encode before the reimage delay elapses.
+	d.Step()
+	if d.Encoding() != 0 || d.Imaging() != 1 {
+		t.Fatalf("after 1 tick: encoding=%d imaging=%d", d.Encoding(), d.Imaging())
+	}
+	d.Step()
+	d.Step()
+	d.Step()
+	if d.Encoding() == 0 {
+		t.Fatalf("pipeline never completed: imaging=%d", d.Imaging())
+	}
+}
+
+func TestDropSpotHysteresis(t *testing.T) {
+	d, err := NewDropSpot(10, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.ObserveRoom("west-2", 11)
+	d.Step() // free 11 > 10: allocate -> free 10
+	if d.Encoding() != 1 {
+		t.Fatalf("encoding = %d", d.Encoding())
+	}
+	// free now 10, inside the [3,10] band: no movement either way.
+	for i := 0; i < 5; i++ {
+		d.Step()
+	}
+	if d.Encoding() != 1 {
+		t.Fatalf("hysteresis band violated: encoding = %d", d.Encoding())
+	}
+	// Demand spike: free drops below the release threshold.
+	d.ObserveRoom("west-2", 1)
+	d.Step()
+	if d.Encoding() != 0 {
+		t.Fatalf("machine not released: encoding = %d", d.Encoding())
+	}
+}
+
+func TestDropSpotReleasesPipelineFirst(t *testing.T) {
+	d, _ := NewDropSpot(5, 2, 10)
+	d.ObserveRoom("r", 6)
+	d.Step() // one machine enters the pipeline
+	if d.Imaging() != 1 {
+		t.Fatalf("imaging = %d", d.Imaging())
+	}
+	d.ObserveRoom("r", 0)
+	d.Step()
+	if d.Imaging() != 0 {
+		t.Fatal("pipeline machine not released first")
+	}
+}
+
+func TestDropSpotMultiRoomAndReleaseAll(t *testing.T) {
+	d, _ := NewDropSpot(4, 1, 0)
+	d.ObserveRoom("a", 8)
+	d.ObserveRoom("b", 8)
+	d.ObserveRoom("c", 2)
+	for i := 0; i < 4; i++ {
+		d.Step()
+	}
+	if d.RoomEncoding("a") == 0 || d.RoomEncoding("b") == 0 {
+		t.Fatalf("rooms a/b idle: %d/%d", d.RoomEncoding("a"), d.RoomEncoding("b"))
+	}
+	if d.RoomEncoding("c") != 0 {
+		t.Fatal("room c should never allocate")
+	}
+	total := d.Encoding()
+	d.ReleaseAll()
+	if d.Encoding() != 0 || d.Imaging() != 0 {
+		t.Fatal("ReleaseAll left machines allocated")
+	}
+	_ = total
+}
+
+func TestDropSpotDeterministicOrder(t *testing.T) {
+	// Map iteration must not make allocation order nondeterministic.
+	run := func() []int {
+		d, _ := NewDropSpot(3, 1, 2)
+		d.ObserveRoom("z", 5)
+		d.ObserveRoom("a", 5)
+		d.ObserveRoom("m", 5)
+		var counts []int
+		for i := 0; i < 6; i++ {
+			d.Step()
+			counts = append(counts, d.Encoding(), d.Imaging())
+		}
+		return counts
+	}
+	a := run()
+	b := run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at step %d: %v vs %v", i, a, b)
+		}
+	}
+}

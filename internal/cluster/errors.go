@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"math/rand"
+
+	"lepton/internal/imagegen"
+	"lepton/internal/jpeg"
+	"lepton/internal/store"
+)
+
+// ErrorCorpusMix holds the §6.2 anomaly proportions observed during the
+// first two months of backfill. The corpus generator reproduces each class
+// with real (not simulated) file contents so the classification exercises
+// the actual codec.
+var ErrorCorpusMix = []struct {
+	Reason jpeg.Reason
+	Frac   float64
+}{
+	{jpeg.ReasonNone, 0.94069},
+	{jpeg.ReasonProgressive, 0.03043},
+	{jpeg.ReasonUnsupported, 0.01535},
+	{jpeg.ReasonNotImage, 0.00801},
+	{jpeg.ReasonCMYK, 0.00478},
+	{jpeg.ReasonMemDecode, 0.00024},
+	{jpeg.ReasonChromaSub, 0.00003},
+	{jpeg.ReasonRoundtrip, 0.00001},
+}
+
+// BuildErrorCorpus generates n files with the paper's anomaly mix (each
+// class gets at least one file when n is large enough to represent it).
+func BuildErrorCorpus(seed int64, n int) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	var out [][]byte
+	counts := make([]int, len(ErrorCorpusMix))
+	// Largest-remainder allocation so small classes appear.
+	assigned := 0
+	for i, mix := range ErrorCorpusMix {
+		c := int(mix.Frac * float64(n))
+		if c == 0 && mix.Frac > 0 && n >= 50 && i > 0 {
+			c = 1
+		}
+		counts[i] = c
+		assigned += c
+	}
+	counts[0] += n - assigned
+
+	mkValid := func() []byte {
+		w := 48 + rng.Intn(160)
+		h := 48 + rng.Intn(160)
+		data, err := imagegen.Generate(rng.Int63(), w, h)
+		if err != nil {
+			panic(err)
+		}
+		return data
+	}
+	for i, mix := range ErrorCorpusMix {
+		for j := 0; j < counts[i]; j++ {
+			switch mix.Reason {
+			case jpeg.ReasonNone:
+				out = append(out, mkValid())
+			case jpeg.ReasonProgressive:
+				out = append(out, imagegen.MakeProgressive(mkValid()))
+			case jpeg.ReasonUnsupported:
+				// Header-only files: "JPEG files that consist entirely of
+				// a header" (§6.2).
+				out = append(out, imagegen.HeaderOnly(mkValid()))
+			case jpeg.ReasonNotImage:
+				out = append(out, imagegen.NotImage(rng.Int63(), 512+rng.Intn(4096)))
+			case jpeg.ReasonCMYK:
+				out = append(out, imagegen.CMYKStub())
+			case jpeg.ReasonMemDecode:
+				// An image whose coefficient planes exceed the 24 MiB
+				// decode budget (> ~4 MP at 4:4:4).
+				data, err := imagegen.EncodeJPEG(
+					imagegen.Synthesize(rng.Int63(), 2600, 2000),
+					imagegen.Options{Quality: 85, PadBit: 1})
+				if err != nil {
+					panic(err)
+				}
+				out = append(out, data)
+			case jpeg.ReasonChromaSub:
+				out = append(out, imagegen.BigChromaStub())
+			case jpeg.ReasonRoundtrip:
+				// Zero-filled tails (§A.3) with restart markers so the
+				// missing-RST region breaks the round trip.
+				img := imagegen.Synthesize(rng.Int63(), 160, 120)
+				data, err := imagegen.EncodeJPEG(img, imagegen.Options{
+					Quality: 85, SubsampleChroma: true, RestartInterval: 2, PadBit: 1,
+				})
+				if err != nil {
+					panic(err)
+				}
+				out = append(out, imagegen.ZeroFillTail(data, len(data)/3))
+			}
+		}
+	}
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// ErrorCodeTable runs the qualification pipeline over an error corpus and
+// returns the observed distribution (the §6.2 table).
+func ErrorCodeTable(seed int64, n int) *store.QualReport {
+	return store.Qualify(BuildErrorCorpus(seed, n))
+}

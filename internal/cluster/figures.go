@@ -1,0 +1,226 @@
+package cluster
+
+import (
+	"math"
+
+	"lepton/internal/stats"
+)
+
+// HourlySeries is a labeled time series with one value per hour.
+type HourlySeries struct {
+	Label string
+	Hours []float64
+	Vals  []float64
+}
+
+// Figure5 reproduces the weekly workload structure: hourly encode and
+// decode event counts over one simulated week, each normalized to its
+// weekly minimum. Weekday decode rates exceed weekend rates while encode
+// rates stay flat — users shoot as many photos on weekends but sync fewer.
+func Figure5(seed int64) (decodes, encodes HourlySeries) {
+	cfg := DefaultConfig()
+	cfg.Seed = seed
+	cfg.Duration = 7 * 86400
+	cfg.Blockservers = 16 // workload shape only; keep the fleet light
+	cfg.BatchMean = 3
+	m := NewSim(cfg).Run()
+
+	bucket := func(times []float64) []float64 {
+		out := make([]float64, int(cfg.Duration/3600))
+		for _, t := range times {
+			h := int(t / 3600)
+			if h >= 0 && h < len(out) {
+				out[h]++
+			}
+		}
+		return out
+	}
+	norm := func(v []float64) []float64 {
+		min := math.Inf(1)
+		for _, x := range v {
+			if x > 0 && x < min {
+				min = x
+			}
+		}
+		if math.IsInf(min, 1) {
+			return v
+		}
+		out := make([]float64, len(v))
+		for i, x := range v {
+			out[i] = x / min
+		}
+		return out
+	}
+	hours := make([]float64, int(cfg.Duration/3600))
+	for i := range hours {
+		hours[i] = float64(i)
+	}
+	return HourlySeries{Label: "decodes", Hours: hours, Vals: norm(bucket(m.DecodeTimes))},
+		HourlySeries{Label: "encodes", Hours: hours, Vals: norm(bucket(m.EncodeTimes))}
+}
+
+// Figure9Row is one strategy's hourly p99 of concurrent conversions.
+type Figure9Row struct {
+	Strategy Strategy
+	Hours    []float64
+	P99      []float64
+}
+
+// Figure9 reproduces the concurrent-process comparison: the 99th percentile
+// (across machines, per minute, aggregated hourly) of simultaneous Lepton
+// conversions for each outsourcing strategy over one day.
+func Figure9(seed int64, threshold int) []Figure9Row {
+	var rows []Figure9Row
+	for _, strat := range []Strategy{ToSelf, ToDedicated, Control} {
+		cfg := DefaultConfig()
+		cfg.Seed = seed
+		cfg.Strategy = strat
+		cfg.Threshold = threshold
+		m := NewSim(cfg).Run()
+		// Aggregate minute samples into hourly p99-of-samples.
+		nh := int(cfg.Duration / 3600)
+		hours := make([]float64, nh)
+		p99 := make([]float64, nh)
+		byHour := make([][]float64, nh)
+		for i, t := range m.ConcurrencyTimes {
+			h := int(t / 3600)
+			if h >= 0 && h < nh {
+				byHour[h] = append(byHour[h], m.ConcurrencySamples[i])
+			}
+		}
+		for h := 0; h < nh; h++ {
+			hours[h] = float64(h)
+			p99[h] = stats.Percentile(byHour[h], 99)
+		}
+		rows = append(rows, Figure9Row{Strategy: strat, Hours: hours, P99: p99})
+	}
+	return rows
+}
+
+// Figure10Row summarizes compression latency percentiles for one strategy
+// and threshold at near-peak and peak load.
+type Figure10Row struct {
+	Strategy  Strategy
+	Threshold int
+	NearPeak  stats.Summary
+	Peak      stats.Summary
+}
+
+// Figure10 reproduces the percentile timing comparison of outsourcing
+// strategies with thresholds 3 and 4 (plus control).
+func Figure10(seed int64) []Figure10Row {
+	var rows []Figure10Row
+	run := func(strat Strategy, thr int) Figure10Row {
+		cfg := DefaultConfig()
+		cfg.Seed = seed
+		cfg.Strategy = strat
+		cfg.Threshold = thr
+		m := NewSim(cfg).Run()
+		// Peak = 13:00-17:00; near-peak = 09:00-13:00 (diurnal peak ~15:00).
+		var near, peak []float64
+		for i, t := range m.EncodeTimes {
+			h := math.Mod(t, 86400) / 3600
+			switch {
+			case h >= 13 && h < 17:
+				peak = append(peak, m.EncodeLatency[i])
+			case h >= 9 && h < 13:
+				near = append(near, m.EncodeLatency[i])
+			}
+		}
+		return Figure10Row{Strategy: strat, Threshold: thr,
+			NearPeak: stats.Summarize(near), Peak: stats.Summarize(peak)}
+	}
+	for _, strat := range []Strategy{ToDedicated, ToSelf} {
+		for _, thr := range []int{3, 4} {
+			rows = append(rows, run(strat, thr))
+		}
+	}
+	rows = append(rows, run(Control, 1<<30))
+	return rows
+}
+
+// Figure12Point is an hourly latency percentile sample.
+type Figure12Point struct {
+	Hour               float64
+	P50, P75, P95, P99 float64
+}
+
+// Figure12 reproduces the transparent-huge-pages anomaly: hourly decode
+// latency percentiles with THP enabled on most machines, disabled partway
+// through (production disabled it April 13 at 03:00).
+func Figure12(seed int64) []Figure12Point {
+	cfg := DefaultConfig()
+	cfg.Seed = seed
+	cfg.Duration = 20 * 3600
+	cfg.THPFraction = 0.6
+	cfg.THPDisableAt = 6 * 3600
+	m := NewSim(cfg).Run()
+	nh := int(cfg.Duration / 3600)
+	byHour := make([][]float64, nh)
+	for i, t := range m.DecodeTimes {
+		h := int(t / 3600)
+		if h >= 0 && h < nh {
+			byHour[h] = append(byHour[h], m.DecodeLatency[i])
+		}
+	}
+	var out []Figure12Point
+	for h := 0; h < nh; h++ {
+		s := stats.Summarize(byHour[h])
+		out = append(out, Figure12Point{Hour: float64(h), P50: s.P50, P75: s.P75, P95: s.P95, P99: s.P99})
+	}
+	return out
+}
+
+// RolloutRatio models Figure 13: the decode:encode ratio as a function of
+// days since rollout. Only content uploaded after rollout needs a Lepton
+// decode, and downloads skew heavily toward recent content, so the ratio
+// climbs from zero toward the steady-state decode:encode ratio as the
+// Lepton-compressed fraction of *accessed* content saturates ("boiling the
+// frog", §6.4).
+func RolloutRatio(day float64, steadyRatio, recencyDays float64) float64 {
+	if day < 0 {
+		return 0
+	}
+	return steadyRatio * (1 - math.Exp(-day/recencyDays))
+}
+
+// Figure13 returns the ratio curve over the first n days.
+func Figure13(n int) ([]float64, []float64) {
+	days := make([]float64, n)
+	ratio := make([]float64, n)
+	for d := 0; d < n; d++ {
+		days[d] = float64(d)
+		ratio[d] = RolloutRatio(float64(d), 1.7, 45)
+	}
+	return days, ratio
+}
+
+// Figure14Point is a biweekly decode-latency percentile sample during the
+// months after rollout, before outsourcing existed.
+type Figure14Point struct {
+	Day                float64
+	P50, P75, P95, P99 float64
+}
+
+// Figure14 reproduces the slow p99 degradation of §6.4: as the
+// decode:encode ratio ramps, a fleet provisioned for launch-day load
+// develops multi-second tail latencies. Each sample point runs a short
+// fleet simulation (no outsourcing) at that day's decode rate.
+func Figure14(seed int64, days, stepDays int) []Figure14Point {
+	var out []Figure14Point
+	for d := 0; d <= days; d += stepDays {
+		cfg := DefaultConfig()
+		cfg.Seed = seed + int64(d)
+		cfg.Duration = 4 * 3600
+		cfg.Diurnal = false
+		cfg.Strategy = Control
+		// The fleet was sized when decodes were rare; demand grows with
+		// the rollout ramp and organic growth.
+		cfg.DecodeRatio = RolloutRatio(float64(d), 2.4, 45)
+		cfg.EncodesPerSecond = 5 * (1 + float64(d)/240)
+		m := NewSim(cfg).Run()
+		s := stats.Summarize(m.DecodeLatency)
+		out = append(out, Figure14Point{Day: float64(d), P50: s.P50, P75: s.P75, P95: s.P95, P99: s.P99})
+	}
+	return out
+}

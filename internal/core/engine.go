@@ -1,0 +1,482 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+
+	"lepton/internal/arith"
+	"lepton/internal/jpeg"
+	"lepton/internal/model"
+)
+
+// Default memory budgets (paper §5.1, §6.2). The deployed system streams
+// row-by-row with a 24 MiB decode ceiling; this implementation holds whole
+// coefficient planes, so the budgets bound those allocations instead. The
+// mechanism — reject before allocating, classified as a memory exit code —
+// is what the §6.2 table exercises.
+const (
+	DefaultMemDecodeBudget = 24 << 20
+	DefaultMemEncodeBudget = 178 << 20
+)
+
+// EncodeOptions tunes the encoder.
+type EncodeOptions struct {
+	// Flags select model predictors (ablations, §4.3); nil means the
+	// deployed configuration (everything on).
+	Flags *model.Flags
+	// ForceSegments overrides the file-size-based thread segment count
+	// (1..64); 0 selects automatically (Figure 7's cutoffs).
+	ForceSegments int
+	// CollectStats fills Result.ClassBits for Figure 4.
+	CollectStats bool
+	// VerifyRoundtrip decodes the result and compares with the input
+	// before returning; mismatch is reported as a roundtrip failure. This
+	// mirrors production admission control (§5.7).
+	VerifyRoundtrip bool
+	// MemDecodeBudget / MemEncodeBudget bound coefficient memory; 0 means
+	// the defaults above.
+	MemDecodeBudget int64
+	MemEncodeBudget int64
+	// SingleModel tallies statistic bins across the whole image in one
+	// segment regardless of size — the "Lepton 1-way" configuration of §4.
+	SingleModel bool
+	// AllowProgressive enables the spectral-selection progressive path.
+	// Production kept this off (§6.2: "intentionally disabled ... for
+	// simplicity"); it is the optional capability the binary had.
+	AllowProgressive bool
+	// AllowCMYK enables four-component files ("an extra model for the 4th
+	// color channel", §6.2) — also off in production.
+	AllowCMYK bool
+}
+
+// Result is the encoder's output plus accounting.
+type Result struct {
+	Compressed []byte
+	// Segments is the thread segment count used.
+	Segments int
+	// ClassBits estimates compressed bits per coefficient class (Figure 4),
+	// filled when CollectStats is set.
+	ClassBits [model.NumClasses]float64
+	// OriginalClassBits counts the Huffman-coded bits per class in the
+	// original scan (Figure 4's "original bytes" column).
+	OriginalClassBits [model.NumClasses]int64
+	// HeaderOriginal and HeaderCompressed are the verbatim JPEG header size
+	// and its zlib-compressed size.
+	HeaderOriginal   int
+	HeaderCompressed int
+}
+
+// SegmentCountFor returns the automatic thread-segment count for an input
+// of n bytes, following the multithreading cutoffs visible in Figures 7/8.
+func SegmentCountFor(n int) int {
+	switch {
+	case n < 100<<10:
+		return 1
+	case n < 400<<10:
+		return 2
+	case n < 3<<20/2:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// segmentRanges splits the MCU rows [startRow, endRow) into nSeg contiguous
+// ranges, returning the start MCU of each segment. Fewer ranges are returned
+// when there are not enough MCU rows.
+func segmentRanges(f *jpeg.File, nSeg, startRow, endRow int) []int {
+	rows := endRow - startRow
+	if nSeg > rows {
+		nSeg = rows
+	}
+	if nSeg < 1 {
+		nSeg = 1
+	}
+	starts := make([]int, 0, nSeg)
+	for i := 0; i < nSeg; i++ {
+		r := startRow + i*rows/nSeg
+		starts = append(starts, r*f.MCUsWide)
+	}
+	return starts
+}
+
+// planesOf adapts a decoded scan to the model's view.
+func planesOf(f *jpeg.File, coeff [][]int16) []model.ComponentPlane {
+	var planes []model.ComponentPlane
+	for i := range f.Components {
+		c := &f.Components[i]
+		planes = append(planes, model.ComponentPlane{
+			BlocksWide: c.BlocksWide,
+			BlocksHigh: c.BlocksHigh,
+			Quant:      &f.Quant[c.TQ],
+			Coeff:      coeff[i],
+		})
+	}
+	return planes
+}
+
+// rowRangesFor converts an MCU range [startMCU, endMCU) (row-aligned) to
+// per-component block-row ranges.
+func rowRangesFor(f *jpeg.File, startMCU, endMCU int) (rs, re []int) {
+	startRow := startMCU / f.MCUsWide
+	endRow := (endMCU + f.MCUsWide - 1) / f.MCUsWide
+	for i := range f.Components {
+		c := &f.Components[i]
+		v := c.V
+		if len(f.Components) == 1 {
+			v = 1
+		}
+		r0 := startRow * v
+		r1 := endRow * v
+		if r1 > c.BlocksHigh {
+			r1 = c.BlocksHigh
+		}
+		rs = append(rs, r0)
+		re = append(re, r1)
+	}
+	return rs, re
+}
+
+// Encode compresses one whole baseline JPEG into a Lepton container.
+func Encode(data []byte, opt EncodeOptions) (*Result, error) {
+	encBudget := opt.MemEncodeBudget
+	if encBudget == 0 {
+		encBudget = DefaultMemEncodeBudget
+	}
+	decBudget := opt.MemDecodeBudget
+	if decBudget == 0 {
+		decBudget = DefaultMemDecodeBudget
+	}
+	f, err := jpeg.ParseOpt(data, encBudget, opt.AllowCMYK)
+	if err != nil {
+		if opt.AllowProgressive && jpeg.ReasonOf(err) == jpeg.ReasonProgressive {
+			return encodeProgressive(data, opt, encBudget, decBudget)
+		}
+		return nil, err
+	}
+	// The decoder will have to hold the same planes: enforce its budget at
+	// encode time so every stored file is decodable within budget (§6.2).
+	if int64(f.CoefficientCount())*2 > decBudget {
+		return nil, &jpeg.Error{Reason: jpeg.ReasonMemDecode,
+			Detail: fmt.Sprintf("decode would need %d coefficient bytes", f.CoefficientCount()*2)}
+	}
+	s, err := jpeg.DecodeScan(f)
+	if err != nil {
+		return nil, err
+	}
+
+	flags := model.DefaultFlags()
+	if opt.Flags != nil {
+		flags = *opt.Flags
+	}
+	nSeg := opt.ForceSegments
+	if opt.SingleModel {
+		nSeg = 1
+	}
+	if nSeg == 0 {
+		nSeg = SegmentCountFor(len(data))
+	}
+	total := f.TotalMCUs()
+
+	res := &Result{HeaderOriginal: len(f.Header)}
+	c := &Container{
+		Mode:       ModeLepton,
+		OutputSize: uint32(len(data)),
+		JPEGHeader: f.Header,
+		Trailer:    f.Trailer,
+		Tail:       s.Tail,
+		PadBit:     s.PadBit,
+		EmitHeader: true,
+		EmitTail:   true,
+		RSTCount:   uint32(s.RSTCount),
+		MCUStart:   0,
+		MCUEnd:     uint32(total),
+		ModelFlags: flagsByte(flags.EdgePrediction, flags.DCGradient),
+	}
+
+	var stats [model.NumClasses]float64
+	c.Segments, c.Streams, stats = EncodeSegments(f, s, 0, total, nSeg, flags, opt.CollectStats)
+	res.Segments = len(c.Segments)
+	res.ClassBits = stats
+	if opt.CollectStats {
+		res.OriginalClassBits = originalClassBits(f, s)
+	}
+
+	comp, err := c.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	res.Compressed = comp
+	res.HeaderCompressed = len(comp)
+	for _, st := range c.Streams {
+		res.HeaderCompressed -= len(st)
+	}
+
+	if opt.VerifyRoundtrip {
+		back, err := Decode(comp, decBudget)
+		if err != nil {
+			return nil, &jpeg.Error{Reason: jpeg.ReasonRoundtrip, Detail: err.Error()}
+		}
+		if !bytes.Equal(back, data) {
+			return nil, &jpeg.Error{Reason: jpeg.ReasonRoundtrip, Detail: "decode differs from input"}
+		}
+	}
+	return res, nil
+}
+
+// EncodeSegments arithmetic-codes the MCU range [mStart, mEnd) — which must
+// be MCU-row aligned — as nSeg thread segments, in parallel. It returns the
+// segment descriptors (with handover words taken from the scan's recorded
+// positions), the per-segment streams, and per-class bit statistics when
+// collectStats is set. The chunk layer composes this into per-chunk
+// containers; Encode uses it for whole files.
+func EncodeSegments(f *jpeg.File, s *jpeg.Scan, mStart, mEnd, nSeg int, flags model.Flags, collectStats bool) ([]Segment, [][]byte, [model.NumClasses]float64) {
+	startRow := mStart / f.MCUsWide
+	endRow := (mEnd + f.MCUsWide - 1) / f.MCUsWide
+	starts := segmentRanges(f, nSeg, startRow, endRow)
+
+	type segOut struct {
+		bytes []byte
+		stats *model.Stats
+	}
+	outs := make([]segOut, len(starts))
+	var wg sync.WaitGroup
+	for i := range starts {
+		start := starts[i]
+		end := mEnd
+		if i+1 < len(starts) {
+			end = starts[i+1]
+		}
+		wg.Add(1)
+		go func(i, start, end int) {
+			defer wg.Done()
+			rs, re := rowRangesFor(f, start, end)
+			codec := model.NewCodec(planesOf(f, s.Coeff), rs, re, flags)
+			if collectStats {
+				codec.Stats = &model.Stats{}
+			}
+			e := arith.NewEncoder()
+			codec.EncodeSegment(e)
+			outs[i] = segOut{bytes: e.Flush(), stats: codec.Stats}
+		}(i, start, end)
+	}
+	wg.Wait()
+
+	var segs []Segment
+	var streams [][]byte
+	var stats [model.NumClasses]float64
+	for i, start := range starts {
+		var h Handover
+		if start > 0 {
+			h = handoverFromPos(s.Positions[start])
+		}
+		segs = append(segs, Segment{
+			StartMCU: uint32(start),
+			Handover: h,
+			ArithLen: uint32(len(outs[i].bytes)),
+		})
+		streams = append(streams, outs[i].bytes)
+		if outs[i].stats != nil {
+			for k, b := range outs[i].stats.Bits {
+				stats[k] += b
+			}
+		}
+	}
+	return segs, streams, stats
+}
+
+// Decode reconstructs the original bytes from a Lepton container.
+// memBudget bounds coefficient memory (0 = default).
+func Decode(comp []byte, memBudget int64) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := DecodeTo(&buf, comp, memBudget); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeTo streams the reconstruction into w segment by segment: output for
+// segment k is written as soon as segments 0..k have completed, which gives
+// the low time-to-first-byte the paper's file servers need (§3.4).
+func DecodeTo(w io.Writer, comp []byte, memBudget int64) error {
+	if memBudget == 0 {
+		memBudget = DefaultMemDecodeBudget
+	}
+	c, err := Unmarshal(comp)
+	if err != nil {
+		return err
+	}
+	if c.Mode == ModeRaw {
+		_, err := w.Write(c.Raw)
+		return err
+	}
+	if c.Mode == ModeProgressive {
+		return decodeProgressiveContainer(w, c, memBudget)
+	}
+	f, err := jpeg.ParseHeader(c.JPEGHeader)
+	if err != nil {
+		return fmt.Errorf("core: stored header: %w", err)
+	}
+	if int64(f.CoefficientCount())*2 > memBudget {
+		return &jpeg.Error{Reason: jpeg.ReasonMemDecode,
+			Detail: fmt.Sprintf("%d coefficient bytes exceed budget", f.CoefficientCount()*2)}
+	}
+	total := f.TotalMCUs()
+	if c.MCUEnd > uint32(total) || c.MCUStart > c.MCUEnd {
+		return badContainer("MCU range %d..%d of %d", c.MCUStart, c.MCUEnd, total)
+	}
+	coeff := make([][]int16, len(f.Components))
+	for i := range f.Components {
+		comp := &f.Components[i]
+		coeff[i] = make([]int16, comp.BlocksWide*comp.BlocksHigh*64)
+	}
+
+	// Every segment runs its whole pipeline — arithmetic decode of
+	// coefficients, then Huffman re-encode seeded from its handover word —
+	// in its own goroutine. Output is streamed in segment order as each
+	// completes, so the time-to-first-byte is governed by segment 0 alone,
+	// not by the slowest segment (§3.4's streaming requirement).
+	scan := &jpeg.Scan{File: f, Coeff: coeff, PadBit: c.PadBit, RSTCount: int(c.RSTCount), Tail: c.Tail}
+	flags := model.Flags{
+		EdgePrediction: c.ModelFlags&1 != 0,
+		DCGradient:     c.ModelFlags&2 != 0,
+	}
+	type segResult struct {
+		bytes []byte
+		err   error
+	}
+	done := make([]chan segResult, len(c.Segments))
+	for i := range c.Segments {
+		done[i] = make(chan segResult, 1)
+		go func(i int) {
+			start := int(c.Segments[i].StartMCU)
+			end := int(c.MCUEnd)
+			if i+1 < len(c.Segments) {
+				end = int(c.Segments[i+1].StartMCU)
+			}
+			rs, re := rowRangesFor(f, start, end)
+			codec := model.NewCodec(planesOf(f, coeff), rs, re, flags)
+			d := arith.NewDecoder(c.Streams[i])
+			if err := codec.DecodeSegment(d); err != nil {
+				done[i] <- segResult{err: fmt.Errorf("core: segment decode: %w", err)}
+				return
+			}
+			if err := d.Err(); err != nil {
+				done[i] <- segResult{err: fmt.Errorf("core: segment decode: %w", err)}
+				return
+			}
+			e, err := jpeg.NewScanEncoder(f, c.PadBit, int(c.RSTCount))
+			if err != nil {
+				done[i] <- segResult{err: err}
+				return
+			}
+			e.Seed(c.Segments[i].Handover.toPos(0))
+			if err := e.EncodeMCURange(scan, start, end); err != nil {
+				done[i] <- segResult{err: fmt.Errorf("core: segment encode: %w", err)}
+				return
+			}
+			if end == total {
+				// Only the true end of the scan gets padding and the
+				// verbatim tail; a chunk ending mid-scan leaves its final
+				// partial byte to the next chunk's prepend data.
+				e.Finish(c.Tail)
+			}
+			done[i] <- segResult{bytes: e.Bytes()}
+		}(i)
+	}
+
+	// Stream out in order as segments complete.
+	written := 0
+	emit := func(b []byte) error {
+		if written+len(b) > int(c.OutputSize) {
+			b = b[:int(c.OutputSize)-written]
+		}
+		n, err := w.Write(b)
+		written += n
+		return err
+	}
+	var firstErr error
+	if c.EmitHeader {
+		if err := emit(c.JPEGHeader); err != nil {
+			firstErr = err
+		}
+	}
+	if firstErr == nil && len(c.Prepend) > 0 {
+		if err := emit(c.Prepend); err != nil {
+			firstErr = err
+		}
+	}
+	for i := range done {
+		r := <-done[i]
+		if firstErr != nil {
+			continue // drain remaining goroutines
+		}
+		if r.err != nil {
+			firstErr = r.err
+			continue
+		}
+		if err := emit(r.bytes); err != nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	if c.EmitTail {
+		if err := emit(c.Trailer); err != nil {
+			return err
+		}
+	}
+	if written != int(c.OutputSize) {
+		return badContainer("produced %d bytes, expected %d", written, c.OutputSize)
+	}
+	return nil
+}
+
+// originalClassBits attributes the original scan's Huffman bits to
+// coefficient classes for Figure 4. ZRL runs are attributed to the class of
+// the nonzero coefficient that follows; EOB to the 7x7 class.
+func originalClassBits(f *jpeg.File, s *jpeg.Scan) [model.NumClasses]int64 {
+	var out [model.NumClasses]int64
+	enc := newBitCounter(f)
+	if enc == nil {
+		return out
+	}
+	for ci := range f.Components {
+		c := &f.Components[ci]
+		blocks := c.BlocksWide * c.BlocksHigh
+		var prevDC int16
+		for b := 0; b < blocks; b++ {
+			blk := s.Coeff[ci][b*64 : b*64+64]
+			out[model.ClassDC] += enc.dcBits(ci, int32(blk[0])-int32(prevDC))
+			prevDC = blk[0]
+			run := 0
+			pendingZRL := int64(0)
+			for k := 1; k < 64; k++ {
+				pos := zigzagPos(k)
+				v := int32(blk[pos])
+				if v == 0 {
+					run++
+					continue
+				}
+				for run >= 16 {
+					pendingZRL += enc.acSymBits(ci, 0xF0)
+					run -= 16
+				}
+				cls := model.Class77
+				if pos < 8 || pos%8 == 0 {
+					cls = model.ClassEdge
+				}
+				out[cls] += pendingZRL + enc.acBits(ci, run, v)
+				pendingZRL = 0
+				run = 0
+			}
+			if run > 0 {
+				out[model.Class77] += enc.acSymBits(ci, 0x00)
+			}
+		}
+	}
+	return out
+}

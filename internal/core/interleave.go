@@ -1,0 +1,167 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Appendix A.1 frames the arithmetic-coded data as interleaved sections:
+//
+//	Thread Segment Id (1 byte)
+//	Length selector   (256 | 4096 | 65536 | arbitrary)
+//	Arithmetic coded data
+//	... repeated ...
+//
+// Interleaving lets the encoder emit output while slower thread segments
+// are still coding, and lets a decoder begin feeding early segments before
+// the container is fully read. This file implements that framing as an
+// alternative body layout: containers written with MarshalInterleaved are
+// detected and reassembled transparently by Unmarshal.
+
+// Section length selectors (A.1's fixed sizes avoid length fields for
+// common cases).
+const (
+	secLen256   = 0
+	secLen4096  = 1
+	secLen65536 = 2
+	secLenVar   = 3 // followed by a u32 length
+)
+
+// interleavedMode is the container mode byte for A.1-style bodies.
+const ModeLeptonInterleaved = 'I'
+
+// MarshalInterleaved serializes the container with the A.1 interleaved
+// body: sections are emitted round-robin across thread segments in
+// sectionSize units (0 means 4096), so no segment's output is held back
+// until another finishes.
+func (c *Container) MarshalInterleaved(sectionSize int) ([]byte, error) {
+	if c.Mode != ModeLepton {
+		return nil, fmt.Errorf("core: interleaved marshal requires ModeLepton, have %c", c.Mode)
+	}
+	if len(c.Segments) > 255 {
+		return nil, fmt.Errorf("core: %d segments exceed the 1-byte segment id", len(c.Segments))
+	}
+	if sectionSize <= 0 {
+		sectionSize = 4096
+	}
+	// Serialize the standard header with the interleaved mode byte, then
+	// replace the body.
+	saved := c.Mode
+	c.Mode = ModeLeptonInterleaved
+	defer func() { c.Mode = saved }()
+
+	streams := c.Streams
+	c.Streams = nil // header only; body appended below
+	head, err := c.marshalHeaderOnly()
+	c.Streams = streams
+	if err != nil {
+		return nil, err
+	}
+
+	var body bytes.Buffer
+	offsets := make([]int, len(streams))
+	for {
+		wrote := false
+		for id, s := range streams {
+			off := offsets[id]
+			if off >= len(s) {
+				continue
+			}
+			n := len(s) - off
+			if n > sectionSize {
+				n = sectionSize
+			}
+			body.WriteByte(byte(id))
+			writeSectionLen(&body, n)
+			body.Write(s[off : off+n])
+			offsets[id] = off + n
+			wrote = true
+		}
+		if !wrote {
+			break
+		}
+	}
+	return append(head, body.Bytes()...), nil
+}
+
+func writeSectionLen(b *bytes.Buffer, n int) {
+	switch n {
+	case 256:
+		b.WriteByte(secLen256)
+	case 4096:
+		b.WriteByte(secLen4096)
+	case 65536:
+		b.WriteByte(secLen65536)
+	default:
+		b.WriteByte(secLenVar)
+		var tmp [4]byte
+		binary.LittleEndian.PutUint32(tmp[:], uint32(n))
+		b.Write(tmp[:])
+	}
+}
+
+// marshalHeaderOnly emits the fixed header + zlib section without a body.
+func (c *Container) marshalHeaderOnly() ([]byte, error) {
+	out, err := c.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	// Marshal appends Streams after the zlib section; with Streams nil the
+	// output is exactly the header.
+	return out, nil
+}
+
+// deinterleave reconstructs per-segment streams from an A.1 interleaved
+// body. lens gives each segment's expected total length (from the header).
+func deinterleave(body []byte, lens []uint32) ([][]byte, error) {
+	streams := make([][]byte, len(lens))
+	for i, l := range lens {
+		streams[i] = make([]byte, 0, l)
+	}
+	pos := 0
+	for pos < len(body) {
+		id := int(body[pos])
+		pos++
+		if id >= len(streams) {
+			return nil, badContainer("section for segment %d of %d", id, len(streams))
+		}
+		if pos >= len(body) {
+			return nil, badContainer("truncated section header")
+		}
+		var n int
+		switch body[pos] {
+		case secLen256:
+			n = 256
+			pos++
+		case secLen4096:
+			n = 4096
+			pos++
+		case secLen65536:
+			n = 65536
+			pos++
+		case secLenVar:
+			if pos+5 > len(body) {
+				return nil, badContainer("truncated variable section length")
+			}
+			n = int(binary.LittleEndian.Uint32(body[pos+1:]))
+			pos += 5
+		default:
+			return nil, badContainer("bad section length selector %d", body[pos])
+		}
+		if n < 0 || pos+n > len(body) {
+			return nil, badContainer("section of %d bytes overruns body", n)
+		}
+		if len(streams[id])+n > int(lens[id]) {
+			return nil, badContainer("segment %d sections exceed declared length", id)
+		}
+		streams[id] = append(streams[id], body[pos:pos+n]...)
+		pos += n
+	}
+	for i := range streams {
+		if len(streams[i]) != int(lens[i]) {
+			return nil, badContainer("segment %d has %d of %d bytes", i, len(streams[i]), lens[i])
+		}
+	}
+	return streams, nil
+}

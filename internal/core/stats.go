@@ -1,0 +1,66 @@
+package core
+
+import (
+	"lepton/internal/dct"
+	"lepton/internal/huffman"
+	"lepton/internal/jpeg"
+)
+
+// bitCounter measures how many bits the original Huffman coding spends on
+// each symbol class, for Figure 4's "original bytes" breakdown.
+type bitCounter struct {
+	f  *jpeg.File
+	dc [4]*huffman.Encoder
+	ac [4]*huffman.Encoder
+}
+
+func newBitCounter(f *jpeg.File) *bitCounter {
+	bc := &bitCounter{f: f}
+	for i := 0; i < 4; i++ {
+		if f.DC[i] != nil {
+			enc, err := huffman.NewEncoder(f.DC[i])
+			if err != nil {
+				return nil
+			}
+			bc.dc[i] = enc
+		}
+		if f.AC[i] != nil {
+			enc, err := huffman.NewEncoder(f.AC[i])
+			if err != nil {
+				return nil
+			}
+			bc.ac[i] = enc
+		}
+	}
+	return bc
+}
+
+func magnitudeCategory(v int32) uint8 {
+	if v < 0 {
+		v = -v
+	}
+	var s uint8
+	for v != 0 {
+		v >>= 1
+		s++
+	}
+	return s
+}
+
+func (bc *bitCounter) dcBits(ci int, diff int32) int64 {
+	cat := magnitudeCategory(diff)
+	c := bc.dc[bc.f.Components[ci].TD].Lookup(cat)
+	return int64(c.Len) + int64(cat)
+}
+
+func (bc *bitCounter) acBits(ci, run int, v int32) int64 {
+	size := magnitudeCategory(v)
+	c := bc.ac[bc.f.Components[ci].TA].Lookup(byte(run<<4) | size)
+	return int64(c.Len) + int64(size)
+}
+
+func (bc *bitCounter) acSymBits(ci int, sym byte) int64 {
+	return int64(bc.ac[bc.f.Components[ci].TA].Lookup(sym).Len)
+}
+
+func zigzagPos(k int) int { return int(dct.Zigzag[k]) }

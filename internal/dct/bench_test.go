@@ -1,0 +1,41 @@
+package dct
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var src, dst Block
+	for i := range src {
+		src[i] = int32(rng.Intn(256) - 128)
+	}
+	for i := 0; i < b.N; i++ {
+		Forward(&src, &dst)
+	}
+}
+
+func BenchmarkInverseDense(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	var src, dst Block
+	for i := range src {
+		src[i] = int32(rng.Intn(2048) - 1024)
+	}
+	for i := 0; i < b.N; i++ {
+		Inverse(&src, &dst)
+	}
+}
+
+func BenchmarkInverseSparse(b *testing.B) {
+	// Typical quantized block: ~10 nonzero coefficients. The first IDCT
+	// pass skips zeros, so this should run well under the dense time.
+	rng := rand.New(rand.NewSource(3))
+	var src, dst Block
+	for j := 0; j < 10; j++ {
+		src[Zigzag[rng.Intn(20)]] = int32(rng.Intn(200) - 100)
+	}
+	for i := 0; i < b.N; i++ {
+		Inverse(&src, &dst)
+	}
+}

@@ -1,0 +1,190 @@
+package dct
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestZigzagIsPermutation(t *testing.T) {
+	var seen [64]bool
+	for _, r := range Zigzag {
+		if r >= 64 || seen[r] {
+			t.Fatalf("zigzag not a permutation at %d", r)
+		}
+		seen[r] = true
+	}
+	for z, r := range Zigzag {
+		if Unzigzag[r] != uint8(z) {
+			t.Fatalf("unzigzag mismatch at %d", z)
+		}
+	}
+}
+
+func TestZigzagKnownPrefix(t *testing.T) {
+	// First entries of the standard zigzag order.
+	want := []uint8{0, 1, 8, 16, 9, 2, 3, 10, 17, 24}
+	for i, w := range want {
+		if Zigzag[i] != w {
+			t.Fatalf("Zigzag[%d] = %d, want %d", i, Zigzag[i], w)
+		}
+	}
+	if Zigzag[63] != 63 {
+		t.Fatalf("Zigzag[63] = %d", Zigzag[63])
+	}
+}
+
+func TestBasisOrthonormal(t *testing.T) {
+	// Rows of the basis must be orthonormal within fixed-point tolerance.
+	scale := float64(int64(1) << BasisScaleBits)
+	for u := 0; u < 8; u++ {
+		for v := 0; v < 8; v++ {
+			var dot float64
+			for x := 0; x < 8; x++ {
+				dot += float64(Basis[u][x]) * float64(Basis[v][x])
+			}
+			dot /= scale * scale
+			want := 0.0
+			if u == v {
+				want = 1.0
+			}
+			if math.Abs(dot-want) > 1e-3 {
+				t.Fatalf("basis rows %d,%d: dot = %v", u, v, dot)
+			}
+		}
+	}
+}
+
+func TestDCOfConstantBlock(t *testing.T) {
+	var src, dst Block
+	for i := range src {
+		src[i] = 100
+	}
+	Forward(&src, &dst)
+	// Orthonormal DCT of a constant c has DC = 8c and zero AC.
+	if dst[0] != 800 {
+		t.Fatalf("DC = %d, want 800", dst[0])
+	}
+	for i := 1; i < 64; i++ {
+		if dst[i] < -1 || dst[i] > 1 {
+			t.Fatalf("AC[%d] = %d, want ~0", i, dst[i])
+		}
+	}
+}
+
+func TestForwardInverseIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		var src, freq, back Block
+		for i := range src {
+			src[i] = int32(rng.Intn(256) - 128)
+		}
+		Forward(&src, &freq)
+		Inverse(&freq, &back)
+		for i := range src {
+			d := src[i] - back[i]
+			if d < -2 || d > 2 {
+				t.Fatalf("trial %d: sample %d: %d -> %d", trial, i, src[i], back[i])
+			}
+		}
+	}
+}
+
+func TestInverseDeterministic(t *testing.T) {
+	// The DC predictor depends on Inverse being bit-identical between
+	// encode and decode; run it twice on the same input.
+	rng := rand.New(rand.NewSource(3))
+	var src, a, b Block
+	for i := range src {
+		src[i] = int32(rng.Intn(2048) - 1024)
+	}
+	Inverse(&src, &a)
+	Inverse(&src, &b)
+	if a != b {
+		t.Fatal("Inverse is not deterministic")
+	}
+}
+
+func TestQuantizeDequantize(t *testing.T) {
+	q := StdLuminanceQuant
+	var src, quant, deq Block
+	src[0] = 1000
+	src[1] = -57
+	src[63] = 99
+	Quantize(&src, &q, &quant)
+	if quant[0] != 63 { // 1000/16 = 62.5 -> 63 round to nearest
+		t.Fatalf("quant[0] = %d", quant[0])
+	}
+	if quant[1] != -5 { // -57/11 = -5.18 -> -5
+		t.Fatalf("quant[1] = %d", quant[1])
+	}
+	if quant[63] != 1 { // 99/99 = 1
+		t.Fatalf("quant[63] = %d", quant[63])
+	}
+	Dequantize(&quant, &q, &deq)
+	if deq[0] != 63*16 || deq[1] != -55 {
+		t.Fatalf("dequant = %d, %d", deq[0], deq[1])
+	}
+}
+
+func TestQuantizeRoundsAwayTies(t *testing.T) {
+	q := [64]uint16{}
+	for i := range q {
+		q[i] = 2
+	}
+	var src, out Block
+	src[0] = 3  // 1.5 -> 2
+	src[1] = -3 // -1.5 -> -2
+	Quantize(&src, &q, &out)
+	if out[0] != 2 || out[1] != -2 {
+		t.Fatalf("tie rounding: %d, %d", out[0], out[1])
+	}
+}
+
+func TestScaleQuantQualityMonotone(t *testing.T) {
+	q50 := ScaleQuant(&StdLuminanceQuant, 50)
+	q90 := ScaleQuant(&StdLuminanceQuant, 90)
+	q10 := ScaleQuant(&StdLuminanceQuant, 10)
+	for i := 0; i < 64; i++ {
+		if q90[i] > q50[i] {
+			t.Fatalf("q90[%d]=%d > q50[%d]=%d", i, q90[i], i, q50[i])
+		}
+		if q10[i] < q50[i] {
+			t.Fatalf("q10[%d]=%d < q50[%d]=%d", i, q10[i], i, q50[i])
+		}
+		if q90[i] < 1 || q10[i] > 255 {
+			t.Fatalf("quant bounds violated at %d", i)
+		}
+	}
+	if q50 != StdLuminanceQuant {
+		t.Fatal("quality 50 must be the base table")
+	}
+}
+
+func TestQuickForwardInverseWithinQuantBounds(t *testing.T) {
+	// Property: quantize-dequantize-inverse reconstructs pixels within the
+	// quantization error bound (loose: sum of q/2 energy).
+	q := ScaleQuant(&StdLuminanceQuant, 90)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var src, freq, qf, dq, back Block
+		for i := range src {
+			src[i] = int32(rng.Intn(256) - 128)
+		}
+		Forward(&src, &freq)
+		Quantize(&freq, &q, &qf)
+		Dequantize(&qf, &q, &dq)
+		Inverse(&dq, &back)
+		for i := range src {
+			d := float64(src[i] - back[i])
+			if math.Abs(d) > 40 { // generous bound for q90
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,252 @@
+package huffman
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lepton/internal/bitio"
+)
+
+// stdDCLuminance is the Annex K.3.1 typical DC luminance table.
+var stdDCLuminance = Spec{
+	Counts:  [16]uint8{0, 1, 5, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0},
+	Symbols: []byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11},
+}
+
+// stdACLuminance is the Annex K.3.2 typical AC luminance table.
+var stdACLuminance = Spec{
+	Counts: [16]uint8{0, 2, 1, 3, 3, 2, 4, 3, 5, 5, 4, 4, 0, 0, 1, 0x7D},
+	Symbols: []byte{
+		0x01, 0x02, 0x03, 0x00, 0x04, 0x11, 0x05, 0x12,
+		0x21, 0x31, 0x41, 0x06, 0x13, 0x51, 0x61, 0x07,
+		0x22, 0x71, 0x14, 0x32, 0x81, 0x91, 0xa1, 0x08,
+		0x23, 0x42, 0xb1, 0xc1, 0x15, 0x52, 0xd1, 0xf0,
+		0x24, 0x33, 0x62, 0x72, 0x82, 0x09, 0x0a, 0x16,
+		0x17, 0x18, 0x19, 0x1a, 0x25, 0x26, 0x27, 0x28,
+		0x29, 0x2a, 0x34, 0x35, 0x36, 0x37, 0x38, 0x39,
+		0x3a, 0x43, 0x44, 0x45, 0x46, 0x47, 0x48, 0x49,
+		0x4a, 0x53, 0x54, 0x55, 0x56, 0x57, 0x58, 0x59,
+		0x5a, 0x63, 0x64, 0x65, 0x66, 0x67, 0x68, 0x69,
+		0x6a, 0x73, 0x74, 0x75, 0x76, 0x77, 0x78, 0x79,
+		0x7a, 0x83, 0x84, 0x85, 0x86, 0x87, 0x88, 0x89,
+		0x8a, 0x92, 0x93, 0x94, 0x95, 0x96, 0x97, 0x98,
+		0x99, 0x9a, 0xa2, 0xa3, 0xa4, 0xa5, 0xa6, 0xa7,
+		0xa8, 0xa9, 0xaa, 0xb2, 0xb3, 0xb4, 0xb5, 0xb6,
+		0xb7, 0xb8, 0xb9, 0xba, 0xc2, 0xc3, 0xc4, 0xc5,
+		0xc6, 0xc7, 0xc8, 0xc9, 0xca, 0xd2, 0xd3, 0xd4,
+		0xd5, 0xd6, 0xd7, 0xd8, 0xd9, 0xda, 0xe1, 0xe2,
+		0xe3, 0xe4, 0xe5, 0xe6, 0xe7, 0xe8, 0xe9, 0xea,
+		0xf1, 0xf2, 0xf3, 0xf4, 0xf5, 0xf6, 0xf7, 0xf8,
+		0xf9, 0xfa,
+	},
+}
+
+func TestValidateStdTables(t *testing.T) {
+	if err := stdDCLuminance.Validate(); err != nil {
+		t.Fatalf("DC table: %v", err)
+	}
+	if err := stdACLuminance.Validate(); err != nil {
+		t.Fatalf("AC table: %v", err)
+	}
+}
+
+func TestValidateRejectsOversubscribed(t *testing.T) {
+	bad := Spec{Counts: [16]uint8{3}, Symbols: []byte{1, 2, 3}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected oversubscription error")
+	}
+	mismatch := Spec{Counts: [16]uint8{0, 2}, Symbols: []byte{1}}
+	if err := mismatch.Validate(); err == nil {
+		t.Fatal("expected count/symbol mismatch error")
+	}
+	empty := Spec{}
+	if err := empty.Validate(); err == nil {
+		t.Fatal("expected empty table error")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, spec := range []*Spec{&stdDCLuminance, &stdACLuminance} {
+		enc, err := NewEncoder(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := NewDecoder(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := bitio.NewWriter()
+		var syms []byte
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 5000; i++ {
+			s := spec.Symbols[rng.Intn(len(spec.Symbols))]
+			syms = append(syms, s)
+			if err := enc.Encode(w, s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		w.AlignPad(1)
+		r := bitio.NewReader(w.Bytes())
+		for i, want := range syms {
+			got, err := dec.Decode(r)
+			if err != nil {
+				t.Fatalf("decode %d: %v", i, err)
+			}
+			if got != want {
+				t.Fatalf("symbol %d: got %#x want %#x", i, got, want)
+			}
+		}
+	}
+}
+
+func TestEncodeUnknownSymbol(t *testing.T) {
+	enc, _ := NewEncoder(&stdDCLuminance)
+	w := bitio.NewWriter()
+	if err := enc.Encode(w, 0x55); err == nil {
+		t.Fatal("expected error for symbol not in table")
+	}
+}
+
+func TestPrefixFree(t *testing.T) {
+	enc, _ := NewEncoder(&stdACLuminance)
+	var codes []Code
+	for _, s := range stdACLuminance.Symbols {
+		codes = append(codes, enc.Lookup(s))
+	}
+	for i, a := range codes {
+		for j, b := range codes {
+			if i == j {
+				continue
+			}
+			if a.Len <= b.Len {
+				if b.Bits>>(b.Len-a.Len) == a.Bits {
+					t.Fatalf("code %d is a prefix of code %d", i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestBuildOptimal(t *testing.T) {
+	var freq [256]int64
+	freq[0] = 1000
+	freq[1] = 500
+	freq[2] = 250
+	freq[3] = 125
+	freq[4] = 5
+	freq[255] = 1
+	spec, err := BuildOptimal(&freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := NewEncoder(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More frequent symbols must not get longer codes.
+	if enc.Lookup(0).Len > enc.Lookup(4).Len {
+		t.Fatalf("frequent symbol got longer code: %d > %d",
+			enc.Lookup(0).Len, enc.Lookup(4).Len)
+	}
+	// Every nonzero-frequency symbol must be codeable, and roundtrip.
+	dec, err := NewDecoder(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bitio.NewWriter()
+	input := []byte{0, 1, 2, 3, 4, 255, 0, 0, 1}
+	for _, s := range input {
+		if err := enc.Encode(w, s); err != nil {
+			t.Fatalf("symbol %d: %v", s, err)
+		}
+	}
+	w.AlignPad(1)
+	r := bitio.NewReader(w.Bytes())
+	for i, want := range input {
+		got, err := dec.Decode(r)
+		if err != nil || got != want {
+			t.Fatalf("roundtrip %d: got %v,%v want %v", i, got, err, want)
+		}
+	}
+}
+
+func TestBuildOptimalSkewed(t *testing.T) {
+	// Extremely skewed frequencies force the length-limiting path.
+	var freq [256]int64
+	v := int64(1)
+	for i := 0; i < 40; i++ {
+		freq[i] = v
+		v *= 2
+		if v > 1<<40 {
+			v = 1 << 40
+		}
+	}
+	spec, err := BuildOptimal(&freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := NewEncoder(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		c := enc.Lookup(byte(i))
+		if c.Len == 0 || c.Len > MaxCodeLength {
+			t.Fatalf("symbol %d: code length %d", i, c.Len)
+		}
+	}
+}
+
+func TestBuildOptimalQuick(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var freq [256]int64
+		n := 0
+		for i, v := range raw {
+			if i >= 256 {
+				break
+			}
+			freq[i] = int64(v)
+			if v > 0 {
+				n++
+			}
+		}
+		if n < 2 {
+			return true
+		}
+		spec, err := BuildOptimal(&freq)
+		if err != nil {
+			return false
+		}
+		if err := spec.Validate(); err != nil {
+			return false
+		}
+		enc, err := NewEncoder(spec)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 256; i++ {
+			if freq[i] > 0 && enc.Lookup(byte(i)).Len == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeInvalidCode(t *testing.T) {
+	// A table that uses only codes 0 and 10 (lengths 1 and 2): the input
+	// 11... is invalid.
+	spec := Spec{Counts: [16]uint8{1, 1}, Symbols: []byte{7, 9}}
+	dec, err := NewDecoder(&spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := bitio.NewReader([]byte{0b11111110})
+	if _, err := dec.Decode(r); err == nil {
+		t.Fatal("expected invalid code error")
+	}
+}

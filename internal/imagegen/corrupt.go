@@ -1,0 +1,120 @@
+package imagegen
+
+import (
+	"bytes"
+	"math/rand"
+)
+
+// Corruptions reproduce the anomaly taxonomy of paper §6.2 and §A.3 so the
+// error-code distribution table can be regenerated against this codec.
+
+// MakeProgressive rewrites the SOF0 marker of a baseline JPEG to SOF2,
+// producing a file Lepton must reject as Progressive.
+func MakeProgressive(data []byte) []byte {
+	out := append([]byte(nil), data...)
+	if i := bytes.Index(out, []byte{0xFF, 0xC0}); i >= 0 {
+		out[i+1] = 0xC2
+	}
+	return out
+}
+
+// CMYKStub builds a file whose SOF declares four components, as scanned
+// CMYK TIFF-in-JPEG files do.
+func CMYKStub() []byte {
+	var b []byte
+	b = append(b, 0xFF, 0xD8) // SOI
+	// Minimal DQT (table 0, all ones).
+	dqt := make([]byte, 0, 69)
+	dqt = append(dqt, 0xFF, 0xDB, 0x00, 0x43, 0x00)
+	for i := 0; i < 64; i++ {
+		dqt = append(dqt, 1)
+	}
+	b = append(b, dqt...)
+	// SOF0 with 4 components.
+	sof := []byte{0xFF, 0xC0, 0x00, 0x14, 8, 0x00, 0x10, 0x00, 0x10, 4,
+		1, 0x11, 0, 2, 0x11, 0, 3, 0x11, 0, 4, 0x11, 0}
+	b = append(b, sof...)
+	b = append(b, 0xFF, 0xD9)
+	return b
+}
+
+// NotImage produces bytes that begin with the JPEG start-of-image marker but
+// contain no JPEG structure — the "chunk sampled by SOI magic" false
+// positives in the paper's benchmark set.
+func NotImage(seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]byte, n)
+	rng.Read(out)
+	out[0], out[1] = 0xFF, 0xD8
+	// Ensure the byte after SOI is not a plausible marker prefix.
+	if out[2] == 0xFF {
+		out[2] = 0x42
+	}
+	return out
+}
+
+// HeaderOnly strips everything from the SOS marker on and terminates with
+// EOI: a JPEG "consisting entirely of a header" (§6.2, Unsupported).
+func HeaderOnly(data []byte) []byte {
+	if i := bytes.Index(data, []byte{0xFF, 0xDA}); i >= 0 {
+		out := append([]byte(nil), data[:i]...)
+		return append(out, 0xFF, 0xD9)
+	}
+	return data
+}
+
+// Truncate cuts the file after frac of its bytes, as an interrupted upload
+// or unsynced disk page would.
+func Truncate(data []byte, frac float64) []byte {
+	n := int(float64(len(data)) * frac)
+	if n < 2 {
+		n = 2
+	}
+	if n > len(data) {
+		n = len(data)
+	}
+	return append([]byte(nil), data[:n]...)
+}
+
+// ZeroFillTail overwrites the last n bytes before EOI with zeros — the most
+// prevalent corruption the paper saw (failing hardware writing unsynced
+// pages, §A.3). Depending on restart markers the file may or may not
+// round-trip.
+func ZeroFillTail(data []byte, n int) []byte {
+	out := append([]byte(nil), data...)
+	end := len(out)
+	if end >= 2 && out[end-2] == 0xFF && out[end-1] == 0xD9 {
+		end -= 2
+	}
+	start := end - n
+	if start < 0 {
+		start = 0
+	}
+	for i := start; i < end; i++ {
+		out[i] = 0
+	}
+	return out
+}
+
+// AppendSecondImage concatenates a second JPEG after the first (thumbnail +
+// full image files, §A.3); Lepton compresses only the first and must
+// reproduce the rest verbatim.
+func AppendSecondImage(first, second []byte) []byte {
+	out := append([]byte(nil), first...)
+	return append(out, second...)
+}
+
+// BigChromaStub builds a file whose chroma subsampling ratio exceeds what
+// the deployed Lepton's framebuffer slice supports (§6.2 "Chroma subsample
+// big"): luma sampled 4x4 against 1x1 chroma.
+func BigChromaStub() []byte {
+	var b []byte
+	b = append(b, 0xFF, 0xD8)
+	dqt := append([]byte{0xFF, 0xDB, 0x00, 0x43, 0x00}, bytes.Repeat([]byte{1}, 64)...)
+	b = append(b, dqt...)
+	sof := []byte{0xFF, 0xC0, 0x00, 0x11, 8, 0x00, 0x40, 0x00, 0x40, 3,
+		1, 0x44, 0, 2, 0x11, 0, 3, 0x11, 0}
+	b = append(b, sof...)
+	b = append(b, 0xFF, 0xD9)
+	return b
+}

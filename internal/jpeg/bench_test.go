@@ -1,0 +1,58 @@
+package jpeg_test
+
+import (
+	"testing"
+
+	"lepton/internal/imagegen"
+	"lepton/internal/jpeg"
+)
+
+func benchFile(b *testing.B) []byte {
+	b.Helper()
+	data, err := imagegen.Generate(1, 800, 600)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return data
+}
+
+func BenchmarkParse(b *testing.B) {
+	data := benchFile(b)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		if _, err := jpeg.Parse(data, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeScan(b *testing.B) {
+	data := benchFile(b)
+	f, err := jpeg.Parse(data, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(f.ScanData)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := jpeg.DecodeScan(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeScan(b *testing.B) {
+	data := benchFile(b)
+	f, _ := jpeg.Parse(data, 0)
+	s, err := jpeg.DecodeScan(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(f.ScanData)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := jpeg.EncodeScan(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package jpeg
+
+import (
+	"fmt"
+
+	"lepton/internal/bitio"
+	"lepton/internal/huffman"
+)
+
+// ScanEncoder re-creates the entropy-coded bytes of a baseline JPEG scan
+// from quantized coefficients. It can be seeded from a Huffman handover word
+// (partial byte, bit offset, per-channel DC predictors, restart state) so
+// that independent threads or chunks each regenerate their own byte range of
+// the original file (paper §3.4).
+type ScanEncoder struct {
+	f     *File
+	w     *bitio.Writer
+	dcEnc [4]*huffman.Encoder
+	acEnc [4]*huffman.Encoder
+
+	prevDC   [MaxComponents]int16
+	padBit   uint8
+	ri       int
+	rstLimit int // total restart markers present in the original scan
+	rstDone  int // restart markers emitted (or skipped as before-our-segment)
+}
+
+// NewScanEncoder builds an encoder for f's scan. padBit is the original
+// encoder's pad bit; rstCount the number of restart markers in the original
+// scan.
+func NewScanEncoder(f *File, padBit uint8, rstCount int) (*ScanEncoder, error) {
+	e := &ScanEncoder{
+		f:        f,
+		w:        bitio.NewWriter(),
+		padBit:   padBit,
+		ri:       f.RestartInterval,
+		rstLimit: rstCount,
+	}
+	for i := 0; i < 4; i++ {
+		if f.DC[i] != nil {
+			enc, err := huffman.NewEncoder(f.DC[i])
+			if err != nil {
+				return nil, err
+			}
+			e.dcEnc[i] = enc
+		}
+		if f.AC[i] != nil {
+			enc, err := huffman.NewEncoder(f.AC[i])
+			if err != nil {
+				return nil, err
+			}
+			e.acEnc[i] = enc
+		}
+	}
+	return e, nil
+}
+
+// Seed initializes mid-scan state from a handover word. It must be called
+// before any MCU is encoded.
+func (e *ScanEncoder) Seed(pos MCUPos) {
+	e.w.Seed(pos.Partial, pos.BitOff)
+	e.prevDC = pos.PrevDC
+	e.rstDone = int(pos.RSTSeen)
+}
+
+// SetLimit bounds the output length in bytes (chunk spill clipping).
+func (e *ScanEncoder) SetLimit(n int) { e.w.SetLimit(n) }
+
+// Writer exposes the underlying bit writer (for inspection in tests).
+func (e *ScanEncoder) Writer() *bitio.Writer { return e.w }
+
+// EncodeMCURange encodes MCUs [start, end) of the scan, including any
+// restart marker that belongs *between* MCUs of the range or immediately
+// after its last MCU (the position of MCU `end` is recorded after that
+// marker, so the marker belongs to this range).
+func (e *ScanEncoder) EncodeMCURange(s *Scan, start, end int) error {
+	total := e.f.TotalMCUs()
+	for mcu := start; mcu < end; mcu++ {
+		if mcu > start {
+			if err := e.maybeRestart(mcu); err != nil {
+				return err
+			}
+		}
+		if err := e.encodeMCU(s, mcu); err != nil {
+			return err
+		}
+	}
+	if end < total {
+		if err := e.maybeRestart(end); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *ScanEncoder) maybeRestart(mcu int) error {
+	if e.ri == 0 || mcu%e.ri != 0 || e.rstDone >= e.rstLimit {
+		return nil
+	}
+	e.w.AlignPad(e.padBit)
+	e.w.WriteMarker(mRST0 + byte(e.rstDone%8))
+	e.rstDone++
+	e.prevDC = [MaxComponents]int16{}
+	return nil
+}
+
+// Finish pads the final byte and appends the verbatim scan tail.
+func (e *ScanEncoder) Finish(tail []byte) {
+	if !e.w.Aligned() {
+		e.w.AlignPad(e.padBit)
+	}
+	e.w.AppendRaw(tail)
+}
+
+// Bytes returns the encoded output so far.
+func (e *ScanEncoder) Bytes() []byte { return e.w.Bytes() }
+
+func (e *ScanEncoder) encodeMCU(s *Scan, mcu int) error {
+	f := e.f
+	if len(f.Components) == 1 {
+		c := &f.Components[0]
+		row := mcu / c.BlocksWide
+		col := mcu % c.BlocksWide
+		b := (row*c.BlocksWide + col) * 64
+		return e.encodeBlock(0, s.Coeff[0][b:b+64])
+	}
+	mcuRow := mcu / f.MCUsWide
+	mcuCol := mcu % f.MCUsWide
+	for ci := range f.Components {
+		c := &f.Components[ci]
+		for v := 0; v < c.V; v++ {
+			for h := 0; h < c.H; h++ {
+				br := mcuRow*c.V + v
+				bc := mcuCol*c.H + h
+				b := (br*c.BlocksWide + bc) * 64
+				if err := e.encodeBlock(ci, s.Coeff[ci][b:b+64]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// category returns the JPEG magnitude category (bit length) of v.
+func category(v int32) uint8 {
+	if v < 0 {
+		v = -v
+	}
+	var s uint8
+	for v != 0 {
+		v >>= 1
+		s++
+	}
+	return s
+}
+
+func (e *ScanEncoder) encodeBlock(comp int, blk []int16) error {
+	c := &e.f.Components[comp]
+	dcTab := e.dcEnc[c.TD]
+	acTab := e.acEnc[c.TA]
+
+	diff := int32(blk[0]) - int32(e.prevDC[comp])
+	e.prevDC[comp] = blk[0]
+	sCat := category(diff)
+	if err := dcTab.Encode(e.w, sCat); err != nil {
+		return fmt.Errorf("DC: %w", err)
+	}
+	if sCat > 0 {
+		v := diff
+		if v < 0 {
+			v += int32(1<<sCat) - 1
+		}
+		e.w.WriteBits(uint32(v), sCat)
+	}
+
+	run := 0
+	for k := 1; k < 64; k++ {
+		v := int32(blk[zigzagTable[k]])
+		if v == 0 {
+			run++
+			continue
+		}
+		for run >= 16 {
+			if err := acTab.Encode(e.w, 0xF0); err != nil { // ZRL
+				return fmt.Errorf("ZRL: %w", err)
+			}
+			run -= 16
+		}
+		size := category(v)
+		if size > 10 {
+			return reject(ReasonACRange, "AC magnitude %d", v)
+		}
+		if err := acTab.Encode(e.w, byte(run<<4)|size); err != nil {
+			return fmt.Errorf("AC: %w", err)
+		}
+		if v < 0 {
+			v += int32(1<<size) - 1
+		}
+		e.w.WriteBits(uint32(v), size)
+		run = 0
+	}
+	if run > 0 {
+		if err := acTab.Encode(e.w, 0x00); err != nil { // EOB
+			return fmt.Errorf("EOB: %w", err)
+		}
+	}
+	return nil
+}
+
+// EncodeScan re-creates the full entropy-coded segment of s and returns it.
+// The result must be byte-identical to s.File.ScanData for a well-formed
+// input; Lepton's admission control depends on verifying exactly that.
+func EncodeScan(s *Scan) ([]byte, error) {
+	e, err := NewScanEncoder(s.File, s.PadBit, s.RSTCount)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.EncodeMCURange(s, 0, s.File.TotalMCUs()); err != nil {
+		return nil, err
+	}
+	e.Finish(s.Tail)
+	return e.Bytes(), nil
+}

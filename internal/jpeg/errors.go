@@ -1,0 +1,106 @@
+// Package jpeg implements the baseline JPEG substrate Lepton depends on:
+// marker parsing, Huffman entropy decoding of the scan into quantized DCT
+// coefficients, and bit-exact re-encoding of those coefficients back into
+// the original entropy-coded bytes (paper §3.1, §3.4).
+//
+// The package deliberately supports exactly what the deployed Lepton
+// supports — three-color or grayscale baseline JPEG with a single
+// interleaved scan — and rejects everything else with a typed reason, so
+// that the §6.2 error-code distribution can be reproduced.
+package jpeg
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Reason classifies why a file was rejected, mirroring the exit codes the
+// paper reports in §6.2.
+type Reason int
+
+const (
+	ReasonNone Reason = iota
+	// ReasonProgressive: SOF2 progressive JPEG (3.043% in the paper).
+	ReasonProgressive
+	// ReasonUnsupported: structurally valid JPEG that Lepton chooses not to
+	// handle — multi-scan, hierarchical, arithmetic-coded input, 12-bit
+	// precision, header-only files (1.535%).
+	ReasonUnsupported
+	// ReasonNotImage: no JPEG structure at all (0.801%).
+	ReasonNotImage
+	// ReasonCMYK: four-color images (0.478%).
+	ReasonCMYK
+	// ReasonMemDecode: image would exceed the 24 MiB decode budget.
+	ReasonMemDecode
+	// ReasonMemEncode: image would exceed the 178 MiB encode budget.
+	ReasonMemEncode
+	// ReasonChromaSub: chroma subsampling larger than the framebuffer slice.
+	ReasonChromaSub
+	// ReasonACRange: coefficient magnitude outside baseline bounds.
+	ReasonACRange
+	// ReasonRoundtrip: decode succeeded but re-encode does not reproduce
+	// the original bytes (typically mid-file corruption, §A.3).
+	ReasonRoundtrip
+	// ReasonTruncated: entropy stream ended prematurely.
+	ReasonTruncated
+)
+
+// String returns the label used in the paper's §6.2 table.
+func (r Reason) String() string {
+	switch r {
+	case ReasonNone:
+		return "Success"
+	case ReasonProgressive:
+		return "Progressive"
+	case ReasonUnsupported:
+		return "Unsupported JPEG"
+	case ReasonNotImage:
+		return "Not an image"
+	case ReasonCMYK:
+		return "4 color CMYK"
+	case ReasonMemDecode:
+		return ">24 MiB mem decode"
+	case ReasonMemEncode:
+		return ">178 MiB mem encode"
+	case ReasonChromaSub:
+		return "Chroma subsample big"
+	case ReasonACRange:
+		return "AC values out of range"
+	case ReasonRoundtrip:
+		return "Roundtrip failed"
+	case ReasonTruncated:
+		return "Truncated"
+	default:
+		return fmt.Sprintf("Reason(%d)", int(r))
+	}
+}
+
+// Error is a typed rejection carrying the §6.2 classification.
+type Error struct {
+	Reason Reason
+	Detail string
+}
+
+func (e *Error) Error() string {
+	if e.Detail == "" {
+		return "jpeg: " + e.Reason.String()
+	}
+	return "jpeg: " + e.Reason.String() + ": " + e.Detail
+}
+
+func reject(r Reason, format string, args ...any) error {
+	return &Error{Reason: r, Detail: fmt.Sprintf(format, args...)}
+}
+
+// ReasonOf extracts the rejection reason from an error chain, or
+// ReasonUnsupported if the error is not a typed rejection.
+func ReasonOf(err error) Reason {
+	if err == nil {
+		return ReasonNone
+	}
+	var je *Error
+	if errors.As(err, &je) {
+		return je.Reason
+	}
+	return ReasonUnsupported
+}

@@ -1,0 +1,611 @@
+package jpeg
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"lepton/internal/bitio"
+	"lepton/internal/huffman"
+)
+
+// Progressive JPEG support (SOF2), restricted to spectral selection
+// (Ah = Al = 0). The deployed Lepton intentionally rejected progressive
+// files "for simplicity" even though the binary could handle them (§6.2);
+// this implements that optional capability for the spectral-selection
+// subset: a DC scan followed by per-component AC band scans, each
+// re-encodable bit-exactly (including EOB-run coding).
+//
+// Successive-approximation scans (Ah or Al nonzero) remain rejected: their
+// refinement coding has encoder freedom this round-trip cannot pin down
+// without the original encoder's implementation.
+
+// ProgScan is one scan of a progressive file.
+type ProgScan struct {
+	// HeaderBytes are the verbatim marker segments preceding this scan's
+	// entropy data (DHT/DRI/SOS...), excluded for the first scan whose
+	// headers live in ProgFile.Header.
+	HeaderBytes []byte
+	// Comps indexes Frame components participating in this scan.
+	Comps []int
+	// Sel holds each scan component's Huffman table selectors (Td<<4|Ta),
+	// parallel to Comps; applied before decoding or re-encoding the scan.
+	Sel []byte
+	// Spectral band.
+	Ss, Se int
+	// Entropy-coded bytes of this scan.
+	Data []byte
+	// PadBit / PadSeen / RSTCount / Tail mirror the baseline Scan fields,
+	// per scan.
+	PadBit   uint8
+	PadSeen  bool
+	RSTCount int
+	Tail     []byte
+}
+
+// ProgFile is a parsed spectral-selection progressive JPEG.
+type ProgFile struct {
+	Frame *File
+	// Header holds SOI through the first SOS header, verbatim.
+	Header  []byte
+	Scans   []ProgScan
+	Trailer []byte
+}
+
+// unpaddedBlocks returns the block geometry of a component for
+// non-interleaved scans (no padding to sampling-factor multiples).
+func unpaddedBlocks(f *File, ci int) (w, h int) {
+	c := &f.Components[ci]
+	compW := (f.Width*c.H + f.HMax - 1) / f.HMax
+	compH := (f.Height*c.V + f.VMax - 1) / f.VMax
+	return (compW + 7) / 8, (compH + 7) / 8
+}
+
+// ParseProgressive parses a progressive JPEG. Unlike Parse it walks every
+// scan; unsupported features are rejected with classified reasons.
+func ParseProgressive(data []byte, memLimit int64) (*ProgFile, error) {
+	if len(data) < 4 || data[0] != 0xFF || data[1] != mSOI {
+		return nil, reject(ReasonNotImage, "missing SOI marker")
+	}
+	p := &ProgFile{Frame: &File{}}
+	f := p.Frame
+	sawSOF := false
+	pos := 2
+	segStart := 2 // start of the current inter-scan header region
+	for {
+		if pos >= len(data) {
+			return nil, reject(ReasonTruncated, "EOF in progressive structure")
+		}
+		if data[pos] != 0xFF {
+			return nil, reject(ReasonUnsupported, "garbage byte %#02x at %d", data[pos], pos)
+		}
+		for pos < len(data) && data[pos] == 0xFF {
+			pos++
+		}
+		if pos >= len(data) {
+			return nil, reject(ReasonTruncated, "EOF in marker")
+		}
+		marker := data[pos]
+		pos++
+		switch {
+		case marker == mSOS:
+			if !sawSOF {
+				return nil, reject(ReasonUnsupported, "SOS before SOF")
+			}
+			scan, segEnd, err := p.parseProgSOS(data, pos)
+			if err != nil {
+				return nil, err
+			}
+			if len(p.Scans) == 0 {
+				p.Header = data[:segEnd]
+			} else {
+				scan.HeaderBytes = data[segStart:segEnd]
+			}
+			scanEnd, err := findScanEnd(data, segEnd)
+			if err != nil {
+				return nil, err
+			}
+			scan.Data = data[segEnd:scanEnd]
+			p.Scans = append(p.Scans, scan)
+			pos = scanEnd
+			segStart = scanEnd
+		case marker == mEOI:
+			if len(p.Scans) == 0 {
+				return nil, reject(ReasonUnsupported, "EOI before any scan")
+			}
+			p.Trailer = data[segStart:]
+			return p, nil
+		case marker == mSOF2:
+			n, err := f.parseSOF(data, pos, memLimit, false)
+			if err != nil {
+				return nil, err
+			}
+			sawSOF = true
+			pos += n
+		case marker == mSOF0 || marker == mSOF1:
+			return nil, reject(ReasonUnsupported, "baseline SOF in progressive parser")
+		case marker == mDQT:
+			n, err := f.parseDQT(data, pos)
+			if err != nil {
+				return nil, err
+			}
+			pos += n
+		case marker == mDHT:
+			n, err := f.parseDHT(data, pos)
+			if err != nil {
+				return nil, err
+			}
+			pos += n
+		case marker == mDRI:
+			if pos+4 > len(data) || u16(data[pos:]) != 4 {
+				return nil, reject(ReasonUnsupported, "bad DRI length")
+			}
+			f.RestartInterval = u16(data[pos+2:])
+			pos += 4
+		case marker == mDAC || marker == mSOF9 || marker == mSOFA:
+			return nil, reject(ReasonUnsupported, "arithmetic-coded progressive")
+		case marker == mSOI, marker == mDNL:
+			return nil, reject(ReasonUnsupported, "marker %#02x", marker)
+		case marker >= mRST0 && marker <= mRST7:
+			return nil, reject(ReasonUnsupported, "restart marker outside scan")
+		case marker == 0x01 || marker == 0x00:
+			// TEM / stuffed zero: no payload.
+		default:
+			if pos+2 > len(data) {
+				return nil, reject(ReasonTruncated, "EOF in segment length")
+			}
+			l := u16(data[pos:])
+			if l < 2 || pos+l > len(data) {
+				return nil, reject(ReasonTruncated, "segment overruns file")
+			}
+			pos += l
+		}
+	}
+}
+
+// parseProgSOS validates a progressive scan header; returns the scan
+// skeleton and the offset where entropy data begins.
+func (p *ProgFile) parseProgSOS(data []byte, pos int) (ProgScan, int, error) {
+	f := p.Frame
+	var scan ProgScan
+	if pos+2 > len(data) {
+		return scan, 0, reject(ReasonTruncated, "EOF in SOS")
+	}
+	l := u16(data[pos:])
+	if pos+l > len(data) || l < 3 {
+		return scan, 0, reject(ReasonTruncated, "SOS overruns file")
+	}
+	seg := data[pos+2 : pos+l]
+	ns := int(seg[0])
+	if ns < 1 || ns > len(f.Components) || len(seg) < 1+2*ns+3 {
+		return scan, 0, reject(ReasonUnsupported, "scan with %d components", ns)
+	}
+	for i := 0; i < ns; i++ {
+		cs := seg[1+2*i]
+		sel := seg[2+2*i]
+		if sel>>4 > 3 || sel&15 > 3 {
+			return scan, 0, reject(ReasonUnsupported, "table selector out of range")
+		}
+		found := false
+		for j := range f.Components {
+			if f.Components[j].ID == cs {
+				scan.Comps = append(scan.Comps, j)
+				scan.Sel = append(scan.Sel, sel)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return scan, 0, reject(ReasonUnsupported, "scan component %d not in frame", cs)
+		}
+	}
+	scan.Ss = int(seg[1+2*ns])
+	scan.Se = int(seg[2+2*ns])
+	ah := seg[3+2*ns] >> 4
+	al := seg[3+2*ns] & 15
+	if ah != 0 || al != 0 {
+		return scan, 0, reject(ReasonProgressive,
+			"successive approximation (Ah=%d Al=%d) unsupported", ah, al)
+	}
+	if scan.Ss > scan.Se || scan.Se > 63 {
+		return scan, 0, reject(ReasonUnsupported, "spectral band %d..%d", scan.Ss, scan.Se)
+	}
+	if scan.Ss == 0 && scan.Se != 0 {
+		return scan, 0, reject(ReasonUnsupported, "mixed DC/AC scan")
+	}
+	if scan.Ss > 0 && len(scan.Comps) != 1 {
+		return scan, 0, reject(ReasonUnsupported, "interleaved AC scan")
+	}
+	return scan, pos + l, nil
+}
+
+// ParseProgressiveHeader parses a progressive file's leading header bytes
+// (SOI through the first SOS, as stored in a Lepton container) and returns
+// the frame structure. Scan parameters come from the container's per-scan
+// records, not from this header.
+func ParseProgressiveHeader(hdr []byte) (*File, error) {
+	// Append a minimal empty body so the scan-walking parser terminates:
+	// the first scan gets empty Data and the loop ends at EOI.
+	data := append(append([]byte(nil), hdr...), 0xFF, mEOI)
+	p, err := ParseProgressive(data, 0)
+	if err != nil {
+		return nil, err
+	}
+	return p.Frame, nil
+}
+
+// DecodeProgressive entropy-decodes every scan into full coefficient
+// planes (padded geometry, matching baseline layout).
+func DecodeProgressive(p *ProgFile) ([][]int16, error) {
+	f := p.Frame
+	coeff := make([][]int16, len(f.Components))
+	for i := range f.Components {
+		c := &f.Components[i]
+		coeff[i] = make([]int16, c.BlocksWide*c.BlocksHigh*64)
+	}
+	seenDC := false
+	covered := make([][64]bool, len(f.Components))
+	for si := range p.Scans {
+		scan := &p.Scans[si]
+		// Scan headers may redefine Huffman tables; re-parse them.
+		if len(scan.HeaderBytes) > 0 {
+			if err := reparseTables(f, scan.HeaderBytes); err != nil {
+				return nil, err
+			}
+		}
+		scan.applySelectors(f)
+		if scan.Ss == 0 {
+			if err := decodeProgDC(f, scan, coeff); err != nil {
+				return nil, err
+			}
+			seenDC = true
+			for _, ci := range scan.Comps {
+				covered[ci][0] = true
+			}
+		} else {
+			if !seenDC {
+				return nil, reject(ReasonUnsupported, "AC scan before DC scan")
+			}
+			ci := scan.Comps[0]
+			for k := scan.Ss; k <= scan.Se; k++ {
+				if covered[ci][k] {
+					return nil, reject(ReasonUnsupported, "band %d..%d re-covers coefficients", scan.Ss, scan.Se)
+				}
+				covered[ci][k] = true
+			}
+			if err := decodeProgAC(f, scan, coeff[ci], ci); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return coeff, nil
+}
+
+// reparseTables processes DHT/DRI segments in a verbatim header region
+// (inter-scan headers, or the leading file header when restoring initial
+// table state).
+func reparseTables(f *File, hdr []byte) error {
+	pos := 0
+	for pos+1 < len(hdr) {
+		if hdr[pos] != 0xFF {
+			return reject(ReasonUnsupported, "garbage between scans")
+		}
+		for pos < len(hdr) && hdr[pos] == 0xFF {
+			pos++
+		}
+		if pos >= len(hdr) {
+			break
+		}
+		marker := hdr[pos]
+		pos++
+		switch {
+		case marker == mDHT:
+			n, err := f.parseDHT(hdr, pos)
+			if err != nil {
+				return err
+			}
+			pos += n
+		case marker == mDRI:
+			if pos+4 > len(hdr) {
+				return reject(ReasonTruncated, "short DRI")
+			}
+			f.RestartInterval = u16(hdr[pos+2:])
+			pos += 4
+		case marker == mSOI || marker == mEOI || marker == 0x01 || marker == 0x00 ||
+			(marker >= mRST0 && marker <= mRST7):
+			// No-payload markers.
+		default:
+			// Everything else (SOS, SOF, DQT, APPn, COM...) was parsed when
+			// the file was first walked; skip by segment length.
+			if pos+2 > len(hdr) {
+				return reject(ReasonTruncated, "short segment")
+			}
+			l := u16(hdr[pos:])
+			if l < 2 || pos+l > len(hdr) {
+				return reject(ReasonTruncated, "segment overruns header region")
+			}
+			pos += l
+		}
+	}
+	return nil
+}
+
+// progRestart consumes an expected restart marker; unlike the baseline
+// decoder this is strict (our progressive writer always emits them).
+func progRestart(r *bitio.Reader, expect int, pads *[]uint8) error {
+	bits, err := r.AlignSkipPad()
+	if err != nil && !errors.Is(err, bitio.ErrMarker) {
+		return wrapEntropyErr(err)
+	}
+	*pads = append(*pads, bits...)
+	if _, err := r.ReadBit(); !errors.Is(err, bitio.ErrMarker) {
+		return reject(ReasonRoundtrip, "missing restart marker in progressive scan")
+	}
+	code, err := r.SkipMarker()
+	if err != nil {
+		return wrapEntropyErr(err)
+	}
+	if code != mRST0+byte(expect%8) {
+		return reject(ReasonRoundtrip, "wrong restart marker %#02x", code)
+	}
+	return nil
+}
+
+func notePads(scan *ProgScan, bits []uint8) error {
+	for _, b := range bits {
+		if !scan.PadSeen {
+			scan.PadBit = b
+			scan.PadSeen = true
+		} else if b != scan.PadBit {
+			return reject(ReasonRoundtrip, "inconsistent pad bits in progressive scan")
+		}
+	}
+	return nil
+}
+
+// decodeProgDC decodes a DC scan (interleaved over the scan's components).
+func decodeProgDC(f *File, scan *ProgScan, coeff [][]int16) error {
+	r := bitio.NewReader(scan.Data)
+	dcDec, err := buildDCDecoders(f, scan)
+	if err != nil {
+		return err
+	}
+	var prevDC [MaxComponents]int16
+	ri := f.RestartInterval
+	total, iter := progMCUIter(f, scan)
+	rstSeen := 0
+	var pads []uint8
+	for m := 0; m < total; m++ {
+		if ri > 0 && m > 0 && m%ri == 0 {
+			if err := progRestart(r, rstSeen, &pads); err != nil {
+				return err
+			}
+			if err := notePads(scan, pads); err != nil {
+				return err
+			}
+			pads = nil
+			rstSeen++
+			prevDC = [MaxComponents]int16{}
+		}
+		blocks := iter(m)
+		for _, bl := range blocks {
+			s, err := dcDec[bl.comp].Decode(r)
+			if err != nil {
+				return wrapEntropyErr(err)
+			}
+			if s > 11 {
+				return reject(ReasonACRange, "DC category %d", s)
+			}
+			raw, err := r.ReadBits(s)
+			if err != nil {
+				return wrapEntropyErr(err)
+			}
+			dc := int32(prevDC[bl.comp]) + extend(raw, s)
+			if dc < -2048 || dc > 2047 {
+				return reject(ReasonACRange, "DC %d", dc)
+			}
+			prevDC[bl.comp] = int16(dc)
+			coeff[bl.comp][bl.off] = int16(dc)
+		}
+	}
+	scan.RSTCount = rstSeen
+	tailBits, err := r.AlignSkipPad()
+	if err != nil && !errors.Is(err, bitio.ErrTruncated) && !errors.Is(err, bitio.ErrMarker) {
+		return wrapEntropyErr(err)
+	}
+	if err := notePads(scan, tailBits); err != nil {
+		return err
+	}
+	scan.Tail = append([]byte(nil), r.Remaining()...)
+	return nil
+}
+
+type progBlock struct {
+	comp int
+	off  int // coefficient base offset (block index * 64)
+}
+
+// progMCUIter returns the MCU count and a function yielding the blocks of
+// MCU m for a progressive scan (interleaved if >1 component,
+// unpadded-raster otherwise).
+func progMCUIter(f *File, scan *ProgScan) (int, func(int) []progBlock) {
+	if len(scan.Comps) == 1 {
+		ci := scan.Comps[0]
+		w, h := unpaddedBlocks(f, ci)
+		bw := f.Components[ci].BlocksWide
+		return w * h, func(m int) []progBlock {
+			row := m / w
+			col := m % w
+			return []progBlock{{comp: ci, off: (row*bw + col) * 64}}
+		}
+	}
+	return f.TotalMCUs(), func(m int) []progBlock {
+		mcuRow := m / f.MCUsWide
+		mcuCol := m % f.MCUsWide
+		var out []progBlock
+		for _, ci := range scan.Comps {
+			c := &f.Components[ci]
+			for v := 0; v < c.V; v++ {
+				for hh := 0; hh < c.H; hh++ {
+					br := mcuRow*c.V + v
+					bc := mcuCol*c.H + hh
+					out = append(out, progBlock{comp: ci, off: (br*c.BlocksWide + bc) * 64})
+				}
+			}
+		}
+		return out
+	}
+}
+
+func buildDCDecoders(f *File, scan *ProgScan) (map[int]*huffman.Decoder, error) {
+	out := map[int]*huffman.Decoder{}
+	for _, ci := range scan.Comps {
+		td := f.Components[ci].TD
+		if f.DC[td] == nil {
+			return nil, reject(ReasonUnsupported, "missing DC table %d", td)
+		}
+		d, err := huffman.NewDecoder(f.DC[td])
+		if err != nil {
+			return nil, reject(ReasonUnsupported, "DC table: %v", err)
+		}
+		out[ci] = d
+	}
+	return out, nil
+}
+
+// decodeProgAC decodes one AC band scan of a single component.
+func decodeProgAC(f *File, scan *ProgScan, plane []int16, ci int) error {
+	ta := f.Components[ci].TA
+	if f.AC[ta] == nil {
+		return reject(ReasonUnsupported, "missing AC table %d", ta)
+	}
+	dec, err := huffman.NewDecoder(f.AC[ta])
+	if err != nil {
+		return reject(ReasonUnsupported, "AC table: %v", err)
+	}
+	r := bitio.NewReader(scan.Data)
+	w, h := unpaddedBlocks(f, ci)
+	bw := f.Components[ci].BlocksWide
+	ri := f.RestartInterval
+	eobrun := 0
+	rstSeen := 0
+	var pads []uint8
+	for m := 0; m < w*h; m++ {
+		if ri > 0 && m > 0 && m%ri == 0 {
+			if eobrun > 0 {
+				return reject(ReasonRoundtrip, "EOB run crosses restart interval")
+			}
+			if err := progRestart(r, rstSeen, &pads); err != nil {
+				return err
+			}
+			if err := notePads(scan, pads); err != nil {
+				return err
+			}
+			pads = nil
+			rstSeen++
+		}
+		if eobrun > 0 {
+			eobrun--
+			continue
+		}
+		row := m / w
+		col := m % w
+		base := (row*bw + col) * 64
+		k := scan.Ss
+		for k <= scan.Se {
+			rs, err := dec.Decode(r)
+			if err != nil {
+				return wrapEntropyErr(err)
+			}
+			run, size := int(rs>>4), rs&15
+			if size == 0 {
+				if run == 15 { // ZRL
+					k += 16
+					continue
+				}
+				extra, err := r.ReadBits(uint8(run))
+				if err != nil {
+					return wrapEntropyErr(err)
+				}
+				eobrun = (1 << run) - 1 + int(extra)
+				break
+			}
+			if size > 10 {
+				return reject(ReasonACRange, "AC category %d", size)
+			}
+			k += run
+			if k > scan.Se {
+				return reject(ReasonACRange, "AC run past band end")
+			}
+			raw, err := r.ReadBits(size)
+			if err != nil {
+				return wrapEntropyErr(err)
+			}
+			plane[base+int(zigzagTable[k])] = int16(extend(raw, size))
+			k++
+		}
+	}
+	if eobrun > 0 {
+		return reject(ReasonRoundtrip, "EOB run extends past final block")
+	}
+	scan.RSTCount = rstSeen
+	tailBits, err := r.AlignSkipPad()
+	if err != nil && !errors.Is(err, bitio.ErrTruncated) && !errors.Is(err, bitio.ErrMarker) {
+		return wrapEntropyErr(err)
+	}
+	if err := notePads(scan, tailBits); err != nil {
+		return err
+	}
+	scan.Tail = append([]byte(nil), r.Remaining()...)
+	return nil
+}
+
+// applySelectors installs this scan's Huffman table selectors on the frame
+// components, as the scan's SOS header did at decode time.
+func (s *ProgScan) applySelectors(f *File) {
+	for i, ci := range s.Comps {
+		if i < len(s.Sel) {
+			f.Components[ci].TD = s.Sel[i] >> 4
+			f.Components[ci].TA = s.Sel[i] & 15
+		}
+	}
+}
+
+// Reassemble regenerates the complete progressive file from coefficient
+// planes: verbatim headers spliced with re-encoded scan data. The result
+// must be byte-identical to the original for files this package accepts.
+// p must be the ProgFile the coefficients were decoded from (the decoder
+// records per-scan pad bits, restart counts, and tails on it).
+func (p *ProgFile) Reassemble(coeff [][]int16) ([]byte, error) {
+	f := p.Frame
+	// Restore the initial Huffman/DRI state: decoding may have left the
+	// frame holding tables redefined by later scans.
+	if err := reparseTables(f, p.Header); err != nil {
+		return nil, err
+	}
+	var out bytes.Buffer
+	out.Write(p.Header)
+	for si := range p.Scans {
+		scan := &p.Scans[si]
+		if si > 0 {
+			out.Write(scan.HeaderBytes)
+			if err := reparseTables(f, scan.HeaderBytes); err != nil {
+				return nil, err
+			}
+		}
+		scan.applySelectors(f)
+		var data []byte
+		var err error
+		if scan.Ss == 0 {
+			data, err = encodeProgDC(f, scan, coeff)
+		} else {
+			data, err = encodeProgAC(f, scan, coeff[scan.Comps[0]], scan.Comps[0])
+		}
+		if err != nil {
+			return nil, fmt.Errorf("scan %d: %w", si, err)
+		}
+		out.Write(data)
+	}
+	out.Write(p.Trailer)
+	return out.Bytes(), nil
+}

@@ -1,0 +1,299 @@
+package jpeg
+
+import (
+	"errors"
+
+	"lepton/internal/bitio"
+	"lepton/internal/huffman"
+)
+
+// MCUPos records the entropy-decoder state at the start of one MCU: the
+// position of its first bit in the raw scan bytes, the bits of that byte
+// already owned by the previous MCU, the DC predictors, and how many restart
+// markers precede it. This is exactly the state a "Huffman handover word"
+// carries so an independent thread or chunk can resume encoding mid-stream
+// (paper §3.4).
+type MCUPos struct {
+	ByteOff int64
+	BitOff  uint8
+	Partial uint8
+	RSTSeen int32
+	PrevDC  [MaxComponents]int16
+}
+
+// Scan holds the fully decoded entropy-coded segment of a baseline JPEG.
+type Scan struct {
+	File *File
+	// Coeff holds quantized DCT coefficients per component, raster block
+	// order, 64 int16 per block in raster (not zigzag) order within the
+	// block.
+	Coeff [][]int16
+	// Positions has one entry per MCU.
+	Positions []MCUPos
+	// PadBit is the bit value the original encoder used to pad partial
+	// bytes before restart markers and at the end of the scan.
+	PadBit uint8
+	// PadSeen reports whether any pad bits were observed; if not, PadBit
+	// defaults to 1 (the common choice).
+	PadSeen bool
+	// RSTCount is the number of restart markers present in the scan. It can
+	// be lower than the restart interval implies for corrupt files whose
+	// tails were zero-filled (paper §A.3).
+	RSTCount int
+	// Tail holds unconsumed bytes between the end of the last MCU's data
+	// (after padding) and the marker that terminates the scan — arbitrary
+	// garbage that must be reproduced verbatim.
+	Tail []byte
+}
+
+func extend(v uint32, s uint8) int32 {
+	if s == 0 {
+		return 0
+	}
+	if v < 1<<(s-1) {
+		return int32(v) - int32(1<<s) + 1
+	}
+	return int32(v)
+}
+
+type scanDecoder struct {
+	f     *File
+	r     *bitio.Reader
+	dcDec [4]*huffman.Decoder
+	acDec [4]*huffman.Decoder
+
+	prevDC  [MaxComponents]int16
+	padBit  uint8
+	padSeen bool
+}
+
+func newScanDecoder(f *File) (*scanDecoder, error) {
+	d := &scanDecoder{f: f, r: bitio.NewReader(f.ScanData)}
+	for i := 0; i < 4; i++ {
+		if f.DC[i] != nil {
+			dec, err := huffman.NewDecoder(f.DC[i])
+			if err != nil {
+				return nil, reject(ReasonUnsupported, "DC table %d: %v", i, err)
+			}
+			d.dcDec[i] = dec
+		}
+		if f.AC[i] != nil {
+			dec, err := huffman.NewDecoder(f.AC[i])
+			if err != nil {
+				return nil, reject(ReasonUnsupported, "AC table %d: %v", i, err)
+			}
+			d.acDec[i] = dec
+		}
+	}
+	return d, nil
+}
+
+// decodeBlock entropy-decodes one 8x8 block into out (raster order within
+// the block).
+func (d *scanDecoder) decodeBlock(comp int, out []int16) error {
+	c := &d.f.Components[comp]
+	dcTab := d.dcDec[c.TD]
+	acTab := d.acDec[c.TA]
+
+	s, err := dcTab.Decode(d.r)
+	if err != nil {
+		return wrapEntropyErr(err)
+	}
+	if s > 11 {
+		return reject(ReasonACRange, "DC category %d", s)
+	}
+	raw, err := d.r.ReadBits(s)
+	if err != nil {
+		return wrapEntropyErr(err)
+	}
+	diff := extend(raw, s)
+	dc := int32(d.prevDC[comp]) + diff
+	if dc < -2048 || dc > 2047 {
+		return reject(ReasonACRange, "DC value %d", dc)
+	}
+	d.prevDC[comp] = int16(dc)
+	out[0] = int16(dc)
+
+	k := 1
+	for k < 64 {
+		rs, err := acTab.Decode(d.r)
+		if err != nil {
+			return wrapEntropyErr(err)
+		}
+		run, size := rs>>4, rs&15
+		if size == 0 {
+			if run == 15 { // ZRL: sixteen zeros
+				k += 16
+				continue
+			}
+			break // EOB
+		}
+		if size > 10 {
+			return reject(ReasonACRange, "AC category %d", size)
+		}
+		k += int(run)
+		if k > 63 {
+			return reject(ReasonACRange, "AC run overflows block")
+		}
+		raw, err := d.r.ReadBits(size)
+		if err != nil {
+			return wrapEntropyErr(err)
+		}
+		out[zigzagTable[k]] = int16(extend(raw, size))
+		k++
+	}
+	return nil
+}
+
+func wrapEntropyErr(err error) error {
+	switch {
+	case errors.Is(err, bitio.ErrTruncated):
+		return reject(ReasonTruncated, "entropy stream truncated")
+	case errors.Is(err, bitio.ErrMarker):
+		return reject(ReasonRoundtrip, "unexpected marker in entropy stream")
+	default:
+		return reject(ReasonRoundtrip, "entropy decode: %v", err)
+	}
+}
+
+// notePad folds observed pad bits into the scan-wide pad-bit state.
+func (d *scanDecoder) notePad(bits []uint8) error {
+	for _, b := range bits {
+		if !d.padSeen {
+			d.padBit = b
+			d.padSeen = true
+		} else if b != d.padBit {
+			return reject(ReasonRoundtrip, "inconsistent pad bits")
+		}
+	}
+	return nil
+}
+
+// tryRestart attempts to consume a restart marker at a restart boundary.
+// Returns (true, nil) if the marker was present and consumed, (false, nil)
+// if absent (zero-filled tail case: decoding continues without a DC reset).
+func (d *scanDecoder) tryRestart(expect byte) (bool, error) {
+	save := *d.r
+	pads, err := d.r.AlignSkipPad()
+	if err != nil {
+		*d.r = save
+		return false, nil
+	}
+	if _, err := d.r.ReadBit(); !errors.Is(err, bitio.ErrMarker) {
+		*d.r = save
+		return false, nil
+	}
+	if at, m := d.r.AtMarker(); !at || m != mRST0+expect {
+		*d.r = save
+		return false, nil
+	}
+	if _, err := d.r.SkipMarker(); err != nil {
+		*d.r = save
+		return false, nil
+	}
+	if err := d.notePad(pads); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// DecodeScan entropy-decodes the scan of a parsed file into coefficients,
+// recording per-MCU handover state.
+func DecodeScan(f *File) (*Scan, error) {
+	d, err := newScanDecoder(f)
+	if err != nil {
+		return nil, err
+	}
+	s := &Scan{File: f}
+	for _, c := range f.Components {
+		s.Coeff = append(s.Coeff, make([]int16, c.BlocksWide*c.BlocksHigh*64))
+	}
+	total := f.TotalMCUs()
+	s.Positions = make([]MCUPos, total)
+	ri := f.RestartInterval
+	rstSeen := 0
+	rstMissing := false
+	for mcu := 0; mcu < total; mcu++ {
+		if ri > 0 && mcu > 0 && mcu%ri == 0 && !rstMissing {
+			ok, err := d.tryRestart(byte(rstSeen % 8))
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				rstSeen++
+				d.prevDC = [MaxComponents]int16{}
+			} else {
+				// Cease expecting restart markers: the original file's tail
+				// was likely zero-filled past the last marker (§A.3).
+				rstMissing = true
+			}
+		}
+		byteOff, bitOff := d.r.Pos()
+		s.Positions[mcu] = MCUPos{
+			ByteOff: int64(byteOff),
+			BitOff:  bitOff,
+			Partial: d.r.PartialByte(),
+			RSTSeen: int32(rstSeen),
+			PrevDC:  d.prevDC,
+		}
+		if err := d.decodeMCU(s, mcu); err != nil {
+			return nil, err
+		}
+	}
+	// Final byte alignment: remaining bits of the last byte are padding.
+	pads, err := d.r.AlignSkipPad()
+	if err != nil {
+		if errors.Is(err, bitio.ErrTruncated) {
+			// The last byte of the scan was also the last byte of data; no
+			// padding present.
+			pads = nil
+		} else if !errors.Is(err, bitio.ErrMarker) {
+			return nil, wrapEntropyErr(err)
+		}
+	}
+	if err := d.notePad(pads); err != nil {
+		return nil, err
+	}
+	s.PadBit = 1
+	if d.padSeen {
+		s.PadBit = d.padBit
+	}
+	s.PadSeen = d.padSeen
+	s.RSTCount = rstSeen
+	s.Tail = append([]byte(nil), d.r.Remaining()...)
+	return s, nil
+}
+
+func (d *scanDecoder) decodeMCU(s *Scan, mcu int) error {
+	f := d.f
+	if len(f.Components) == 1 {
+		c := &f.Components[0]
+		row := mcu / c.BlocksWide
+		col := mcu % c.BlocksWide
+		b := (row*c.BlocksWide + col) * 64
+		return d.decodeBlock(0, s.Coeff[0][b:b+64])
+	}
+	mcuRow := mcu / f.MCUsWide
+	mcuCol := mcu % f.MCUsWide
+	for ci := range f.Components {
+		c := &f.Components[ci]
+		for v := 0; v < c.V; v++ {
+			for h := 0; h < c.H; h++ {
+				br := mcuRow*c.V + v
+				bc := mcuCol*c.H + h
+				b := (br*c.BlocksWide + bc) * 64
+				if err := d.decodeBlock(ci, s.Coeff[ci][b:b+64]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// BlockAt returns the coefficient slice for block (row, col) of component c.
+func (s *Scan) BlockAt(c, row, col int) []int16 {
+	bw := s.File.Components[c].BlocksWide
+	b := (row*bw + col) * 64
+	return s.Coeff[c][b : b+64]
+}

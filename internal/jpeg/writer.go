@@ -1,0 +1,179 @@
+package jpeg
+
+import (
+	"fmt"
+
+	"lepton/internal/huffman"
+)
+
+// EncodeSpec describes a baseline JPEG to synthesize. The corpus generator
+// uses it to produce realistic files for the evaluation (paper §4).
+type EncodeSpec struct {
+	Width, Height int
+	// Components defines ID/sampling/table selectors; 1 or 3 entries.
+	Components []Component
+	// Quant tables in raster order, indexed by TQ.
+	Quant [4][64]uint16
+	// DC and AC Huffman table specs, indexed by TD/TA.
+	DC [4]*huffman.Spec
+	AC [4]*huffman.Spec
+	// RestartInterval in MCUs; 0 disables restart markers.
+	RestartInterval int
+	// PadBit used for byte alignment (0 or 1).
+	PadBit uint8
+	// Extra raw marker segments (APPn/COM, full segments including the
+	// 0xFF marker bytes) inserted after SOI.
+	Extra []byte
+}
+
+// fileFromSpec assembles a File with derived geometry from an EncodeSpec.
+func fileFromSpec(spec *EncodeSpec) (*File, error) {
+	if len(spec.Components) != 1 && len(spec.Components) != 3 && len(spec.Components) != 4 {
+		return nil, fmt.Errorf("jpeg: %d components unsupported", len(spec.Components))
+	}
+	if spec.Width <= 0 || spec.Height <= 0 || spec.Width > 65535 || spec.Height > 65535 {
+		return nil, fmt.Errorf("jpeg: bad dimensions %dx%d", spec.Width, spec.Height)
+	}
+	f := &File{
+		Width:           spec.Width,
+		Height:          spec.Height,
+		Components:      append([]Component(nil), spec.Components...),
+		RestartInterval: spec.RestartInterval,
+		Quant:           spec.Quant,
+		DC:              spec.DC,
+		AC:              spec.AC,
+	}
+	f.HMax, f.VMax = 1, 1
+	for _, c := range f.Components {
+		if c.H > f.HMax {
+			f.HMax = c.H
+		}
+		if c.V > f.VMax {
+			f.VMax = c.V
+		}
+	}
+	f.MCUsWide = (f.Width + 8*f.HMax - 1) / (8 * f.HMax)
+	f.MCUsHigh = (f.Height + 8*f.VMax - 1) / (8 * f.VMax)
+	for i := range f.Components {
+		c := &f.Components[i]
+		if len(f.Components) == 1 {
+			c.BlocksWide = (f.Width + 7) / 8
+			c.BlocksHigh = (f.Height + 7) / 8
+			f.MCUsWide = c.BlocksWide
+			f.MCUsHigh = c.BlocksHigh
+		} else {
+			c.BlocksWide = f.MCUsWide * c.H
+			c.BlocksHigh = f.MCUsHigh * c.V
+		}
+		f.QuantOK[c.TQ] = true
+	}
+	return f, nil
+}
+
+func appendSegment(dst []byte, marker byte, payload []byte) []byte {
+	dst = append(dst, 0xFF, marker)
+	l := len(payload) + 2
+	dst = append(dst, byte(l>>8), byte(l))
+	return append(dst, payload...)
+}
+
+// buildHeader serializes SOI through SOS for f.
+func buildHeader(f *File, spec *EncodeSpec) []byte {
+	hdr := []byte{0xFF, mSOI}
+	if len(spec.Extra) > 0 {
+		hdr = append(hdr, spec.Extra...)
+	} else {
+		// Minimal JFIF APP0.
+		hdr = appendSegment(hdr, mAPP0, []byte{
+			'J', 'F', 'I', 'F', 0, 1, 1, 0, 0, 1, 0, 1, 0, 0,
+		})
+	}
+	// DQT: one segment per used table, zigzag order, 8-bit precision.
+	written := [4]bool{}
+	for _, c := range f.Components {
+		if written[c.TQ] {
+			continue
+		}
+		written[c.TQ] = true
+		payload := make([]byte, 65)
+		payload[0] = c.TQ
+		for z := 0; z < 64; z++ {
+			payload[1+z] = byte(f.Quant[c.TQ][zigzagTable[z]])
+		}
+		hdr = appendSegment(hdr, mDQT, payload)
+	}
+	// SOF0.
+	sof := []byte{8,
+		byte(f.Height >> 8), byte(f.Height),
+		byte(f.Width >> 8), byte(f.Width),
+		byte(len(f.Components)),
+	}
+	for _, c := range f.Components {
+		sof = append(sof, c.ID, byte(c.H<<4|c.V), c.TQ)
+	}
+	hdr = appendSegment(hdr, mSOF0, sof)
+	// DHT segments.
+	wdc, wac := [4]bool{}, [4]bool{}
+	for _, c := range f.Components {
+		if !wdc[c.TD] {
+			wdc[c.TD] = true
+			hdr = appendSegment(hdr, mDHT, dhtPayload(0, c.TD, f.DC[c.TD]))
+		}
+		if !wac[c.TA] {
+			wac[c.TA] = true
+			hdr = appendSegment(hdr, mDHT, dhtPayload(1, c.TA, f.AC[c.TA]))
+		}
+	}
+	if f.RestartInterval > 0 {
+		hdr = appendSegment(hdr, mDRI, []byte{
+			byte(f.RestartInterval >> 8), byte(f.RestartInterval),
+		})
+	}
+	// SOS.
+	sos := []byte{byte(len(f.Components))}
+	for _, c := range f.Components {
+		sos = append(sos, c.ID, c.TD<<4|c.TA)
+	}
+	sos = append(sos, 0, 63, 0)
+	hdr = appendSegment(hdr, mSOS, sos)
+	return hdr
+}
+
+func dhtPayload(tc, th byte, spec *huffman.Spec) []byte {
+	p := []byte{tc<<4 | th}
+	p = append(p, spec.Counts[:]...)
+	return append(p, spec.Symbols...)
+}
+
+// WriteBaseline synthesizes a complete baseline JPEG file from quantized
+// coefficients (per component, raster block order, raster order within each
+// block). The restart-marker count follows the spec: one marker every
+// RestartInterval MCUs except after the last MCU.
+func WriteBaseline(spec *EncodeSpec, coeff [][]int16) ([]byte, error) {
+	f, err := fileFromSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	if len(coeff) != len(f.Components) {
+		return nil, fmt.Errorf("jpeg: %d coefficient planes for %d components", len(coeff), len(f.Components))
+	}
+	for i, c := range f.Components {
+		if want := c.BlocksWide * c.BlocksHigh * 64; len(coeff[i]) != want {
+			return nil, fmt.Errorf("jpeg: component %d has %d coefficients, want %d", i, len(coeff[i]), want)
+		}
+	}
+	total := f.TotalMCUs()
+	rstCount := 0
+	if f.RestartInterval > 0 {
+		rstCount = (total - 1) / f.RestartInterval
+	}
+	s := &Scan{File: f, Coeff: coeff, PadBit: spec.PadBit, RSTCount: rstCount}
+	scan, err := EncodeScan(s)
+	if err != nil {
+		return nil, err
+	}
+	out := buildHeader(f, spec)
+	out = append(out, scan...)
+	out = append(out, 0xFF, mEOI)
+	return out, nil
+}

@@ -1,0 +1,295 @@
+package model
+
+import (
+	"errors"
+
+	"lepton/internal/arith"
+	"lepton/internal/dct"
+)
+
+// Flags enables or disables the two headline predictors, for the §4.3
+// ablation study.
+type Flags struct {
+	// EdgePrediction uses the Lakhani-inspired 1-D DCT continuity predictor
+	// for the 7x1/1x7 coefficients; when false they use the same averaged
+	// context as the 7x7 class ("baseline PackJPG" treatment).
+	EdgePrediction bool
+	// DCGradient uses the 16-pair gradient interpolation DC predictor; when
+	// false the DC is predicted from the previous block's DC as in the 2007
+	// PackJPG paper.
+	DCGradient bool
+}
+
+// DefaultFlags enables everything, matching the deployed system.
+func DefaultFlags() Flags { return Flags{EdgePrediction: true, DCGradient: true} }
+
+// ComponentPlane describes one color component's coefficient plane.
+type ComponentPlane struct {
+	BlocksWide, BlocksHigh int
+	Quant                  *[64]uint16
+	// Coeff is the full plane, raster block order, raster order within the
+	// block; the codec reads (encode) or writes (decode) only the block
+	// rows of its segment.
+	Coeff []int16
+}
+
+// Codec codes the blocks of one thread segment. Each segment gets fresh
+// 50-50 bins that adapt independently, which is what makes segments
+// parallel-decodable at a small compression cost (§3.4).
+type Codec struct {
+	flags Flags
+	comps []ComponentPlane
+	bins  []*chanBins
+
+	rowStart, rowEnd []int
+
+	// Stats is filled on the encode path when non-nil.
+	Stats *Stats
+}
+
+// ErrCorrupt is returned when a decoded symbol is structurally impossible —
+// only a damaged or truncated Lepton stream produces it.
+var ErrCorrupt = errors.New("model: corrupt coefficient stream")
+
+// NewCodec builds a segment codec over the given component planes. rowStart
+// and rowEnd give the block-row range of this segment per component
+// (rowEnd exclusive). Neighbor context never crosses the segment's top
+// boundary, so segments decode independently.
+func NewCodec(comps []ComponentPlane, rowStart, rowEnd []int, flags Flags) *Codec {
+	c := &Codec{
+		flags:    flags,
+		comps:    comps,
+		rowStart: append([]int(nil), rowStart...),
+		rowEnd:   append([]int(nil), rowEnd...),
+	}
+	for range comps {
+		c.bins = append(c.bins, &chanBins{})
+	}
+	return c
+}
+
+// BinCount returns the number of statistic bins allocated by this codec.
+func (c *Codec) BinCount() int { return len(c.bins) * BinsPerChannel }
+
+// ModelBytes returns the approximate memory footprint of the bins.
+func (c *Codec) ModelBytes() int { return c.BinCount() * 4 }
+
+// segState holds the per-component rolling caches used while walking a
+// segment in raster order.
+type segState struct {
+	nzAbove  []uint8
+	nzCur    []uint8
+	edAbove  []blockEdges
+	edCur    []blockEdges
+	hasAbove bool
+	prevDC   int32
+}
+
+func newSegState(w int) *segState {
+	return &segState{
+		nzAbove: make([]uint8, w),
+		nzCur:   make([]uint8, w),
+		edAbove: make([]blockEdges, w),
+		edCur:   make([]blockEdges, w),
+	}
+}
+
+func (s *segState) nextRow() {
+	s.nzAbove, s.nzCur = s.nzCur, s.nzAbove
+	s.edAbove, s.edCur = s.edCur, s.edAbove
+	s.hasAbove = true
+	s.prevDC = 0
+}
+
+// EncodeSegment writes all blocks of the segment to e, component by
+// component in raster order.
+func (c *Codec) EncodeSegment(e *arith.Encoder) {
+	em := &emitter{e: e, stats: c.Stats}
+	// The shared code path returns errors only on the decode side.
+	_ = c.run(em)
+}
+
+// DecodeSegment reads all blocks of the segment from d into the coefficient
+// planes.
+func (c *Codec) DecodeSegment(d *arith.Decoder) error {
+	return c.run(&emitter{d: d})
+}
+
+func (c *Codec) run(em *emitter) error {
+	for ci := range c.comps {
+		cp := &c.comps[ci]
+		st := newSegState(cp.BlocksWide)
+		for row := c.rowStart[ci]; row < c.rowEnd[ci]; row++ {
+			for col := 0; col < cp.BlocksWide; col++ {
+				if err := c.codeBlock(em, ci, row, col, st); err != nil {
+					return err
+				}
+			}
+			st.nextRow()
+		}
+	}
+	return nil
+}
+
+// codeBlock transports one block through the model in either direction.
+func (c *Codec) codeBlock(em *emitter, ci, row, col int, st *segState) error {
+	cp := &c.comps[ci]
+	ch := c.bins[ci]
+	q := cp.Quant
+	base := (row*cp.BlocksWide + col) * 64
+	cur := cp.Coeff[base : base+64]
+
+	var above, left, aboveLeft []int16
+	if st.hasAbove {
+		ab := ((row-1)*cp.BlocksWide + col) * 64
+		above = cp.Coeff[ab : ab+64]
+		if col > 0 {
+			al := ((row-1)*cp.BlocksWide + col - 1) * 64
+			aboveLeft = cp.Coeff[al : al+64]
+		}
+	}
+	if col > 0 {
+		lb := (row*cp.BlocksWide + col - 1) * 64
+		left = cp.Coeff[lb : lb+64]
+	}
+
+	// --- Nonzero count of the 7x7 class (A.2.1). ---
+	var nzA, nzL int32
+	if st.hasAbove {
+		nzA = int32(st.nzAbove[col])
+	}
+	if col > 0 {
+		nzL = int32(st.nzCur[col-1])
+	}
+	ctxN := ilog159((nzA + nzL) / 2)
+	em.cls = Class77
+	n77 := 0
+	if em.e != nil {
+		n77 = countNonzero49(cur)
+	}
+	n77 = em.codeTree(ch.nz77[ctxN][:], n77, 6)
+	if n77 > 49 {
+		return ErrCorrupt
+	}
+
+	// --- 7x7 coefficients in zigzag order. ---
+	em.cls = Class77
+	rem := n77
+	for k := 0; k < 49 && rem > 0; k++ {
+		pos := zigzag49[k]
+		avg := avg77(above, left, aboveLeft, pos)
+		aB := ilog2(avg, avgBuckets)
+		nB := ilog159(int32(rem))
+		mb := &ch.coef77[k][aB][nB]
+		v := em.codeVal(mb, &ch.res77, int32(cur[pos]))
+		cur[pos] = int16(v)
+		if v != 0 {
+			rem--
+		}
+	}
+	if rem > 0 {
+		return ErrCorrupt
+	}
+
+	// --- Edge coefficients: 7x1 row then 1x7 column (A.2.2). ---
+	ctxE := ilog2(int32(n77), 8)
+	for orient := 0; orient < 2; orient++ {
+		em.cls = ClassEdge
+		nEdge := 0
+		if em.e != nil {
+			nEdge = countNonzeroEdge(cur, orient)
+		}
+		nEdge = em.codeTree(ch.nzEdge[orient][ctxE][:], nEdge, 3)
+		em.cls = ClassEdge
+		rem := nEdge
+		for i := 1; i < 8 && rem > 0; i++ {
+			pos := i // orient 0: top row, raster position u
+			if orient == 1 {
+				pos = i * 8 // left column, raster position v*8
+			}
+			var pred int32
+			if c.flags.EdgePrediction {
+				if orient == 0 && st.hasAbove {
+					pred = lakhaniRow(above, cur, q, i)
+				} else if orient == 1 && col > 0 {
+					pred = lakhaniCol(left, cur, q, i)
+				}
+			} else {
+				pred = avg77(above, left, aboveLeft, uint8(pos))
+			}
+			pb := predBucket(pred)
+			mb := &ch.coefEdge[orient][i-1][pb]
+			v := em.codeVal(mb, &ch.resEdge, int32(cur[pos]))
+			cur[pos] = int16(v)
+			if v != 0 {
+				rem--
+			}
+		}
+		if rem > 0 {
+			return ErrCorrupt
+		}
+	}
+
+	// --- DC, last, so every AC coefficient informs the prediction
+	// (A.2.3). ---
+	var abEd, lfEd *blockEdges
+	if st.hasAbove {
+		abEd = &st.edAbove[col]
+	}
+	if col > 0 {
+		lfEd = &st.edCur[col-1]
+	}
+	var pred int32
+	var conf int
+	var px dct.Block
+	if c.flags.DCGradient {
+		// One inverse transform serves both the DC predictor and the edge
+		// cache update below.
+		acOnlyPixels(cur, q, &px)
+		pred, conf = dcPrediction(&px, q, abEd, lfEd, st.prevDC)
+	} else {
+		pred = st.prevDC
+		conf = confBuckets - 1
+	}
+	em.cls = ClassDC
+	delta := em.codeVal(&ch.dc[conf], &ch.resDC, int32(cur[0])-pred)
+	v := pred + delta
+	if v > 32767 || v < -32768 {
+		return ErrCorrupt
+	}
+	cur[0] = int16(v)
+
+	// --- Update rolling caches. ---
+	st.nzCur[col] = uint8(n77)
+	if c.flags.DCGradient {
+		// The edge cache feeds only the DC gradient predictor; skip it
+		// entirely in the PackJPG-style configuration.
+		edgesFromPixels(&px, v, q, &st.edCur[col])
+	}
+	st.prevDC = int32(cur[0])
+	return nil
+}
+
+func countNonzero49(blk []int16) int {
+	n := 0
+	for _, pos := range zigzag49 {
+		if blk[pos] != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func countNonzeroEdge(blk []int16, orient int) int {
+	n := 0
+	for i := 1; i < 8; i++ {
+		pos := i
+		if orient == 1 {
+			pos = i * 8
+		}
+		if blk[pos] != 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,229 @@
+package model
+
+import (
+	"lepton/internal/dct"
+)
+
+// zigzag49 lists the zigzag-ordered raster positions of the 49 interior
+// (u>=1, v>=1) coefficients — the "7x7" class of A.2.1.
+var zigzag49 = func() [49]uint8 {
+	var out [49]uint8
+	n := 0
+	for _, r := range dct.Zigzag {
+		if r%8 != 0 && r/8 != 0 {
+			out[n] = r
+			n++
+		}
+	}
+	return out
+}()
+
+// div rounds half away from zero, deterministically (paper §5.2: identical
+// on every platform and build).
+func div(a, b int64) int64 {
+	if b < 0 {
+		a, b = -a, -b
+	}
+	if a >= 0 {
+		return (a + b/2) / b
+	}
+	return -((-a + b/2) / b)
+}
+
+// avg77 computes the 7x7 neighborhood-magnitude context of A.2.1: the
+// weighted average (13|A| + 13|L| + 6|AL|)/32 of the co-located coefficients
+// in the above, left, and above-left blocks.
+func avg77(above, left, aboveLeft []int16, pos uint8) int32 {
+	var acc int64
+	if above != nil {
+		a := int64(above[pos])
+		if a < 0 {
+			a = -a
+		}
+		acc += 13 * a
+	}
+	if left != nil {
+		l := int64(left[pos])
+		if l < 0 {
+			l = -l
+		}
+		acc += 13 * l
+	}
+	if aboveLeft != nil {
+		al := int64(aboveLeft[pos])
+		if al < 0 {
+			al = -al
+		}
+		acc += 6 * al
+	}
+	return int32(acc >> 5)
+}
+
+// lakhaniCol predicts the left-column coefficient F[v*8+0] (the "1x7" class)
+// from the left block's full coefficients and the current block's already
+// known 7x7 coefficients, assuming pixel continuity across the vertical
+// block edge (A.2.2):
+//
+//	F̄[v,0] = (Σ_u B[u][7]·L[v,u] − Σ_{u≥1} B[u][0]·F[v,u]) / B[0][0]
+//
+// All inputs are quantized coefficients; the arithmetic runs dequantized and
+// the result is re-quantized to the coefficient's step.
+func lakhaniCol(left, cur []int16, q *[64]uint16, v int) int32 {
+	var acc int64
+	for u := 0; u < 8; u++ {
+		acc += int64(dct.Basis[u][7]) * int64(left[v*8+u]) * int64(q[v*8+u])
+	}
+	for u := 1; u < 8; u++ {
+		acc -= int64(dct.Basis[u][0]) * int64(cur[v*8+u]) * int64(q[v*8+u])
+	}
+	// acc is scaled by 2^BasisScaleBits; dividing by B[0][0] (same scale)
+	// cancels the scaling. Then re-quantize.
+	pred := div(acc, int64(dct.Basis[0][0]))
+	return clampCoef(div(pred, int64(q[v*8])))
+}
+
+// lakhaniRow predicts the top-row coefficient F[0*8+u] (the "7x1" class)
+// from the above block, symmetric to lakhaniCol.
+func lakhaniRow(above, cur []int16, q *[64]uint16, u int) int32 {
+	var acc int64
+	for v := 0; v < 8; v++ {
+		acc += int64(dct.Basis[v][7]) * int64(above[v*8+u]) * int64(q[v*8+u])
+	}
+	for v := 1; v < 8; v++ {
+		acc -= int64(dct.Basis[v][0]) * int64(cur[v*8+u]) * int64(q[v*8+u])
+	}
+	pred := div(acc, int64(dct.Basis[0][0]))
+	return clampCoef(div(pred, int64(q[u])))
+}
+
+func clampCoef(v int64) int32 {
+	if v > 2047 {
+		return 2047
+	}
+	if v < -2048 {
+		return -2048
+	}
+	return int32(v)
+}
+
+// blockEdges computes the 16 boundary samples cached for DC prediction: the
+// bottom two pixel rows and right two pixel columns of the fully decoded
+// (AC+DC, dequantized) block. Values are in IDCT sample space (no +128
+// shift, unclamped) and saturate int16.
+type blockEdges struct {
+	bottom [16]int16 // rows 6 and 7: [x] and [8+x]
+	right  [16]int16 // cols 6 and 7: [y] and [8+y]
+}
+
+// acOnlyPixels computes the inverse DCT of a block's AC coefficients alone
+// (DC treated as zero), dequantized. Both the DC predictor and the edge
+// cache derive from this single transform — the block's full pixels are
+// these plus a constant DC shift.
+func acOnlyPixels(coef []int16, q *[64]uint16, px *dct.Block) {
+	var deq dct.Block
+	for i := 1; i < 64; i++ {
+		deq[i] = int32(coef[i]) * int32(q[i])
+	}
+	dct.Inverse(&deq, px)
+}
+
+// dcPixelShift is the uniform per-sample contribution of the quantized DC
+// coefficient: the orthonormal basis gives each sample dc*q0/8.
+func dcPixelShift(dc int32, q *[64]uint16) int32 {
+	return int32(div(int64(dc)*int64(q[0]), 8))
+}
+
+// edgesFromPixels fills the edge cache from the AC-only pixels plus the DC
+// shift (exactness against a reference IDCT is irrelevant; encoder/decoder
+// agreement is what matters, §5.2).
+func edgesFromPixels(px *dct.Block, dc int32, q *[64]uint16, e *blockEdges) {
+	shift := dcPixelShift(dc, q)
+	for x := 0; x < 8; x++ {
+		e.bottom[x] = sat16(px[6*8+x] + shift)
+		e.bottom[8+x] = sat16(px[7*8+x] + shift)
+	}
+	for y := 0; y < 8; y++ {
+		e.right[y] = sat16(px[y*8+6] + shift)
+		e.right[8+y] = sat16(px[y*8+7] + shift)
+	}
+}
+
+// computeEdges is the uncached path: full block to edge samples.
+func computeEdges(coef []int16, q *[64]uint16, e *blockEdges) {
+	var px dct.Block
+	acOnlyPixels(coef, q, &px)
+	edgesFromPixels(&px, int32(coef[0]), q, e)
+}
+
+func sat16(v int32) int16 {
+	if v > 32767 {
+		return 32767
+	}
+	if v < -32768 {
+		return -32768
+	}
+	return int16(v)
+}
+
+// dcPrediction implements A.2.3: reconstruct the block's pixels from its AC
+// coefficients alone, linearly extrapolate gradients from the above and left
+// neighbors' last two pixel rows/columns, and solve for the DC value that
+// makes the gradients meet at each of up to 16 border pairs. Returns the
+// predicted quantized DC and a confidence bucket (log of the prediction
+// spread).
+//
+// If neither neighbor is available inside this thread segment, it falls back
+// to predicting the previous block's DC (prevDC), like baseline JPEG.
+func dcPrediction(px *dct.Block, q *[64]uint16, above, left *blockEdges, prevDC int32) (pred int32, conf int) {
+	if above == nil && left == nil {
+		return prevDC, confBuckets - 1
+	}
+	var preds [16]int64
+	n := 0
+	if above != nil {
+		for x := 0; x < 8; x++ {
+			a6 := int64(above.bottom[x])
+			a7 := int64(above.bottom[8+x])
+			c0 := int64(px[x])
+			c1 := int64(px[8+x])
+			// Gradient continuation: a7 + (a7-a6)/2 == c0 + dc - (c1-c0)/2.
+			preds[n] = a7 + div(a7-a6, 2) - c0 + div(c1-c0, 2)
+			n++
+		}
+	}
+	if left != nil {
+		for y := 0; y < 8; y++ {
+			l6 := int64(left.right[y])
+			l7 := int64(left.right[8+y])
+			c0 := int64(px[y*8])
+			c1 := int64(px[y*8+1])
+			preds[n] = l7 + div(l7-l6, 2) - c0 + div(c1-c0, 2)
+			n++
+		}
+	}
+	var sum, minP, maxP int64
+	minP, maxP = preds[0], preds[0]
+	for i := 0; i < n; i++ {
+		sum += preds[i]
+		if preds[i] < minP {
+			minP = preds[i]
+		}
+		if preds[i] > maxP {
+			maxP = preds[i]
+		}
+	}
+	avgPix := div(sum, int64(n))
+	// A DC step of 1 shifts every sample by q0/8 (orthonormal basis), so
+	// the quantized DC is avgPix*8/q0.
+	predDC := clampCoef(div(avgPix*8, int64(q[0])))
+	spread := div((maxP-minP)*8, int64(q[0]))
+	conf = ilog2(int32(min64(spread, 1<<20)), confBuckets)
+	return predDC, conf
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,91 @@
+package model
+
+import (
+	"lepton/internal/arith"
+	"lepton/internal/dct"
+)
+
+// SpecArith is a deliberately small probability model (~800 bins) in the
+// spirit of the JPEG specification's arithmetic-coding extension, which uses
+// "about 300 bins" (paper §3.2). It is the stand-in for the "MozJPEG
+// (arithmetic)" comparator in Figures 1-3: the same range coder as Lepton,
+// but with no cross-block context, no Lakhani edge prediction, and no DC
+// gradient modeling — so it lands between generic codecs and Lepton in
+// compression, as in the paper.
+type SpecArith struct {
+	dc     [3][6]magBins // context: magnitude bucket of previous DC delta
+	resDC  resBins
+	nzflag [3][10][2]arith.Bin // context: zigzag band × previous-coef-nonzero
+	ac     [3][10]magBins      // context: zigzag band
+	resAC  resBins
+}
+
+// NewSpecArith returns a fresh model with 50-50 bins.
+func NewSpecArith() *SpecArith { return &SpecArith{} }
+
+// SpecArithBins is the bin count, for Figure 3's memory accounting.
+const SpecArithBins = 3*6*(maxExp+1) + maxExp*13 +
+	3*10*2 + 3*10*(maxExp+1) + maxExp*13
+
+// Encode writes all planes to e.
+func (m *SpecArith) Encode(e *arith.Encoder, comps []ComponentPlane) {
+	m.run(&emitter{e: e}, comps)
+}
+
+// Decode fills all planes from d.
+func (m *SpecArith) Decode(d *arith.Decoder, comps []ComponentPlane) error {
+	return m.run(&emitter{d: d}, comps)
+}
+
+func (m *SpecArith) run(em *emitter, comps []ComponentPlane) error {
+	for ci := range comps {
+		cp := &comps[ci]
+		cc := ci
+		if cc > 2 {
+			cc = 2
+		}
+		blocks := cp.BlocksWide * cp.BlocksHigh
+		var prevDC, prevDelta int32
+		for b := 0; b < blocks; b++ {
+			blk := cp.Coeff[b*64 : b*64+64]
+			// DC as a delta to the previous block, like baseline JPEG.
+			ctx := ilog2(prevDelta, 6)
+			delta := em.codeVal(&m.dc[cc][ctx], &m.resDC, int32(blk[0])-prevDC)
+			dc := prevDC + delta
+			if dc > 32767 || dc < -32768 {
+				return ErrCorrupt
+			}
+			blk[0] = int16(dc)
+			prevDC = dc
+			prevDelta = delta
+			// AC positions in zigzag order with a nonzero flag each.
+			prevNZ := 0
+			for k := 1; k < 64; k++ {
+				pos := zigzagAll(k)
+				band := ilog159(int32(k))
+				flag := 0
+				if em.e != nil && blk[pos] != 0 {
+					flag = 1
+				}
+				flag = em.bit(&m.nzflag[cc][band][prevNZ], flag)
+				if flag == 0 {
+					blk[pos] = 0
+					prevNZ = 0
+					continue
+				}
+				v := em.codeVal(&m.ac[cc][band], &m.resAC, int32(blk[pos]))
+				if v == 0 {
+					// A flagged-nonzero coefficient decoded as zero means
+					// the stream is corrupt.
+					return ErrCorrupt
+				}
+				blk[pos] = int16(v)
+				prevNZ = 1
+			}
+		}
+	}
+	return nil
+}
+
+// zigzagAll maps a zigzag index 0..63 to its raster position.
+func zigzagAll(k int) int { return int(dct.Zigzag[k]) }

@@ -1,0 +1,101 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+
+	"lepton/internal/arith"
+	"lepton/internal/imagegen"
+	"lepton/internal/jpeg"
+)
+
+func TestSpecArithRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	planes := makePlanes(rng, 3, 5, 4)
+	m := NewSpecArith()
+	e := arith.NewEncoder()
+	m.Encode(e, planes)
+	data := e.Flush()
+
+	out := clonePlanes(planes)
+	m2 := NewSpecArith()
+	if err := m2.Decode(arith.NewDecoder(data), out); err != nil {
+		t.Fatal(err)
+	}
+	for ci := range planes {
+		for j := range planes[ci].Coeff {
+			if planes[ci].Coeff[j] != out[ci].Coeff[j] {
+				t.Fatalf("comp %d coeff %d: %d != %d", ci, j,
+					out[ci].Coeff[j], planes[ci].Coeff[j])
+			}
+		}
+	}
+}
+
+func TestSpecArithWorseThanLepton(t *testing.T) {
+	// The small model must compress worse than the full model on real
+	// (spatially correlated) image coefficients — the Figure 1/2 ordering.
+	// Random coefficient noise would NOT show this: the full model's edge
+	// is exactly its cross-block context.
+	data, err := imagegen.Generate(17, 320, 240)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := jpeg.Parse(data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := jpeg.DecodeScan(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var planes []ComponentPlane
+	var rs, re []int
+	for i := range f.Components {
+		c := &f.Components[i]
+		planes = append(planes, ComponentPlane{
+			BlocksWide: c.BlocksWide, BlocksHigh: c.BlocksHigh,
+			Quant: &f.Quant[c.TQ], Coeff: s.Coeff[i],
+		})
+		rs = append(rs, 0)
+		re = append(re, c.BlocksHigh)
+	}
+
+	spec := NewSpecArith()
+	e1 := arith.NewEncoder()
+	spec.Encode(e1, planes)
+	specLen := len(e1.Flush())
+
+	full := NewCodec(planes, rs, re, DefaultFlags())
+	e2 := arith.NewEncoder()
+	full.EncodeSegment(e2)
+	fullLen := len(e2.Flush())
+
+	if float64(fullLen) >= 0.95*float64(specLen) {
+		t.Fatalf("full model (%d) not clearly better than spec model (%d)", fullLen, specLen)
+	}
+}
+
+func TestSpecArithCorruptStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	planes := makePlanes(rng, 1, 3, 3)
+	m := NewSpecArith()
+	e := arith.NewEncoder()
+	m.Encode(e, planes)
+	data := e.Flush()
+	for i := 0; i < len(data); i += 2 {
+		bad := append([]byte(nil), data...)
+		bad[i] ^= 0x5A
+		out := clonePlanes(planes)
+		_ = NewSpecArith().Decode(arith.NewDecoder(bad), out) // no panic
+	}
+}
+
+func TestSpecArithBinCount(t *testing.T) {
+	if SpecArithBins > 2000 {
+		t.Fatalf("spec model too big: %d bins (paper: ~300)", SpecArithBins)
+	}
+	if SpecArithBins < 200 {
+		t.Fatalf("spec model suspiciously small: %d bins", SpecArithBins)
+	}
+}

@@ -1,0 +1,346 @@
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lepton/internal/core"
+	"lepton/internal/jpeg"
+	"lepton/internal/store"
+)
+
+// Outsourcer selects a target address for an outsourced conversion, or
+// reports that none is available.
+type Outsourcer interface {
+	Target() (addr string, ok bool)
+}
+
+// DedicatedPool outsources to a dedicated Lepton cluster — the paper's
+// best-performing strategy at peak (§5.5.1): a random member is picked.
+type DedicatedPool struct {
+	Addrs []string
+	rng   *rand.Rand
+	mu    sync.Mutex
+}
+
+// NewDedicatedPool builds a pool with a deterministic selector.
+func NewDedicatedPool(addrs []string, seed int64) *DedicatedPool {
+	return &DedicatedPool{Addrs: addrs, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Target returns a random pool member.
+func (p *DedicatedPool) Target() (string, bool) {
+	if len(p.Addrs) == 0 {
+		return "", false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.Addrs[p.rng.Intn(len(p.Addrs))], true
+}
+
+// PeerPool outsources to other blockservers ("To Self" in Figure 9) using
+// the power of two random choices: probe the load of two random peers and
+// pick the less loaded one (§5.5, [Mitzenmacher et al.]).
+type PeerPool struct {
+	Addrs        []string
+	ProbeTimeout time.Duration
+	rng          *rand.Rand
+	mu           sync.Mutex
+}
+
+// NewPeerPool builds a peer pool with a deterministic selector.
+func NewPeerPool(addrs []string, seed int64) *PeerPool {
+	return &PeerPool{Addrs: addrs, ProbeTimeout: time.Second, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Target probes two random peers and returns the less loaded.
+func (p *PeerPool) Target() (string, bool) {
+	if len(p.Addrs) == 0 {
+		return "", false
+	}
+	p.mu.Lock()
+	a := p.Addrs[p.rng.Intn(len(p.Addrs))]
+	b := p.Addrs[p.rng.Intn(len(p.Addrs))]
+	p.mu.Unlock()
+	if a == b {
+		return a, true
+	}
+	la, erra := probeLoad(a, p.ProbeTimeout)
+	lb, errb := probeLoad(b, p.ProbeTimeout)
+	switch {
+	case erra != nil && errb != nil:
+		return "", false
+	case erra != nil:
+		return b, true
+	case errb != nil:
+		return a, true
+	case lb < la:
+		return b, true
+	default:
+		return a, true
+	}
+}
+
+func probeLoad(addr string, timeout time.Duration) (uint32, error) {
+	resp, err := Do(addr, OpLoad, nil, timeout)
+	if err != nil || len(resp) < 4 {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(resp), nil
+}
+
+// Stats counts blockserver activity.
+type Stats struct {
+	Compresses   atomic.Int64
+	Decompresses atomic.Int64
+	Outsourced   atomic.Int64
+	Errors       atomic.Int64
+}
+
+// Blockserver serves Lepton conversions on a listener. It mirrors the
+// production setup: a 16-core box where two concurrent Lepton jobs saturate
+// the machine, so jobs beyond OutsourceThreshold are forwarded elsewhere
+// when an Outsourcer is configured (§5.5).
+type Blockserver struct {
+	// Outsource, when non-nil, receives compression jobs arriving while
+	// more than OutsourceThreshold conversions are in flight.
+	Outsource Outsourcer
+	// OutsourceThreshold is the concurrent-conversion limit; the paper used
+	// "more than three conversions at a time".
+	OutsourceThreshold int
+	// EncodeOptions configures the codec.
+	EncodeOptions core.EncodeOptions
+	// Store, when non-nil, enables the store-backed chunk operations
+	// (OpPutChunk*/OpGetChunk*).
+	Store *store.Store
+	// Logf, when set, receives diagnostics.
+	Logf func(format string, args ...any)
+
+	Stats Stats
+
+	inFlight atomic.Int32
+	ln       net.Listener
+	wg       sync.WaitGroup
+	closed   atomic.Bool
+}
+
+// Serve accepts connections until the listener is closed.
+func (b *Blockserver) Serve(ln net.Listener) error {
+	b.ln = ln
+	if b.OutsourceThreshold == 0 {
+		b.OutsourceThreshold = 3
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if b.closed.Load() {
+				return nil
+			}
+			return err
+		}
+		b.wg.Add(1)
+		go func() {
+			defer b.wg.Done()
+			b.handle(conn)
+		}()
+	}
+}
+
+// Close stops the listener and waits for in-flight requests.
+func (b *Blockserver) Close() error {
+	b.closed.Store(true)
+	var err error
+	if b.ln != nil {
+		err = b.ln.Close()
+	}
+	b.wg.Wait()
+	return err
+}
+
+// InFlight returns the number of conversions currently running.
+func (b *Blockserver) InFlight() int { return int(b.inFlight.Load()) }
+
+func (b *Blockserver) logf(format string, args ...any) {
+	if b.Logf != nil {
+		b.Logf(format, args...)
+	}
+}
+
+func (b *Blockserver) handle(conn net.Conn) {
+	defer conn.Close()
+	op, payload, err := ReadRequest(conn)
+	if err != nil {
+		b.Stats.Errors.Add(1)
+		return
+	}
+	switch op {
+	case OpLoad:
+		var resp [4]byte
+		binary.LittleEndian.PutUint32(resp[:], uint32(b.inFlight.Load()))
+		_ = WriteResponse(conn, StatusOK, resp[:])
+		return
+	case OpCompress:
+		// Outsource when oversubscribed (§5.5): a blockserver handling
+		// many cheap requests can be randomly assigned too many Lepton
+		// conversions at once.
+		if b.Outsource != nil && int(b.inFlight.Load()) >= b.OutsourceThreshold {
+			if addr, ok := b.Outsource.Target(); ok {
+				resp, err := Do(addr, OpCompress, payload, 30*time.Second)
+				if err == nil {
+					b.Stats.Outsourced.Add(1)
+					_ = WriteResponse(conn, StatusOK, resp)
+					return
+				}
+				b.logf("outsource to %s failed: %v; handling locally", addr, err)
+			}
+		}
+		b.inFlight.Add(1)
+		defer b.inFlight.Add(-1)
+		b.Stats.Compresses.Add(1)
+		res, err := core.Encode(payload, withVerify(b.EncodeOptions))
+		if err != nil {
+			// Unsupported inputs are service-level successes with a
+			// fallback marker: production stored them with Deflate.
+			if jpeg.ReasonOf(err) != jpeg.ReasonNone {
+				raw, merr := rawContainer(payload)
+				if merr == nil {
+					_ = WriteResponse(conn, StatusOK, raw)
+					return
+				}
+			}
+			b.Stats.Errors.Add(1)
+			_ = WriteResponse(conn, StatusError, []byte(err.Error()))
+			return
+		}
+		_ = WriteResponse(conn, StatusOK, res.Compressed)
+	case OpDecompress:
+		b.inFlight.Add(1)
+		defer b.inFlight.Add(-1)
+		b.Stats.Decompresses.Add(1)
+		out, err := core.Decode(payload, 0)
+		if err != nil {
+			b.Stats.Errors.Add(1)
+			_ = WriteResponse(conn, StatusError, []byte(err.Error()))
+			return
+		}
+		_ = WriteResponse(conn, StatusOK, out)
+	case OpPutChunkRaw, OpPutChunkCompressed, OpGetChunkRaw, OpGetChunkCompressed:
+		b.handleStoreOp(conn, op, payload)
+	default:
+		b.Stats.Errors.Add(1)
+		_ = WriteResponse(conn, StatusError, []byte("unknown op"))
+	}
+}
+
+func (b *Blockserver) handleStoreOp(conn net.Conn, op byte, payload []byte) {
+	if b.Store == nil {
+		b.Stats.Errors.Add(1)
+		_ = WriteResponse(conn, StatusError, []byte("no store configured"))
+		return
+	}
+	fail := func(err error) {
+		b.Stats.Errors.Add(1)
+		_ = WriteResponse(conn, StatusError, []byte(err.Error()))
+	}
+	switch op {
+	case OpPutChunkRaw:
+		// Server-side codec: the production deployment's shape.
+		b.inFlight.Add(1)
+		defer b.inFlight.Add(-1)
+		b.Stats.Compresses.Add(1)
+		ref, err := b.Store.PutFile(payload)
+		if err != nil {
+			fail(err)
+			return
+		}
+		if len(ref.Chunks) != 1 {
+			fail(fmt.Errorf("chunk payload produced %d chunks", len(ref.Chunks)))
+			return
+		}
+		h := ref.Chunks[0]
+		_ = WriteResponse(conn, StatusOK, h[:])
+	case OpPutChunkCompressed:
+		// Client-side codec (§7): only verification runs here.
+		h, err := b.Store.PutCompressedChunk(payload)
+		if err != nil {
+			fail(err)
+			return
+		}
+		_ = WriteResponse(conn, StatusOK, h[:])
+	case OpGetChunkRaw:
+		h, err := hashOf(payload)
+		if err != nil {
+			fail(err)
+			return
+		}
+		b.inFlight.Add(1)
+		defer b.inFlight.Add(-1)
+		b.Stats.Decompresses.Add(1)
+		out, err := b.Store.GetChunk(h)
+		if err != nil {
+			fail(err)
+			return
+		}
+		_ = WriteResponse(conn, StatusOK, out)
+	case OpGetChunkCompressed:
+		h, err := hashOf(payload)
+		if err != nil {
+			fail(err)
+			return
+		}
+		cb, ok := b.Store.GetCompressedChunk(h)
+		if !ok {
+			fail(fmt.Errorf("unknown chunk"))
+			return
+		}
+		_ = WriteResponse(conn, StatusOK, cb)
+	}
+}
+
+func hashOf(payload []byte) (store.Hash, error) {
+	var h store.Hash
+	if len(payload) != len(h) {
+		return h, fmt.Errorf("hash must be %d bytes, got %d", len(h), len(payload))
+	}
+	copy(h[:], payload)
+	return h, nil
+}
+
+func withVerify(opt core.EncodeOptions) core.EncodeOptions {
+	opt.VerifyRoundtrip = true
+	return opt
+}
+
+func rawContainer(payload []byte) ([]byte, error) {
+	c := &core.Container{Mode: core.ModeRaw, Raw: payload, OutputSize: uint32(len(payload))}
+	return c.Marshal()
+}
+
+// ListenAndServe starts a blockserver on addr ("unix:<path>" or
+// "tcp:<host:port>") and returns it with the bound address; callers own
+// Close.
+func ListenAndServe(addr string, b *Blockserver) (bound string, err error) {
+	network, address, err := splitAddr(addr)
+	if err != nil {
+		return "", err
+	}
+	ln, err := net.Listen(network, address)
+	if err != nil {
+		return "", err
+	}
+	go func() {
+		if err := b.Serve(ln); err != nil {
+			log.Printf("blockserver: serve: %v", err)
+		}
+	}()
+	if network == "unix" {
+		return "unix:" + ln.Addr().String(), nil
+	}
+	return "tcp:" + ln.Addr().String(), nil
+}

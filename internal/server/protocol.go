@@ -1,0 +1,145 @@
+// Package server implements the blockserver network service of paper §5.5:
+// Lepton normally listens on a Unix-domain socket and speaks a simple
+// stream protocol (request written, write side shut down, response read
+// back); overloaded blockservers "outsource" conversions over TCP to other
+// machines chosen by the power of two random choices.
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// Operation codes.
+const (
+	OpCompress   = byte('C')
+	OpDecompress = byte('D')
+	OpLoad       = byte('L') // load probe for power-of-two choices
+
+	// Store-backed operations (require Blockserver.Store). The pair of
+	// chunk paths implements both deployment modes: server-side codec
+	// (client moves raw bytes) and client-side codec (client moves
+	// compressed bytes — the §7 bandwidth saving).
+	OpPutChunkRaw        = byte('P') // body: raw chunk -> server compresses, returns 32-byte hash
+	OpPutChunkCompressed = byte('U') // body: Lepton chunk -> server verifies+stores, returns hash
+	OpGetChunkRaw        = byte('G') // body: hash -> server decompresses, returns raw bytes
+	OpGetChunkCompressed = byte('H') // body: hash -> returns stored compressed bytes
+)
+
+// Response status codes.
+const (
+	StatusOK    = byte(0)
+	StatusError = byte(1)
+)
+
+// maxPayload bounds a request body (a chunk plus slack).
+const maxPayload = 8 << 20
+
+// WriteRequest sends op+payload and half-closes the write side, signaling
+// end of request exactly as the production protocol did ("the file is
+// complete once the socket is shut down for writing").
+func WriteRequest(conn net.Conn, op byte, payload []byte) error {
+	var hdr [5]byte
+	hdr[0] = op
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := conn.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := conn.Write(payload); err != nil {
+		return err
+	}
+	type closeWriter interface{ CloseWrite() error }
+	if cw, ok := conn.(closeWriter); ok {
+		return cw.CloseWrite()
+	}
+	return nil
+}
+
+// ReadRequest reads one request from a connection.
+func ReadRequest(conn net.Conn) (op byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n > maxPayload {
+		return 0, nil, fmt.Errorf("server: request of %d bytes exceeds limit", n)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(conn, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], payload, nil
+}
+
+// WriteResponse sends status+payload.
+func WriteResponse(conn net.Conn, status byte, payload []byte) error {
+	var hdr [5]byte
+	hdr[0] = status
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := conn.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := conn.Write(payload)
+	return err
+}
+
+// ReadResponse reads a response.
+func ReadResponse(conn net.Conn) (status byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n > maxPayload {
+		return 0, nil, fmt.Errorf("server: response of %d bytes exceeds limit", n)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(conn, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], payload, nil
+}
+
+// Do performs one request against addr ("unix:/path" or "tcp:host:port")
+// with a deadline.
+func Do(addr string, op byte, payload []byte, timeout time.Duration) ([]byte, error) {
+	network, address, err := splitAddr(addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.DialTimeout(network, address, timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if timeout > 0 {
+		_ = conn.SetDeadline(time.Now().Add(timeout))
+	}
+	if err := WriteRequest(conn, op, payload); err != nil {
+		return nil, err
+	}
+	status, resp, err := ReadResponse(conn)
+	if err != nil {
+		return nil, err
+	}
+	if status != StatusOK {
+		return nil, fmt.Errorf("server: remote error: %s", resp)
+	}
+	return resp, nil
+}
+
+func splitAddr(addr string) (network, address string, err error) {
+	switch {
+	case len(addr) > 5 && addr[:5] == "unix:":
+		return "unix", addr[5:], nil
+	case len(addr) > 4 && addr[:4] == "tcp:":
+		return "tcp", addr[4:], nil
+	default:
+		return "", "", errors.New("server: address must be unix:<path> or tcp:<host:port>")
+	}
+}

@@ -1,0 +1,281 @@
+package server_test
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"lepton/internal/core"
+	"lepton/internal/imagegen"
+	"lepton/internal/server"
+	"lepton/internal/store"
+)
+
+func gen(t testing.TB, seed int64, w, h int) []byte {
+	t.Helper()
+	data, err := imagegen.Generate(seed, w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func startServer(t *testing.T, addr string, b *server.Blockserver) string {
+	t.Helper()
+	bound, err := server.ListenAndServe(addr, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	return bound
+}
+
+func TestUnixSocketCompressDecompress(t *testing.T) {
+	sock := filepath.Join(t.TempDir(), "lepton.sock")
+	b := &server.Blockserver{}
+	addr := startServer(t, "unix:"+sock, b)
+
+	data := gen(t, 1, 256, 192)
+	comp, err := server.Do(addr, server.OpCompress, data, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comp) >= len(data) {
+		t.Fatalf("no savings over socket: %d >= %d", len(comp), len(data))
+	}
+	back, err := server.Do(addr, server.OpDecompress, comp, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, data) {
+		t.Fatal("socket round trip mismatch")
+	}
+	if c, d := b.Stats.Compresses.Load(), b.Stats.Decompresses.Load(); c != 1 || d != 1 {
+		t.Fatalf("stats: compresses=%d decompresses=%d", c, d)
+	}
+}
+
+func TestTCPCompress(t *testing.T) {
+	b := &server.Blockserver{}
+	addr := startServer(t, "tcp:127.0.0.1:0", b)
+	data := gen(t, 2, 128, 128)
+	comp, err := server.Do(addr, server.OpCompress, data, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := core.Decode(comp, 0)
+	if err != nil || !bytes.Equal(back, data) {
+		t.Fatal("TCP compress result undecodable")
+	}
+}
+
+func TestUnsupportedInputGetsRawContainer(t *testing.T) {
+	b := &server.Blockserver{}
+	addr := startServer(t, "tcp:127.0.0.1:0", b)
+	payload := []byte("not a jpeg at all")
+	comp, err := server.Do(addr, server.OpCompress, payload, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := core.Decode(comp, 0)
+	if err != nil || !bytes.Equal(back, payload) {
+		t.Fatal("raw fallback mismatch")
+	}
+}
+
+func TestLoadProbe(t *testing.T) {
+	b := &server.Blockserver{}
+	addr := startServer(t, "tcp:127.0.0.1:0", b)
+	resp, err := server.Do(addr, server.OpLoad, nil, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp) != 4 {
+		t.Fatalf("load response %d bytes", len(resp))
+	}
+}
+
+func TestOutsourcingToDedicated(t *testing.T) {
+	// A dedicated worker and a frontend with threshold 0: every compress
+	// must be outsourced.
+	worker := &server.Blockserver{}
+	workerAddr := startServer(t, "tcp:127.0.0.1:0", worker)
+
+	front := &server.Blockserver{
+		Outsource:          server.NewDedicatedPool([]string{workerAddr}, 1),
+		OutsourceThreshold: -1, // always over threshold
+	}
+	frontAddr := startServer(t, "tcp:127.0.0.1:0", front)
+
+	data := gen(t, 3, 200, 150)
+	comp, err := server.Do(frontAddr, server.OpCompress, data, 20*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, _ := core.Decode(comp, 0)
+	if !bytes.Equal(back, data) {
+		t.Fatal("outsourced result mismatch")
+	}
+	if front.Stats.Outsourced.Load() == 0 {
+		t.Fatal("frontend did not outsource")
+	}
+	if worker.Stats.Compresses.Load() == 0 {
+		t.Fatal("worker saw no work")
+	}
+}
+
+func TestOutsourcingPowerOfTwoPrefersIdlePeer(t *testing.T) {
+	// Peer A is artificially busy (we hold connections open); peer B idle.
+	// The PeerPool must route to B.
+	busy := &server.Blockserver{}
+	busyAddr := startServer(t, "tcp:127.0.0.1:0", busy)
+	idle := &server.Blockserver{}
+	idleAddr := startServer(t, "tcp:127.0.0.1:0", idle)
+
+	// Saturate 'busy' with slow decompress requests of a large image.
+	big := gen(t, 4, 640, 480)
+	res, err := core.Encode(big, core.EncodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				_, _ = server.Do(busyAddr, server.OpDecompress, res.Compressed, 10*time.Second)
+			}
+		}()
+	}
+
+	pool := server.NewPeerPool([]string{busyAddr, idleAddr}, 7)
+	counts := map[string]int{}
+	for i := 0; i < 20; i++ {
+		addr, ok := pool.Target()
+		if !ok {
+			t.Fatal("no target")
+		}
+		counts[addr]++
+	}
+	wg.Wait()
+	if counts[idleAddr] < counts[busyAddr] {
+		t.Fatalf("power-of-two picked busy peer more often: %v", counts)
+	}
+}
+
+func TestConcurrentMixedLoad(t *testing.T) {
+	sock := filepath.Join(t.TempDir(), "bs.sock")
+	b := &server.Blockserver{}
+	addr := startServer(t, "unix:"+sock, b)
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			data := gen(t, int64(100+i), 96+8*i, 96)
+			comp, err := server.Do(addr, server.OpCompress, data, 20*time.Second)
+			if err != nil {
+				errs <- fmt.Errorf("compress %d: %w", i, err)
+				return
+			}
+			back, err := server.Do(addr, server.OpDecompress, comp, 20*time.Second)
+			if err != nil {
+				errs <- fmt.Errorf("decompress %d: %w", i, err)
+				return
+			}
+			if !bytes.Equal(back, data) {
+				errs <- fmt.Errorf("mismatch %d", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestBadAddress(t *testing.T) {
+	if _, err := server.Do("bogus", server.OpLoad, nil, time.Second); err == nil {
+		t.Fatal("expected address error")
+	}
+}
+
+func TestStoreBackedOps(t *testing.T) {
+	st := store.New()
+	st.ChunkSize = 64 << 10
+	b := &server.Blockserver{Store: st}
+	addr := startServer(t, "tcp:127.0.0.1:0", b)
+
+	raw := gen(t, 50, 200, 150)
+	// Server-side path.
+	h, err := server.Do(addr, server.OpPutChunkRaw, raw, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h) != 32 {
+		t.Fatalf("hash length %d", len(h))
+	}
+	back, err := server.Do(addr, server.OpGetChunkRaw, h, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, raw) {
+		t.Fatal("server-side store round trip mismatch")
+	}
+	// Client-side path.
+	res, err := core.Encode(raw, core.EncodeOptions{VerifyRoundtrip: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := server.Do(addr, server.OpPutChunkCompressed, res.Compressed, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := server.Do(addr, server.OpGetChunkCompressed, h2, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cb, res.Compressed) {
+		t.Fatal("compressed chunk changed in store")
+	}
+	out, err := core.Decode(cb, 0)
+	if err != nil || !bytes.Equal(out, raw) {
+		t.Fatal("client-side decode mismatch")
+	}
+}
+
+func TestStoreOpsWithoutStore(t *testing.T) {
+	b := &server.Blockserver{}
+	addr := startServer(t, "tcp:127.0.0.1:0", b)
+	if _, err := server.Do(addr, server.OpPutChunkRaw, []byte("x"), 5*time.Second); err == nil {
+		t.Fatal("expected error without a store")
+	}
+}
+
+func TestPutCompressedRejectsGarbage(t *testing.T) {
+	st := store.New()
+	b := &server.Blockserver{Store: st}
+	addr := startServer(t, "tcp:127.0.0.1:0", b)
+	if _, err := server.Do(addr, server.OpPutChunkCompressed, []byte("not lepton"), 5*time.Second); err == nil {
+		t.Fatal("expected rejection of non-Lepton payload")
+	}
+}
+
+func TestGetChunkBadHash(t *testing.T) {
+	st := store.New()
+	b := &server.Blockserver{Store: st}
+	addr := startServer(t, "tcp:127.0.0.1:0", b)
+	if _, err := server.Do(addr, server.OpGetChunkRaw, []byte{1, 2}, 5*time.Second); err == nil {
+		t.Fatal("expected error for short hash")
+	}
+	var missing [32]byte
+	if _, err := server.Do(addr, server.OpGetChunkRaw, missing[:], 5*time.Second); err == nil {
+		t.Fatal("expected error for unknown hash")
+	}
+}

@@ -1,0 +1,125 @@
+// Package stats provides the small statistical helpers the evaluation
+// harness uses: percentiles, summaries, and fixed-width table rendering.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Percentile returns the p-th percentile (0..100) of values by linear
+// interpolation. It copies and sorts internally.
+func Percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	return percentileSorted(s, p)
+}
+
+func percentileSorted(s []float64, p float64) float64 {
+	if len(s) == 1 {
+		return s[0]
+	}
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	pos := p / 100 * float64(len(s)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Summary holds the percentile set the paper reports.
+type Summary struct {
+	N                  int
+	P50, P75, P95, P99 float64
+	Mean               float64
+	Min, Max           float64
+}
+
+// Summarize computes a Summary over values.
+func Summarize(values []float64) Summary {
+	if len(values) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	return Summary{
+		N:    len(s),
+		P50:  percentileSorted(s, 50),
+		P75:  percentileSorted(s, 75),
+		P95:  percentileSorted(s, 95),
+		P99:  percentileSorted(s, 99),
+		Mean: sum / float64(len(s)),
+		Min:  s[0],
+		Max:  s[len(s)-1],
+	}
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d p50=%.3f p75=%.3f p95=%.3f p99=%.3f mean=%.3f",
+		s.N, s.P50, s.P75, s.P95, s.P99, s.Mean)
+}
+
+// Table renders rows with aligned columns for harness output.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row of stringified cells.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// F formats a float for table cells.
+func F(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }
+
+// I formats an int for table cells.
+func I(v int64) string { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPercentileBasics(t *testing.T) {
+	v := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if p := Percentile(v, 0); p != 1 {
+		t.Fatalf("p0 = %v", p)
+	}
+	if p := Percentile(v, 100); p != 10 {
+		t.Fatalf("p100 = %v", p)
+	}
+	if p := Percentile(v, 50); p != 5.5 {
+		t.Fatalf("p50 = %v", p)
+	}
+	if p := Percentile([]float64{42}, 99); p != 42 {
+		t.Fatalf("single = %v", p)
+	}
+	if p := Percentile(nil, 50); p != 0 {
+		t.Fatalf("empty = %v", p)
+	}
+}
+
+func TestPercentileUnsortedInput(t *testing.T) {
+	v := []float64{9, 1, 5, 3, 7}
+	if p := Percentile(v, 50); p != 5 {
+		t.Fatalf("p50 = %v", p)
+	}
+	// Input must not be mutated.
+	if v[0] != 9 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var v []float64
+	for i := 0; i < 10000; i++ {
+		v = append(v, rng.Float64()*100)
+	}
+	s := Summarize(v)
+	if s.N != 10000 {
+		t.Fatalf("n = %d", s.N)
+	}
+	if s.P50 < 45 || s.P50 > 55 {
+		t.Fatalf("p50 = %v", s.P50)
+	}
+	if s.P99 < 95 || s.P99 > 100 {
+		t.Fatalf("p99 = %v", s.P99)
+	}
+	if s.Mean < 45 || s.Mean > 55 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	if s.Min > s.P50 || s.P50 > s.P75 || s.P75 > s.P95 || s.P95 > s.P99 || s.P99 > s.Max {
+		t.Fatalf("percentiles not monotone: %+v", s)
+	}
+}
+
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		v := make([]float64, len(raw))
+		for i, x := range raw {
+			v[i] = float64(x)
+		}
+		last := Percentile(v, 0)
+		for p := 5.0; p <= 100; p += 5 {
+			cur := Percentile(v, p)
+			if cur < last {
+				return false
+			}
+			last = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Header: []string{"name", "value"}}
+	tab.Add("alpha", F(1.5, 2))
+	tab.Add("a-much-longer-name", I(42))
+	out := tab.String()
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "1.50") || !strings.Contains(out, "42") {
+		t.Fatalf("table missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header, rule, two rows
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: every line has the same prefix width for column 2.
+	if len(lines[0]) == 0 || lines[1][0] != '-' {
+		t.Fatalf("missing rule:\n%s", out)
+	}
+}

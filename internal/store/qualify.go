@@ -1,0 +1,84 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+
+	"lepton/internal/core"
+	"lepton/internal/jpeg"
+)
+
+// QualReport summarizes a qualification run: the paper requires every new
+// Lepton build to compress and decompress a large corpus with identical
+// results from the optimized and sanitizing decoders before deployment
+// (§5.2, §5.7).
+type QualReport struct {
+	Total int
+	// ByReason counts outcomes by §6.2 classification (ReasonNone =
+	// success).
+	ByReason map[jpeg.Reason]int
+	// CrossCheckFailures counts files whose single-threaded and
+	// multithreaded decodes disagreed — the §6.7 "second alarm" class. Any
+	// nonzero value disqualifies the build.
+	CrossCheckFailures int
+	// BytesIn/BytesOut tally successful compressions.
+	BytesIn, BytesOut int64
+}
+
+// SuccessRatio returns the fraction of inputs that compressed successfully.
+func (q *QualReport) SuccessRatio() float64 {
+	if q.Total == 0 {
+		return 0
+	}
+	return float64(q.ByReason[jpeg.ReasonNone]) / float64(q.Total)
+}
+
+// String renders the §6.2-style table.
+func (q *QualReport) String() string {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "qualification over %d files:\n", q.Total)
+	order := []jpeg.Reason{
+		jpeg.ReasonNone, jpeg.ReasonProgressive, jpeg.ReasonUnsupported,
+		jpeg.ReasonNotImage, jpeg.ReasonCMYK, jpeg.ReasonMemDecode,
+		jpeg.ReasonMemEncode, jpeg.ReasonChromaSub, jpeg.ReasonACRange,
+		jpeg.ReasonRoundtrip, jpeg.ReasonTruncated,
+	}
+	for _, r := range order {
+		if n := q.ByReason[r]; n > 0 {
+			fmt.Fprintf(&buf, "  %-24s %7.3f%% (%d)\n", r.String(),
+				100*float64(n)/float64(q.Total), n)
+		}
+	}
+	if q.CrossCheckFailures > 0 {
+		fmt.Fprintf(&buf, "  CROSS-CHECK FAILURES: %d (build disqualified)\n", q.CrossCheckFailures)
+	}
+	return buf.String()
+}
+
+// Qualify runs the qualification pipeline over a corpus: compress, decode
+// with the multithreaded path, decode again with the single-threaded path,
+// and verify all three agree with the input.
+func Qualify(corpus [][]byte) *QualReport {
+	q := &QualReport{ByReason: map[jpeg.Reason]int{}}
+	for _, data := range corpus {
+		q.Total++
+		res, err := core.Encode(data, core.EncodeOptions{VerifyRoundtrip: true})
+		if err != nil {
+			q.ByReason[jpeg.ReasonOf(err)]++
+			continue
+		}
+		multi, err1 := core.Decode(res.Compressed, 0)
+		var buf bytes.Buffer
+		err2 := core.DecodeTo(&buf, res.Compressed, 0)
+		if err1 != nil || err2 != nil ||
+			!bytes.Equal(multi, data) || !bytes.Equal(buf.Bytes(), data) {
+			q.CrossCheckFailures++
+			q.ByReason[jpeg.ReasonRoundtrip]++
+			continue
+		}
+		q.ByReason[jpeg.ReasonNone]++
+		q.BytesIn += int64(len(data))
+		q.BytesOut += int64(len(res.Compressed))
+	}
+	return q
+}

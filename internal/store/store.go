@@ -1,0 +1,290 @@
+// Package store implements the content-addressed chunk store with the
+// safety mechanisms of paper §5.7: round-trip admission control (no chunk
+// is stored unless it decodes back to its exact input), a checksum over the
+// compressed bytes compared before and after storage, a deflate fallback
+// for inputs Lepton cannot hold, an optional "safety net" secondary store,
+// and a shutoff switch checked before every encode.
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"lepton/internal/chunk"
+	"lepton/internal/core"
+	"lepton/internal/jpeg"
+)
+
+// Hash is a chunk address.
+type Hash = [sha256.Size]byte
+
+// FileRef addresses a stored file as an ordered list of chunk hashes.
+type FileRef struct {
+	Chunks []Hash
+	Size   int64
+}
+
+// Counters exposes operational statistics.
+type Counters struct {
+	Encodes           int64
+	Decodes           int64
+	LeptonChunks      int64
+	DeflateChunks     int64
+	RoundtripFailures int64
+	BytesIn           int64
+	BytesStored       int64
+	ShutoffSkips      int64
+}
+
+// SafetyNet is a secondary store that receives every uploaded chunk in
+// uncompressed form during ramp-up (§5.7); production deleted it after the
+// S3 overload incident of §6.5.
+type SafetyNet interface {
+	Put(h Hash, raw []byte) error
+	Get(h Hash) ([]byte, bool)
+}
+
+// MemSafetyNet is an in-memory SafetyNet.
+type MemSafetyNet struct {
+	mu sync.RWMutex
+	m  map[Hash][]byte
+	// FailPuts makes every Put fail, reproducing the §6.5 incident where
+	// the safety net itself became the availability bottleneck.
+	FailPuts atomic.Bool
+}
+
+// NewMemSafetyNet returns an empty safety net.
+func NewMemSafetyNet() *MemSafetyNet { return &MemSafetyNet{m: map[Hash][]byte{}} }
+
+// Put stores a raw chunk.
+func (s *MemSafetyNet) Put(h Hash, raw []byte) error {
+	if s.FailPuts.Load() {
+		return errors.New("safety net: put failed (overloaded)")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[h] = append([]byte(nil), raw...)
+	return nil
+}
+
+// Get fetches a raw chunk.
+func (s *MemSafetyNet) Get(h Hash) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.m[h]
+	return v, ok
+}
+
+// Store is an in-memory blockserver store.
+type Store struct {
+	mu    sync.RWMutex
+	blobs map[Hash][]byte
+
+	counters Counters
+
+	// ShutoffPath is checked before each Lepton encode; if the file exists
+	// the encoder is bypassed and deflate used instead. Production used a
+	// file in /dev/shm so a kill switch propagated in seconds rather than
+	// the 15-45 minutes of a config deploy (§5.7, §6.5).
+	ShutoffPath string
+
+	// Net, when non-nil, receives every chunk's raw bytes on upload.
+	Net SafetyNet
+
+	// ChunkSize for splitting files; 0 means the 4-MiB default.
+	ChunkSize int
+}
+
+// New returns an empty store.
+func New() *Store { return &Store{blobs: map[Hash][]byte{}} }
+
+func (st *Store) shutoff() bool {
+	if st.ShutoffPath == "" {
+		return false
+	}
+	_, err := os.Stat(st.ShutoffPath)
+	return err == nil
+}
+
+// PutFile chunks, compresses, verifies, and admits a file. Chunks that fail
+// the Lepton round trip are stored deflate-compressed instead — the upload
+// never fails for codec reasons (§5.7).
+func (st *Store) PutFile(data []byte) (FileRef, error) {
+	size := st.ChunkSize
+	if size <= 0 {
+		size = chunk.DefaultChunkSize
+	}
+	var comp [][]byte
+	useLepton := !st.shutoff()
+	if !useLepton {
+		atomic.AddInt64(&st.counters.ShutoffSkips, 1)
+	}
+	if useLepton {
+		var err error
+		comp, err = chunk.Compress(data, chunk.Options{ChunkSize: size, VerifyRoundtrip: true})
+		if err != nil {
+			if jpeg.ReasonOf(err) == jpeg.ReasonRoundtrip {
+				atomic.AddInt64(&st.counters.RoundtripFailures, 1)
+			}
+			comp = nil // fall through to deflate
+		}
+	}
+	if comp == nil {
+		comp = rawChunksOf(data, size)
+	}
+	atomic.AddInt64(&st.counters.Encodes, 1)
+	atomic.AddInt64(&st.counters.BytesIn, int64(len(data)))
+
+	ref := FileRef{Size: int64(len(data))}
+	for k, cb := range comp {
+		// Checksum of the compressed bytes before admission; compared with
+		// the stored copy to detect in-memory corruption (§5.7's md5sum).
+		sum := sha256.Sum256(cb)
+		// Admission: the chunk must decode to exactly its input slice.
+		o0 := k * size
+		o1 := o0 + size
+		if o1 > len(data) {
+			o1 = len(data)
+		}
+		back, err := chunk.Decompress(cb)
+		if err != nil || !bytes.Equal(back, data[o0:o1]) {
+			return FileRef{}, fmt.Errorf("store: chunk %d failed admission round trip: %v", k, err)
+		}
+		st.mu.Lock()
+		st.blobs[sum] = cb
+		stored := st.blobs[sum]
+		st.mu.Unlock()
+		if got := sha256.Sum256(stored); got != sum {
+			return FileRef{}, fmt.Errorf("store: chunk %d checksum changed after store", k)
+		}
+		if core.IsLepton(cb) && !isRawMode(cb) {
+			atomic.AddInt64(&st.counters.LeptonChunks, 1)
+		} else {
+			atomic.AddInt64(&st.counters.DeflateChunks, 1)
+		}
+		atomic.AddInt64(&st.counters.BytesStored, int64(len(cb)))
+		if st.Net != nil {
+			if err := st.Net.Put(sum, data[o0:o1]); err != nil {
+				// §6.5: a failing safety net degrades uploads; surface it.
+				return FileRef{}, fmt.Errorf("store: safety net: %w", err)
+			}
+		}
+		ref.Chunks = append(ref.Chunks, sum)
+	}
+	return ref, nil
+}
+
+func isRawMode(cb []byte) bool {
+	return len(cb) >= 4 && cb[3] == core.ModeRaw
+}
+
+func rawChunksOf(data []byte, size int) [][]byte {
+	n := (len(data) + size - 1) / size
+	if n == 0 {
+		n = 1
+	}
+	out := make([][]byte, 0, n)
+	for k := 0; k < n; k++ {
+		o0 := k * size
+		o1 := o0 + size
+		if o1 > len(data) {
+			o1 = len(data)
+		}
+		c := &core.Container{Mode: core.ModeRaw, Raw: data[o0:o1], OutputSize: uint32(o1 - o0)}
+		b, err := c.Marshal()
+		if err != nil {
+			panic("store: raw container marshal cannot fail: " + err.Error())
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// PutCompressedChunk admits an already-compressed chunk, as uploaded by a
+// client running the codec locally (the paper's §7 future work: moving
+// compression to clients saves the 23% in network bandwidth too). The chunk
+// must prove decodable before admission; the caller is expected to have
+// verified the plaintext round trip on its side.
+func (st *Store) PutCompressedChunk(cb []byte) (Hash, error) {
+	if !core.IsLepton(cb) {
+		return Hash{}, errors.New("store: not a Lepton container")
+	}
+	if _, err := chunk.Decompress(cb); err != nil {
+		return Hash{}, fmt.Errorf("store: chunk not decodable: %w", err)
+	}
+	sum := sha256.Sum256(cb)
+	st.mu.Lock()
+	st.blobs[sum] = append([]byte(nil), cb...)
+	st.mu.Unlock()
+	atomic.AddInt64(&st.counters.LeptonChunks, 1)
+	atomic.AddInt64(&st.counters.BytesStored, int64(len(cb)))
+	return sum, nil
+}
+
+// GetChunk decompresses one stored chunk.
+func (st *Store) GetChunk(h Hash) ([]byte, error) {
+	st.mu.RLock()
+	cb, ok := st.blobs[h]
+	st.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("store: unknown chunk %x", h[:8])
+	}
+	atomic.AddInt64(&st.counters.Decodes, 1)
+	return chunk.Decompress(cb)
+}
+
+// GetCompressedChunk returns the stored (compressed) bytes.
+func (st *Store) GetCompressedChunk(h Hash) ([]byte, bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	cb, ok := st.blobs[h]
+	return cb, ok
+}
+
+// GetFile reassembles a file from its reference.
+func (st *Store) GetFile(ref FileRef) ([]byte, error) {
+	out := make([]byte, 0, ref.Size)
+	for _, h := range ref.Chunks {
+		b, err := st.GetChunk(h)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b...)
+	}
+	if int64(len(out)) != ref.Size {
+		return nil, fmt.Errorf("store: reassembled %d bytes, want %d", len(out), ref.Size)
+	}
+	return out, nil
+}
+
+// RecoverFromSafetyNet restores a chunk's raw bytes from the safety net —
+// the disaster-recovery path the team drilled but never needed (§5.7).
+func (st *Store) RecoverFromSafetyNet(h Hash) ([]byte, error) {
+	if st.Net == nil {
+		return nil, errors.New("store: no safety net configured")
+	}
+	raw, ok := st.Net.Get(h)
+	if !ok {
+		return nil, errors.New("store: chunk not in safety net")
+	}
+	return raw, nil
+}
+
+// Counters returns a snapshot of operational statistics.
+func (st *Store) Counters() Counters {
+	return Counters{
+		Encodes:           atomic.LoadInt64(&st.counters.Encodes),
+		Decodes:           atomic.LoadInt64(&st.counters.Decodes),
+		LeptonChunks:      atomic.LoadInt64(&st.counters.LeptonChunks),
+		DeflateChunks:     atomic.LoadInt64(&st.counters.DeflateChunks),
+		RoundtripFailures: atomic.LoadInt64(&st.counters.RoundtripFailures),
+		BytesIn:           atomic.LoadInt64(&st.counters.BytesIn),
+		BytesStored:       atomic.LoadInt64(&st.counters.BytesStored),
+		ShutoffSkips:      atomic.LoadInt64(&st.counters.ShutoffSkips),
+	}
+}

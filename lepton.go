@@ -1,0 +1,220 @@
+// Package lepton is a from-scratch Go implementation of Lepton, the
+// format-specific, fault-tolerant JPEG recompressor Dropbox deployed on its
+// file-storage backend ("The Design, Implementation, and Deployment of a
+// System to Transparently Compress Hundreds of Petabytes of Image Files for
+// a File-Storage Service", NSDI 2017).
+//
+// Lepton losslessly compresses baseline JPEG files by about a quarter: it
+// replaces the file's Huffman coding with an adaptive binary arithmetic
+// coder driven by a large statistic-bin model over DCT coefficients, while
+// guaranteeing bit-exact round trips. The format supports independent
+// decompression of 4-MiB file chunks and multithreaded decoding via
+// "Huffman handover words".
+//
+// Quick start:
+//
+//	res, err := lepton.Compress(jpegBytes, nil)
+//	// store res.Compressed ...
+//	orig, err := lepton.Decompress(res.Compressed)
+//	// orig is byte-identical to jpegBytes
+//
+// Files the codec cannot handle (progressive JPEG, CMYK, corrupt data, ...)
+// are rejected with a classified Reason; callers typically fall back to
+// generic compression, as production did.
+package lepton
+
+import (
+	"errors"
+	"io"
+
+	"lepton/internal/chunk"
+	"lepton/internal/core"
+	"lepton/internal/jpeg"
+	"lepton/internal/model"
+)
+
+// Reason classifies why an input was rejected, matching the paper's §6.2
+// exit-code taxonomy.
+type Reason = jpeg.Reason
+
+// Rejection reasons.
+const (
+	ReasonNone        = jpeg.ReasonNone
+	ReasonProgressive = jpeg.ReasonProgressive
+	ReasonUnsupported = jpeg.ReasonUnsupported
+	ReasonNotImage    = jpeg.ReasonNotImage
+	ReasonCMYK        = jpeg.ReasonCMYK
+	ReasonMemDecode   = jpeg.ReasonMemDecode
+	ReasonMemEncode   = jpeg.ReasonMemEncode
+	ReasonChromaSub   = jpeg.ReasonChromaSub
+	ReasonACRange     = jpeg.ReasonACRange
+	ReasonRoundtrip   = jpeg.ReasonRoundtrip
+	ReasonTruncated   = jpeg.ReasonTruncated
+)
+
+// ReasonOf extracts the rejection reason from an error returned by this
+// package, or ReasonUnsupported for untyped errors, or ReasonNone for nil.
+func ReasonOf(err error) Reason { return jpeg.ReasonOf(err) }
+
+// Options tunes compression. The zero value (or nil) is the deployed
+// production configuration.
+type Options struct {
+	// Threads forces the number of thread segments (1..64); 0 selects by
+	// file size, matching the paper's cutoffs (Figures 7-8).
+	Threads int
+	// SingleModel is the "Lepton 1-way" configuration: one model adapted
+	// across the whole image for maximum compression, single-threaded
+	// decode.
+	SingleModel bool
+	// Verify decodes the output and compares it byte-for-byte against the
+	// input before returning (production admission control, §5.7).
+	Verify bool
+	// CollectStats fills Result.ClassBits/OriginalClassBits (Figure 4).
+	CollectStats bool
+	// DisableEdgePrediction / DisableDCGradient turn off the two headline
+	// predictors (§4.3 ablations).
+	DisableEdgePrediction bool
+	DisableDCGradient     bool
+	// MemDecodeBudget / MemEncodeBudget bound coefficient memory in bytes;
+	// 0 selects the deployed limits (24 MiB / 178 MiB).
+	MemDecodeBudget int64
+	MemEncodeBudget int64
+	// AllowProgressive enables compression of spectral-selection
+	// progressive JPEGs. The deployed system kept this off "for
+	// simplicity" (§6.2) even though the binary could handle them;
+	// successive-approximation files remain rejected either way.
+	AllowProgressive bool
+	// AllowCMYK enables four-component (CMYK) files, the paper's "extra
+	// model for the 4th color channel" — likewise off in production.
+	AllowCMYK bool
+}
+
+func (o *Options) coreOptions() core.EncodeOptions {
+	if o == nil {
+		return core.EncodeOptions{}
+	}
+	flags := model.Flags{
+		EdgePrediction: !o.DisableEdgePrediction,
+		DCGradient:     !o.DisableDCGradient,
+	}
+	return core.EncodeOptions{
+		Flags:            &flags,
+		ForceSegments:    o.Threads,
+		SingleModel:      o.SingleModel,
+		VerifyRoundtrip:  o.Verify,
+		CollectStats:     o.CollectStats,
+		MemDecodeBudget:  o.MemDecodeBudget,
+		MemEncodeBudget:  o.MemEncodeBudget,
+		AllowProgressive: o.AllowProgressive,
+		AllowCMYK:        o.AllowCMYK,
+	}
+}
+
+// Result holds compression output and accounting.
+type Result struct {
+	// Compressed is the Lepton container.
+	Compressed []byte
+	// Threads is the thread-segment count used.
+	Threads int
+	// ClassBits / OriginalClassBits break the compressed and original scan
+	// down by coefficient class (7x7, 7x1/1x7, DC) when CollectStats was
+	// set; see Figure 4.
+	ClassBits         [model.NumClasses]float64
+	OriginalClassBits [model.NumClasses]int64
+	// HeaderOriginal is the verbatim JPEG header size in bytes.
+	HeaderOriginal int
+	// ContainerOverhead is the container size minus the arithmetic
+	// streams: the zlib-compressed header plus format framing.
+	ContainerOverhead int
+}
+
+// Compress compresses one whole baseline JPEG file. opts may be nil.
+func Compress(data []byte, opts *Options) (*Result, error) {
+	res, err := core.Encode(data, opts.coreOptions())
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Compressed:        res.Compressed,
+		Threads:           res.Segments,
+		ClassBits:         res.ClassBits,
+		OriginalClassBits: res.OriginalClassBits,
+		HeaderOriginal:    res.HeaderOriginal,
+		ContainerOverhead: res.HeaderCompressed,
+	}, nil
+}
+
+// Decompress reconstructs the exact original bytes of a compressed file or
+// chunk.
+func Decompress(comp []byte) ([]byte, error) {
+	return core.Decode(comp, 0)
+}
+
+// DecompressTo streams the reconstruction to w with low time-to-first-byte:
+// output is written segment by segment as decoding completes (§3.4).
+func DecompressTo(w io.Writer, comp []byte) error {
+	return core.DecodeTo(w, comp, 0)
+}
+
+// IsCompressed reports whether data begins with the Lepton magic number
+// (0xCF 0x84, A.1).
+func IsCompressed(data []byte) bool { return core.IsLepton(data) }
+
+// ChunkSize is the Dropbox block size: files are stored as independent
+// chunks of at most this many bytes (§1).
+const ChunkSize = chunk.DefaultChunkSize
+
+// ChunkOptions tunes chunked compression.
+type ChunkOptions struct {
+	// ChunkSize in bytes; 0 means ChunkSize (4 MiB).
+	ChunkSize int
+	// Verify round-trips every chunk before returning.
+	Verify bool
+	// Threads forces the per-chunk segment count; 0 selects by size.
+	Threads int
+}
+
+// CompressChunks splits data at fixed chunk boundaries and compresses each
+// chunk independently. Any chunk — including chunks beginning mid-scan or
+// mid-Huffman-symbol — can later be decompressed on its own with
+// Decompress/DecompressChunk. Inputs Lepton cannot handle come back as
+// deflate-compressed raw chunks rather than an error.
+func CompressChunks(data []byte, opts *ChunkOptions) ([][]byte, error) {
+	var o chunk.Options
+	if opts != nil {
+		o.ChunkSize = opts.ChunkSize
+		o.VerifyRoundtrip = opts.Verify
+		o.SegmentsPerChunk = opts.Threads
+	}
+	return chunk.Compress(data, o)
+}
+
+// DecompressChunk reconstructs one chunk's original bytes, independently of
+// every other chunk.
+func DecompressChunk(chunkData []byte) ([]byte, error) {
+	return chunk.Decompress(chunkData)
+}
+
+// ReassembleChunks decompresses a chunk sequence and concatenates the
+// results into the original file.
+func ReassembleChunks(chunks [][]byte) ([]byte, error) {
+	return chunk.Reassemble(chunks)
+}
+
+// Verify round-trips data through compress and decompress and reports
+// whether the reconstruction is exact. It is the admission check production
+// ran before accepting any chunk into storage (§5.7).
+func Verify(data []byte, opts *Options) error {
+	o := &Options{}
+	if opts != nil {
+		c := *opts
+		o = &c
+	}
+	o.Verify = true
+	_, err := Compress(data, o)
+	return err
+}
+
+// ErrNotLepton is returned by Decompress when the payload lacks the Lepton
+// magic.
+var ErrNotLepton = errors.New("lepton: not a Lepton container")

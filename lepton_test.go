@@ -1,0 +1,204 @@
+package lepton_test
+
+import (
+	"bytes"
+	"testing"
+
+	"lepton"
+	"lepton/internal/huffman"
+	"lepton/internal/imagegen"
+	"lepton/internal/jpeg"
+)
+
+func gen(t testing.TB, seed int64, w, h int) []byte {
+	t.Helper()
+	data, err := imagegen.Generate(seed, w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestPublicCompressDecompress(t *testing.T) {
+	data := gen(t, 1, 320, 240)
+	res, err := lepton.Compress(data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lepton.IsCompressed(res.Compressed) {
+		t.Fatal("missing magic")
+	}
+	back, err := lepton.Decompress(res.Compressed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, data) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestPublicOptions(t *testing.T) {
+	data := gen(t, 2, 400, 300)
+	res, err := lepton.Compress(data, &lepton.Options{Threads: 4, Verify: true, CollectStats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Threads != 4 {
+		t.Fatalf("threads = %d", res.Threads)
+	}
+	var bits float64
+	for _, b := range res.ClassBits {
+		bits += b
+	}
+	if bits == 0 {
+		t.Fatal("stats not collected")
+	}
+}
+
+func TestPublicStreaming(t *testing.T) {
+	data := gen(t, 3, 256, 256)
+	res, err := lepton.Compress(data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := lepton.DecompressTo(&buf, res.Compressed); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), data) {
+		t.Fatal("streamed decompress mismatch")
+	}
+}
+
+func TestPublicChunks(t *testing.T) {
+	data := gen(t, 4, 512, 384)
+	chunks, err := lepton.CompressChunks(data, &lepton.ChunkOptions{ChunkSize: 8 << 10, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := lepton.ReassembleChunks(chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, data) {
+		t.Fatal("chunk reassembly mismatch")
+	}
+	// One chunk alone.
+	one, err := lepton.DecompressChunk(chunks[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(one, data[8<<10:16<<10]) {
+		t.Fatal("independent chunk mismatch")
+	}
+}
+
+func TestPublicVerify(t *testing.T) {
+	data := gen(t, 5, 128, 128)
+	if err := lepton.Verify(data, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicRejection(t *testing.T) {
+	_, err := lepton.Compress(imagegen.MakeProgressive(gen(t, 6, 64, 64)), nil)
+	if lepton.ReasonOf(err) != lepton.ReasonProgressive {
+		t.Fatalf("reason = %v", lepton.ReasonOf(err))
+	}
+	if lepton.ReasonOf(nil) != lepton.ReasonNone {
+		t.Fatal("nil must map to ReasonNone")
+	}
+}
+
+func TestPublicAblations(t *testing.T) {
+	data := gen(t, 7, 256, 192)
+	full, err := lepton.Compress(data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abl, err := lepton.Compress(data, &lepton.Options{DisableEdgePrediction: true, DisableDCGradient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(abl.Compressed) <= len(full.Compressed) {
+		t.Fatalf("ablated model (%d) not worse than full (%d)",
+			len(abl.Compressed), len(full.Compressed))
+	}
+	back, err := lepton.Decompress(abl.Compressed)
+	if err != nil || !bytes.Equal(back, data) {
+		t.Fatal("ablated stream must still round trip")
+	}
+}
+
+func TestPublicProgressive(t *testing.T) {
+	// Build a spectral-selection progressive file via the internal helper
+	// path, then exercise the public opt-in.
+	base := gen(t, 8, 200, 150)
+	res, err := lepton.Compress(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+	prog := progressiveSample(t, 8, 200, 150)
+	if _, err := lepton.Compress(prog, nil); lepton.ReasonOf(err) != lepton.ReasonProgressive {
+		t.Fatalf("progressive accepted by default: %v", err)
+	}
+	pres, err := lepton.Compress(prog, &lepton.Options{AllowProgressive: true, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := lepton.Decompress(pres.Compressed)
+	if err != nil || !bytes.Equal(back, prog) {
+		t.Fatal("progressive public round trip failed")
+	}
+}
+
+func TestPublicCMYK(t *testing.T) {
+	img := imagegen.Synthesize(9, 120, 90)
+	cmyk, err := imagegen.EncodeJPEG(img, imagegen.Options{Quality: 85, CMYK: true, PadBit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lepton.Compress(cmyk, nil); lepton.ReasonOf(err) != lepton.ReasonCMYK {
+		t.Fatalf("CMYK accepted by default: %v", err)
+	}
+	res, err := lepton.Compress(cmyk, &lepton.Options{AllowCMYK: true, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := lepton.Decompress(res.Compressed)
+	if err != nil || !bytes.Equal(back, cmyk) {
+		t.Fatal("CMYK public round trip failed")
+	}
+}
+
+func progressiveSample(t testing.TB, seed int64, w, h int) []byte {
+	t.Helper()
+	img := imagegen.Synthesize(seed, w, h)
+	base, err := imagegen.EncodeJPEG(img, imagegen.Options{Quality: 85, SubsampleChroma: true, PadBit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := jpeg.Parse(base, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := jpeg.DecodeScan(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := &jpeg.ProgressiveSpec{}
+	spec.Width, spec.Height = f.Width, f.Height
+	for _, c := range f.Components {
+		spec.Components = append(spec.Components, jpeg.Component{ID: c.ID, H: c.H, V: c.V, TQ: c.TQ})
+	}
+	spec.Quant = f.Quant
+	spec.DC = [4]*huffman.Spec{&huffman.StdDCLuminance, &huffman.StdDCChrominance}
+	spec.AC = [4]*huffman.Spec{&huffman.StdACLuminance, &huffman.StdACChrominance}
+	spec.PadBit = 1
+	data, err := jpeg.WriteProgressive(spec, s.Coeff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
