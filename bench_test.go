@@ -58,6 +58,9 @@ func corpusBytes() int64 {
 func benchCodecCompress(b *testing.B, c baseline.Codec) {
 	loadCorpus(b)
 	b.SetBytes(corpusBytes())
+	// allocs/op makes the one-shot vs pooled-codec difference visible:
+	// compare the "lepton" and "lepton-pooled" rows.
+	b.ReportAllocs()
 	var out, in int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -87,6 +90,7 @@ func benchCodecDecompress(b *testing.B, c baseline.Codec) {
 		comps = append(comps, comp)
 	}
 	b.SetBytes(corpusBytes())
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, comp := range comps {
@@ -100,6 +104,7 @@ func benchCodecDecompress(b *testing.B, c baseline.Codec) {
 func allBenchCodecs() []baseline.Codec {
 	return []baseline.Codec{
 		baseline.Lepton{},
+		baseline.LeptonPooled{},
 		baseline.Lepton1Way{},
 		baseline.PackJPGStyle{},
 		baseline.SpecArith{},

@@ -26,10 +26,13 @@ func main() {
 	dedicated := flag.String("dedicated", "", "comma-separated dedicated outsourcing targets")
 	peers := flag.String("peers", "", "comma-separated peer blockservers for to-self outsourcing")
 	threshold := flag.Int("threshold", 3, "outsource when more conversions than this are in flight")
+	maxConcurrent := flag.Int("max-concurrent", server.DefaultMaxConcurrent,
+		"bound on conversions running at once (the shared worker pool); extra requests queue")
 	flag.Parse()
 
 	b := &server.Blockserver{
 		OutsourceThreshold: *threshold,
+		MaxConcurrent:      *maxConcurrent,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "blockserverd: "+format+"\n", args...)
 		},

@@ -13,8 +13,10 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -23,6 +25,10 @@ import (
 	"lepton"
 	"lepton/internal/core"
 )
+
+// codec is shared across subcommands so multi-file operations (chunking in
+// particular) reuse pooled model state.
+var codec = lepton.NewCodec()
 
 func main() {
 	if len(os.Args) < 2 {
@@ -73,7 +79,7 @@ func cmdCompress(args []string) error {
 		return err
 	}
 	start := time.Now()
-	res, err := lepton.Compress(data, &lepton.Options{
+	res, err := codec.Compress(data, &lepton.Options{
 		Threads: *threads, Verify: *verify, SingleModel: *oneWay,
 		AllowProgressive: *progressive,
 	})
@@ -103,18 +109,69 @@ func cmdDecompress(args []string) error {
 		return err
 	}
 	start := time.Now()
-	out, err := lepton.Decompress(comp)
+	// Stream the reconstruction into the output file, segment by segment,
+	// instead of buffering it whole.
+	n, err := streamToFile(fs.Arg(1), func(w io.Writer) error {
+		return codec.DecompressTo(w, comp)
+	})
 	if err != nil {
-		return err
-	}
-	if err := os.WriteFile(fs.Arg(1), out, 0o644); err != nil {
 		return err
 	}
 	el := time.Since(start)
 	fmt.Printf("%d -> %d bytes, %.0f ms, %.1f Mbps\n",
-		len(comp), len(out), float64(el.Milliseconds()),
-		float64(len(out))*8/1e6/el.Seconds())
+		len(comp), n, float64(el.Milliseconds()),
+		float64(n)*8/1e6/el.Seconds())
 	return nil
+}
+
+// streamToFile streams fill's output into path via a temp file renamed into
+// place on success, so a failed decode never truncates or corrupts an
+// existing output file. Returns the byte count written.
+func streamToFile(path string, fill func(io.Writer) error) (int64, error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".lepton-*")
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	bw := bufio.NewWriter(tmp)
+	cw := &countingWriter{w: bw}
+	if err := fill(cw); err != nil {
+		return 0, err
+	}
+	if err := bw.Flush(); err != nil {
+		return 0, err
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, err
+	}
+	name := tmp.Name()
+	tmp = nil
+	if err := os.Chmod(name, 0o644); err != nil {
+		os.Remove(name)
+		return 0, err
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return 0, err
+	}
+	return cw.n, nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }
 
 func cmdVerify(args []string) error {
@@ -127,7 +184,7 @@ func cmdVerify(args []string) error {
 	if err != nil {
 		return err
 	}
-	if err := lepton.Verify(data, nil); err != nil {
+	if err := codec.Verify(data, nil); err != nil {
 		return fmt.Errorf("FAILED: %v (reason: %v)", err, lepton.ReasonOf(err))
 	}
 	fmt.Println("round trip OK")
@@ -141,27 +198,34 @@ func cmdChunk(args []string) error {
 	if fs.NArg() != 2 {
 		return fmt.Errorf("chunk: need input path and output directory")
 	}
-	data, err := os.ReadFile(fs.Arg(0))
+	in, err := os.Open(fs.Arg(0))
 	if err != nil {
 		return err
 	}
-	chunks, err := lepton.CompressChunks(data, &lepton.ChunkOptions{ChunkSize: *size, Verify: true})
+	defer in.Close()
+	st, err := in.Stat()
 	if err != nil {
 		return err
 	}
 	if err := os.MkdirAll(fs.Arg(1), 0o755); err != nil {
 		return err
 	}
-	total := 0
-	for i, c := range chunks {
-		name := filepath.Join(fs.Arg(1), fmt.Sprintf("chunk-%04d.lep", i))
-		if err := os.WriteFile(name, c, 0o644); err != nil {
-			return err
-		}
-		total += len(c)
+	// Stream the input: chunks are written as they are produced, so files
+	// larger than the encoder's memory budget flow through in raw mode
+	// without ever being held whole.
+	total, nChunks := 0, 0
+	err = codec.CompressChunksFrom(in, &lepton.ChunkOptions{ChunkSize: *size, Verify: true},
+		func(c []byte) error {
+			name := filepath.Join(fs.Arg(1), fmt.Sprintf("chunk-%04d.lep", nChunks))
+			nChunks++
+			total += len(c)
+			return os.WriteFile(name, c, 0o644)
+		})
+	if err != nil {
+		return err
 	}
 	fmt.Printf("%d chunks, %d -> %d bytes (%.2f%% savings)\n",
-		len(chunks), len(data), total, 100*(1-float64(total)/float64(len(data))))
+		nChunks, st.Size(), total, 100*(1-float64(total)/float64(st.Size())))
 	return nil
 }
 
@@ -187,14 +251,20 @@ func cmdUnchunk(args []string) error {
 		}
 		chunks = append(chunks, c)
 	}
-	out, err := lepton.ReassembleChunks(chunks)
+	// Decode chunk by chunk straight into the output file: peak memory is
+	// one chunk, not the whole file.
+	n, err := streamToFile(fs.Arg(1), func(w io.Writer) error {
+		for _, c := range chunks {
+			if err := codec.DecompressTo(w, c); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(fs.Arg(1), out, 0o644); err != nil {
-		return err
-	}
-	fmt.Printf("reassembled %d bytes from %d chunks\n", len(out), len(chunks))
+	fmt.Printf("reassembled %d bytes from %d chunks\n", n, len(chunks))
 	return nil
 }
 

@@ -50,12 +50,15 @@ func main() {
 	start := time.Now()
 	var wg sync.WaitGroup
 	work := make(chan []byte)
+	// One pooled codec shared by every worker: the long-lived backfill
+	// process reuses model tables instead of allocating them per file.
+	codec := lepton.NewCodec()
 	for w := 0; w < runtime.NumCPU(); w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for data := range work {
-				res, err := lepton.Compress(data, &lepton.Options{Verify: true})
+				res, err := codec.Compress(data, &lepton.Options{Verify: true})
 				if err != nil {
 					log.Fatalf("backfill: %v", err)
 				}

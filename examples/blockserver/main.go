@@ -48,21 +48,28 @@ func main() {
 	fmt.Printf("frontend on %s\nworker on %s\n", frontAddr, workerAddr)
 
 	// Eight clients upload photos concurrently — a burst like a camera
-	// roll syncing.
+	// roll syncing. Each client holds one persistent connection and issues
+	// all of its requests on it; the server's request loop serves them
+	// back to back with no reconnects.
 	var wg sync.WaitGroup
 	for i := 0; i < 8; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			cl, err := server.Dial(frontAddr, 5*time.Second)
+			if err != nil {
+				log.Fatalf("client %d dial: %v", i, err)
+			}
+			defer cl.Close()
 			data, err := imagegen.Generate(int64(i), 512, 384)
 			if err != nil {
 				log.Fatal(err)
 			}
-			comp, err := server.Do(frontAddr, server.OpCompress, data, 30*time.Second)
+			comp, err := cl.Do(server.OpCompress, data, 30*time.Second)
 			if err != nil {
 				log.Fatalf("client %d: %v", i, err)
 			}
-			back, err := server.Do(frontAddr, server.OpDecompress, comp, 30*time.Second)
+			back, err := cl.Do(server.OpDecompress, comp, 30*time.Second)
 			if err != nil {
 				log.Fatalf("client %d decompress: %v", i, err)
 			}

@@ -29,8 +29,17 @@ func main() {
 	fmt.Printf("input: %d bytes (%d chunks of %d KiB)\n",
 		len(data), (len(data)+chunkSize-1)/chunkSize, chunkSize>>10)
 
-	// Path 1: the raw chunk API.
-	chunks, err := lepton.CompressChunks(data, &lepton.ChunkOptions{ChunkSize: chunkSize, Verify: true})
+	// Path 1: the streaming chunk API — chunks are emitted as produced, so
+	// the input could just as well be a Reader over a file larger than
+	// memory.
+	codec := lepton.NewCodec()
+	var chunks [][]byte
+	err = codec.CompressChunksFrom(bytes.NewReader(data),
+		&lepton.ChunkOptions{ChunkSize: chunkSize, Verify: true},
+		func(c []byte) error {
+			chunks = append(chunks, c)
+			return nil
+		})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,7 +53,7 @@ func main() {
 	// Decompress chunks in random order, each fully independently: no
 	// shared state, no other chunk's bytes.
 	for _, k := range rand.New(rand.NewSource(1)).Perm(len(chunks)) {
-		part, err := lepton.DecompressChunk(chunks[k])
+		part, err := codec.DecompressChunk(chunks[k])
 		if err != nil {
 			log.Fatalf("chunk %d: %v", k, err)
 		}

@@ -26,9 +26,13 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// A reusable codec: anything converting more than one file should hold
+	// one so the model tables and planes are pooled across conversions.
+	codec := lepton.NewCodec()
+
 	// Compress. The zero options are the deployed production configuration:
 	// thread count by file size, full prediction model.
-	res, err := lepton.Compress(data, nil)
+	res, err := codec.Compress(data, nil)
 	if err != nil {
 		log.Fatalf("compress: %v (reason: %v)", err, lepton.ReasonOf(err))
 	}
@@ -38,7 +42,7 @@ func main() {
 
 	// Decompress and verify bit-exactness — the property the whole system
 	// is built around.
-	back, err := lepton.Decompress(res.Compressed)
+	back, err := codec.Decompress(res.Compressed)
 	if err != nil {
 		log.Fatalf("decompress: %v", err)
 	}
@@ -50,7 +54,7 @@ func main() {
 	// Streaming decompression writes output as segments complete, for low
 	// time-to-first-byte on the serving path.
 	var buf bytes.Buffer
-	if err := lepton.DecompressTo(&buf, res.Compressed); err != nil {
+	if err := codec.DecompressTo(&buf, res.Compressed); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("streaming decode produced %d bytes\n", buf.Len())

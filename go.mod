@@ -1,0 +1,3 @@
+module lepton
+
+go 1.24

@@ -188,3 +188,28 @@ func (PackJPGStyle) Decompress(comp []byte) ([]byte, error) {
 	}
 	return buf.Bytes(), nil
 }
+
+// LeptonPooled is the blockserver-service configuration introduced by the
+// streaming/pooled codec pipeline: one long-lived core.Codec whose pools
+// carry model tables, coefficient planes, and scratch across conversions.
+// Output is byte-identical to Lepton; only steady-state allocation differs.
+type LeptonPooled struct{}
+
+// pooledCodec is shared by every LeptonPooled value, mirroring a process-
+// wide service codec.
+var pooledCodec = core.NewCodec()
+
+func (LeptonPooled) Name() string         { return "lepton-pooled" }
+func (LeptonPooled) FilePreserving() bool { return true }
+
+func (LeptonPooled) Compress(data []byte) ([]byte, error) {
+	res, err := pooledCodec.Encode(data, core.EncodeOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return res.Compressed, nil
+}
+
+func (LeptonPooled) Decompress(comp []byte) ([]byte, error) {
+	return pooledCodec.Decode(comp, 0)
+}

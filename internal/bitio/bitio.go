@@ -225,17 +225,21 @@ func (r *Reader) ReadBits(n uint8) (uint32, error) {
 func (r *Reader) AtMarker() (bool, byte) { return r.atMarker, r.marker }
 
 // AlignSkipPad consumes pad bits up to the next byte boundary and returns
-// them. JPEG encoders pad with all-zero or all-one bits; the caller inspects
-// the returned bits to detect the pad bit in use.
-func (r *Reader) AlignSkipPad() (bits []uint8, err error) {
+// them by value: bits[:n] holds the (at most 7) pad bits observed. JPEG
+// encoders pad with all-zero or all-one bits; the caller inspects the
+// returned bits to detect the pad bit in use. The by-value return keeps
+// this allocation-free — it runs once per restart marker, which dominated
+// the decode loop's allocation count when it returned a heap slice.
+func (r *Reader) AlignSkipPad() (bits [7]uint8, n int, err error) {
 	for r.bit != 0 {
 		b, err := r.ReadBit()
 		if err != nil {
-			return bits, err
+			return bits, n, err
 		}
-		bits = append(bits, b)
+		bits[n] = b
+		n++
 	}
-	return bits, nil
+	return bits, n, nil
 }
 
 // SkipMarker consumes the pending marker (0xFF plus code byte), allowing the

@@ -136,14 +136,14 @@ func TestAlignSkipPad(t *testing.T) {
 	if _, err := r.ReadBits(2); err != nil {
 		t.Fatal(err)
 	}
-	pad, err := r.AlignSkipPad()
+	pad, n, err := r.AlignSkipPad()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(pad) != 6 {
-		t.Fatalf("pad len = %d", len(pad))
+	if n != 6 {
+		t.Fatalf("pad len = %d", n)
 	}
-	for _, b := range pad {
+	for _, b := range pad[:n] {
 		if b != 1 {
 			t.Fatalf("pad bit = %d", b)
 		}

@@ -24,6 +24,7 @@ package chunk
 import (
 	"bytes"
 	"fmt"
+	"io"
 
 	"lepton/internal/core"
 	"lepton/internal/jpeg"
@@ -45,6 +46,16 @@ type Options struct {
 	// VerifyRoundtrip decompresses every chunk and compares against the
 	// original bytes before returning (production admission, §5.7).
 	VerifyRoundtrip bool
+	// Codec, when non-nil, supplies pooled encode/decode state shared with
+	// other conversions; nil allocates fresh state per chunk (one-shot).
+	Codec *core.Codec
+	// BufferLimit bounds how much of a stream CompressFrom holds in memory
+	// while deciding whether the input is a compressible JPEG; 0 means the
+	// deployed encode budget (core.DefaultMemEncodeBudget). Streams larger
+	// than the limit are chunk-compressed incrementally in raw (deflate)
+	// mode with O(ChunkSize) memory — the same treatment production gave
+	// files over the memory budget (§6.2).
+	BufferLimit int64
 }
 
 // Compress splits data into chunks and compresses each one independently.
@@ -61,6 +72,79 @@ func Compress(data []byte, opt Options) ([][]byte, error) {
 	if nChunks == 0 {
 		nChunks = 1
 	}
+	out := make([][]byte, 0, nChunks)
+	err := compressAll(data, opt, func(chunk []byte) error {
+		out = append(out, chunk)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CompressFrom chunk-compresses the stream r incrementally, calling emit
+// with each finished chunk in order. It buffers at most
+// Options.BufferLimit bytes: a stream that fits is treated exactly like
+// Compress (JPEGs get the full Lepton treatment, with output identical to
+// CompressChunks on the same bytes); a larger stream — which could never
+// pass the encoder's memory admission check anyway — is deflated chunk by
+// chunk without ever holding the whole input, so files larger than memory
+// stream through in constant space.
+func CompressFrom(r io.Reader, opt Options, emit func(chunk []byte) error) error {
+	size := opt.ChunkSize
+	if size <= 0 {
+		size = DefaultChunkSize
+	}
+	limit := opt.BufferLimit
+	if limit <= 0 {
+		limit = core.DefaultMemEncodeBudget
+	}
+	// Read one byte past the limit so "exactly at the limit" still takes
+	// the whole-file path.
+	buf, err := io.ReadAll(io.LimitReader(r, limit+1))
+	if err != nil {
+		return err
+	}
+	if int64(len(buf)) <= limit {
+		return compressAll(buf, opt, emit)
+	}
+	// Over budget: raw-chunk the buffered prefix and the rest of the
+	// stream without further buffering.
+	src := io.MultiReader(bytes.NewReader(buf), r)
+	chunkBuf := make([]byte, size)
+	for {
+		n, err := io.ReadFull(src, chunkBuf)
+		if n > 0 {
+			c, merr := rawContainerPooled(chunkBuf[:n], opt.Codec)
+			if merr != nil {
+				return merr
+			}
+			if err := emit(c); err != nil {
+				return err
+			}
+		}
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// compressAll is the shared whole-input path behind Compress and
+// CompressFrom, emitting chunks in order as they are produced.
+func compressAll(data []byte, opt Options, emit func(chunk []byte) error) error {
+	size := opt.ChunkSize
+	if size <= 0 {
+		size = DefaultChunkSize
+	}
+	nChunks := (len(data) + size - 1) / size
+	if nChunks == 0 {
+		nChunks = 1
+	}
+	codec := opt.Codec
 
 	f, err := jpeg.Parse(data, core.DefaultMemEncodeBudget)
 	var s *jpeg.Scan
@@ -73,7 +157,7 @@ func Compress(data []byte, opt Options) ([][]byte, error) {
 	}
 	if err != nil {
 		// Not a (supported) JPEG: raw chunks.
-		return rawChunks(data, size), nil
+		return emitRawChunks(data, size, emit)
 	}
 
 	flags := model.DefaultFlags()
@@ -105,7 +189,6 @@ func Compress(data []byte, opt Options) ([][]byte, error) {
 		return lo * f.MCUsWide
 	}
 
-	out := make([][]byte, 0, nChunks)
 	for k := 0; k < nChunks; k++ {
 		o0 := int64(k) * int64(size)
 		o1 := o0 + int64(size)
@@ -115,18 +198,20 @@ func Compress(data []byte, opt Options) ([][]byte, error) {
 		chunkBytes, err := compressOne(data, f, s, flags, opt, k, o0, o1,
 			scanStart, scanEnd, total, absPos, rowStartAtOrAfter)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if opt.VerifyRoundtrip {
-			back, err := core.Decode(chunkBytes, 0)
+			back, err := codec.Decode(chunkBytes, 0)
 			if err != nil || !bytes.Equal(back, data[o0:o1]) {
-				return nil, &jpeg.Error{Reason: jpeg.ReasonRoundtrip,
+				return &jpeg.Error{Reason: jpeg.ReasonRoundtrip,
 					Detail: fmt.Sprintf("chunk %d does not round trip", k)}
 			}
 		}
-		out = append(out, chunkBytes)
+		if err := emit(chunkBytes); err != nil {
+			return err
+		}
 	}
-	return out, nil
+	return nil
 }
 
 func compressOne(data []byte, f *jpeg.File, s *jpeg.Scan, flags model.Flags,
@@ -135,7 +220,7 @@ func compressOne(data []byte, f *jpeg.File, s *jpeg.Scan, flags model.Flags,
 
 	// Chunks entirely outside the scan hold verbatim data.
 	if o1 <= scanStart || o0 >= scanEnd {
-		return rawContainer(data[o0:o1])
+		return rawContainerPooled(data[o0:o1], opt.Codec)
 	}
 	mStart := rowStartAtOrAfter(o0)
 	mEnd := rowStartAtOrAfter(o1)
@@ -147,7 +232,7 @@ func compressOne(data []byte, f *jpeg.File, s *jpeg.Scan, flags model.Flags,
 	}
 	if mStart >= mEnd {
 		// No MCU row starts inside this chunk; store it verbatim.
-		return rawContainer(data[o0:o1])
+		return rawContainerPooled(data[o0:o1], opt.Codec)
 	}
 
 	prependFrom := o0
@@ -191,10 +276,12 @@ func compressOne(data []byte, f *jpeg.File, s *jpeg.Scan, flags model.Flags,
 	if nSeg == 0 {
 		nSeg = core.SegmentCountFor(int(o1 - o0))
 	}
-	segs, streams, _ := core.EncodeSegments(f, s, mStart, mEnd, nSeg, flags, false)
+	segs, streams, _, release := opt.Codec.EncodeSegments(f, s, mStart, mEnd, nSeg, flags, false)
 	c.Segments = segs
 	c.Streams = streams
-	return c.Marshal()
+	b, err := opt.Codec.MarshalContainer(c)
+	release()
+	return b, err
 }
 
 func flagsByteOf(flags model.Flags) uint8 {
@@ -208,12 +295,11 @@ func flagsByteOf(flags model.Flags) uint8 {
 	return v
 }
 
-func rawChunks(data []byte, size int) [][]byte {
+func emitRawChunks(data []byte, size int, emit func([]byte) error) error {
 	n := (len(data) + size - 1) / size
 	if n == 0 {
 		n = 1
 	}
-	out := make([][]byte, 0, n)
 	for k := 0; k < n; k++ {
 		o0 := k * size
 		o1 := o0 + size
@@ -225,14 +311,20 @@ func rawChunks(data []byte, size int) [][]byte {
 			// Marshal of a raw container cannot fail; defensive only.
 			panic(err)
 		}
-		out = append(out, b)
+		if err := emit(b); err != nil {
+			return err
+		}
 	}
-	return out
+	return nil
 }
 
 func rawContainer(payload []byte) ([]byte, error) {
+	return rawContainerPooled(payload, nil)
+}
+
+func rawContainerPooled(payload []byte, codec *core.Codec) ([]byte, error) {
 	c := &core.Container{Mode: core.ModeRaw, Raw: payload, OutputSize: uint32(len(payload))}
-	return c.Marshal()
+	return codec.MarshalContainer(c)
 }
 
 // Decompress reconstructs one chunk's original bytes. Chunks are fully
@@ -243,9 +335,15 @@ func Decompress(chunkData []byte) ([]byte, error) {
 
 // Reassemble decompresses all chunks and concatenates them.
 func Reassemble(chunks [][]byte) ([]byte, error) {
+	return ReassembleWith(nil, chunks)
+}
+
+// ReassembleWith is Reassemble drawing decode state from codec's pools
+// (nil codec = one-shot).
+func ReassembleWith(codec *core.Codec, chunks [][]byte) ([]byte, error) {
 	var out []byte
 	for i, ch := range chunks {
-		b, err := Decompress(ch)
+		b, err := codec.Decode(ch, 0)
 		if err != nil {
 			return nil, fmt.Errorf("chunk %d: %w", i, err)
 		}

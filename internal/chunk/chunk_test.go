@@ -191,3 +191,89 @@ func TestChunkQuickRandomSizes(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestCompressFromMatchesCompress checks the streaming entry point produces
+// byte-identical chunks to the in-memory path for a stream that fits the
+// buffer limit, both with and without a shared pooled codec.
+func TestCompressFromMatchesCompress(t *testing.T) {
+	data := gen(t, 61, 512, 384)
+	opt := chunk.Options{ChunkSize: 32 << 10}
+	want, err := chunk.Compress(data, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, codec := range []*core.Codec{nil, core.NewCodec()} {
+		o := opt
+		o.Codec = codec
+		var got [][]byte
+		err = chunk.CompressFrom(bytes.NewReader(data), o, func(c []byte) error {
+			got = append(got, append([]byte(nil), c...))
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("chunk count %d != %d", len(got), len(want))
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], want[i]) {
+				t.Fatalf("chunk %d differs between CompressFrom and Compress", i)
+			}
+		}
+	}
+}
+
+// TestCompressFromOverBudgetStreamsRaw feeds a stream larger than the buffer
+// limit: it must be chunked incrementally in raw mode and still reassemble
+// exactly.
+func TestCompressFromOverBudgetStreamsRaw(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	data := make([]byte, 300<<10)
+	rng.Read(data)
+	opt := chunk.Options{ChunkSize: 32 << 10, BufferLimit: 64 << 10, Codec: core.NewCodec()}
+	var chunks [][]byte
+	err := chunk.CompressFrom(bytes.NewReader(data), opt, func(c []byte) error {
+		chunks = append(chunks, c)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := (len(data) + (32 << 10) - 1) / (32 << 10); len(chunks) != want {
+		t.Fatalf("chunk count %d, want %d", len(chunks), want)
+	}
+	back, err := chunk.Reassemble(chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, data) {
+		t.Fatal("over-budget stream did not reassemble")
+	}
+}
+
+// TestCompressWithSharedCodec runs the chunk path repeatedly through one
+// codec and cross-checks outputs against the one-shot path.
+func TestCompressWithSharedCodec(t *testing.T) {
+	codec := core.NewCodec()
+	for seed := int64(71); seed < 74; seed++ {
+		data := gen(t, seed, 320, 240)
+		want, err := chunk.Compress(data, chunk.Options{ChunkSize: 16 << 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := chunk.Compress(data, chunk.Options{ChunkSize: 16 << 10, Codec: codec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], want[i]) {
+				t.Fatalf("seed %d chunk %d: pooled chunk differs", seed, i)
+			}
+		}
+		back, err := chunk.Reassemble(got)
+		if err != nil || !bytes.Equal(back, data) {
+			t.Fatalf("seed %d: reassembly failed (%v)", seed, err)
+		}
+	}
+}

@@ -15,6 +15,33 @@ func shortConfig() Config {
 	return cfg
 }
 
+// scaleDown shrinks a simulation for `go test -short`: a quarter-size fleet
+// with proportionally scaled arrivals keeps per-server load — and with it
+// every figure's qualitative shape (diurnal peaks, weekday/weekend
+// structure, outsourcing orderings) — while cutting runtime from minutes to
+// seconds. Full-scale parameters still run in the default (non-short) mode
+// and in CI's full pass.
+func scaleDown(t *testing.T) ConfigOption {
+	t.Helper()
+	if !testing.Short() {
+		return func(*Config) {}
+	}
+	return func(cfg *Config) {
+		// Shrink the fleet and the fleet-wide arrival rate by the same
+		// factor: per-machine load — the quantity every figure's dynamics
+		// depend on — is unchanged, while total simulated jobs (the cost
+		// driver) drop proportionally.
+		n := max(5, cfg.Blockservers/4)
+		f := float64(cfg.Blockservers) / float64(n)
+		cfg.Blockservers = n
+		// Round the dedicated pool up: rounding down starves the
+		// ToDedicated strategy of proportionally more capacity than the
+		// fleet lost, inverting Figure 10's ordering at small scale.
+		cfg.DedicatedServers = max(2, int(math.Ceil(float64(cfg.DedicatedServers)/f)))
+		cfg.EncodesPerSecond /= f
+	}
+}
+
 func TestSimRunsAndConserves(t *testing.T) {
 	cfg := shortConfig()
 	m := NewSim(cfg).Run()
@@ -52,6 +79,8 @@ func TestSimDeterministic(t *testing.T) {
 
 func TestOutsourcingReducesTail(t *testing.T) {
 	// Figure 10's headline: outsourcing halves the p99 at peak.
+	// Fast enough at full scale (a few seconds); the ordering margin at a
+	// quarter-size fleet is too thin to assert on, so no short-mode scaling.
 	p99 := func(strat Strategy) float64 {
 		cfg := shortConfig()
 		cfg.Duration = 4 * 3600
@@ -73,7 +102,7 @@ func TestOutsourcingReducesTail(t *testing.T) {
 }
 
 func TestOutsourcingReducesConcurrency(t *testing.T) {
-	rows := Figure9(1, 4)
+	rows := Figure9(1, 4, scaleDown(t))
 	avg := map[Strategy]float64{}
 	for _, r := range rows {
 		var sum float64
@@ -95,7 +124,7 @@ func TestOutsourcingReducesConcurrency(t *testing.T) {
 }
 
 func TestFigure5WeekendStructure(t *testing.T) {
-	dec, enc := Figure5(2)
+	dec, enc := Figure5(2, scaleDown(t))
 	if len(dec.Vals) != 7*24 || len(enc.Vals) != 7*24 {
 		t.Fatalf("series lengths %d/%d", len(dec.Vals), len(enc.Vals))
 	}
@@ -118,7 +147,7 @@ func TestFigure5WeekendStructure(t *testing.T) {
 }
 
 func TestFigure10Shape(t *testing.T) {
-	rows := Figure10(3)
+	rows := Figure10(3, scaleDown(t))
 	if len(rows) != 5 {
 		t.Fatalf("%d rows", len(rows))
 	}
@@ -142,7 +171,7 @@ func TestFigure10Shape(t *testing.T) {
 }
 
 func TestFigure12THPDrop(t *testing.T) {
-	pts := Figure12(4)
+	pts := Figure12(4, scaleDown(t))
 	if len(pts) < 12 {
 		t.Fatalf("%d points", len(pts))
 	}
@@ -185,9 +214,13 @@ func TestFigure13Ramp(t *testing.T) {
 }
 
 func TestFigure14Degradation(t *testing.T) {
-	pts := Figure14(5, 90, 30)
-	if len(pts) != 4 {
-		t.Fatalf("%d points", len(pts))
+	step := 30
+	if testing.Short() {
+		step = 45
+	}
+	pts := Figure14(5, 90, step, scaleDown(t))
+	if want := 90/step + 1; len(pts) != want {
+		t.Fatalf("%d points, want %d", len(pts), want)
 	}
 	if pts[len(pts)-1].P99 <= pts[0].P99 {
 		t.Fatalf("p99 did not degrade: day0=%.3f day90=%.3f",
@@ -268,8 +301,12 @@ func TestMetaserverBatches(t *testing.T) {
 }
 
 func TestErrorCodeTable(t *testing.T) {
-	q := ErrorCodeTable(1, 120)
-	if q.Total != 120 {
+	n := 120
+	if testing.Short() {
+		n = 60
+	}
+	q := ErrorCodeTable(1, n)
+	if q.Total != n {
 		t.Fatalf("total = %d", q.Total)
 	}
 	// Success dominates; each injected class is classified correctly.

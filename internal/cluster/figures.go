@@ -13,16 +13,25 @@ type HourlySeries struct {
 	Vals  []float64
 }
 
+// ConfigOption mutates a figure's simulation Config before it runs. The
+// figure functions accept options so callers (notably -short test runs)
+// can scale fleets and durations down without changing the defaults every
+// other consumer sees.
+type ConfigOption func(*Config)
+
 // Figure5 reproduces the weekly workload structure: hourly encode and
 // decode event counts over one simulated week, each normalized to its
 // weekly minimum. Weekday decode rates exceed weekend rates while encode
 // rates stay flat — users shoot as many photos on weekends but sync fewer.
-func Figure5(seed int64) (decodes, encodes HourlySeries) {
+func Figure5(seed int64, opts ...ConfigOption) (decodes, encodes HourlySeries) {
 	cfg := DefaultConfig()
 	cfg.Seed = seed
 	cfg.Duration = 7 * 86400
 	cfg.Blockservers = 16 // workload shape only; keep the fleet light
 	cfg.BatchMean = 3
+	for _, o := range opts {
+		o(&cfg)
+	}
 	m := NewSim(cfg).Run()
 
 	bucket := func(times []float64) []float64 {
@@ -69,13 +78,16 @@ type Figure9Row struct {
 // Figure9 reproduces the concurrent-process comparison: the 99th percentile
 // (across machines, per minute, aggregated hourly) of simultaneous Lepton
 // conversions for each outsourcing strategy over one day.
-func Figure9(seed int64, threshold int) []Figure9Row {
+func Figure9(seed int64, threshold int, opts ...ConfigOption) []Figure9Row {
 	var rows []Figure9Row
 	for _, strat := range []Strategy{ToSelf, ToDedicated, Control} {
 		cfg := DefaultConfig()
 		cfg.Seed = seed
 		cfg.Strategy = strat
 		cfg.Threshold = threshold
+		for _, o := range opts {
+			o(&cfg)
+		}
 		m := NewSim(cfg).Run()
 		// Aggregate minute samples into hourly p99-of-samples.
 		nh := int(cfg.Duration / 3600)
@@ -108,13 +120,16 @@ type Figure10Row struct {
 
 // Figure10 reproduces the percentile timing comparison of outsourcing
 // strategies with thresholds 3 and 4 (plus control).
-func Figure10(seed int64) []Figure10Row {
+func Figure10(seed int64, opts ...ConfigOption) []Figure10Row {
 	var rows []Figure10Row
 	run := func(strat Strategy, thr int) Figure10Row {
 		cfg := DefaultConfig()
 		cfg.Seed = seed
 		cfg.Strategy = strat
 		cfg.Threshold = thr
+		for _, o := range opts {
+			o(&cfg)
+		}
 		m := NewSim(cfg).Run()
 		// Peak = 13:00-17:00; near-peak = 09:00-13:00 (diurnal peak ~15:00).
 		var near, peak []float64
@@ -148,12 +163,15 @@ type Figure12Point struct {
 // Figure12 reproduces the transparent-huge-pages anomaly: hourly decode
 // latency percentiles with THP enabled on most machines, disabled partway
 // through (production disabled it April 13 at 03:00).
-func Figure12(seed int64) []Figure12Point {
+func Figure12(seed int64, opts ...ConfigOption) []Figure12Point {
 	cfg := DefaultConfig()
 	cfg.Seed = seed
 	cfg.Duration = 20 * 3600
 	cfg.THPFraction = 0.6
 	cfg.THPDisableAt = 6 * 3600
+	for _, o := range opts {
+		o(&cfg)
+	}
 	m := NewSim(cfg).Run()
 	nh := int(cfg.Duration / 3600)
 	byHour := make([][]float64, nh)
@@ -206,7 +224,7 @@ type Figure14Point struct {
 // decode:encode ratio ramps, a fleet provisioned for launch-day load
 // develops multi-second tail latencies. Each sample point runs a short
 // fleet simulation (no outsourcing) at that day's decode rate.
-func Figure14(seed int64, days, stepDays int) []Figure14Point {
+func Figure14(seed int64, days, stepDays int, opts ...ConfigOption) []Figure14Point {
 	var out []Figure14Point
 	for d := 0; d <= days; d += stepDays {
 		cfg := DefaultConfig()
@@ -218,6 +236,9 @@ func Figure14(seed int64, days, stepDays int) []Figure14Point {
 		// the rollout ramp and organic growth.
 		cfg.DecodeRatio = RolloutRatio(float64(d), 2.4, 45)
 		cfg.EncodesPerSecond = 5 * (1 + float64(d)/240)
+		for _, o := range opts {
+			o(&cfg)
+		}
 		m := NewSim(cfg).Run()
 		s := stats.Summarize(m.DecodeLatency)
 		out = append(out, Figure14Point{Day: float64(d), P50: s.P50, P75: s.P75, P95: s.P95, P99: s.P99})

@@ -130,6 +130,10 @@ type event struct {
 	kind evKind
 	job  *job
 	seq  int64
+	// gen snapshots job.machine.gen at push time for departure events; a
+	// mismatch at pop time marks the event stale (the machine's schedule
+	// was rebuilt by a later settle).
+	gen int64
 }
 
 type job struct {
@@ -162,6 +166,9 @@ type machine struct {
 	jobs      map[*job]struct{}
 	dedicated bool
 	thp       bool
+	// gen invalidates previously scheduled departure events whenever the
+	// job set (and hence every job's finish time) changes.
+	gen int64
 	// thpCredit counts penalty-free decodes after a defrag stall (§6.3:
 	// pre-faulted huge pages are consumed over the next ~10 decodes).
 	thpCredit int
@@ -229,7 +236,11 @@ func NewSim(cfg Config) *Sim {
 
 func (s *Sim) push(t float64, kind evKind, j *job) {
 	s.seq++
-	heap.Push(&s.events, &event{t: t, kind: kind, job: j, seq: s.seq})
+	var gen int64
+	if kind == evDeparture {
+		gen = j.machine.gen
+	}
+	heap.Push(&s.events, &event{t: t, kind: kind, job: j, seq: s.seq, gen: gen})
 }
 
 // rateAt returns the load multiplier at time t: a daily sinusoid peaking in
@@ -270,11 +281,17 @@ func (s *Sim) nextArrival(t float64, kind jobKind) float64 {
 	}
 }
 
-// progress advances all jobs on machine m to time t at the machine's
-// current processing rate, then reschedules their departures. Called when
-// the job set changes (processor sharing).
+// settle advances all jobs on machine m to time t at the machine's current
+// processing rate, then schedules exactly one departure event — the
+// earliest-finishing job's. Scheduling one event per machine instead of one
+// per job keeps the event heap proportional to the fleet rather than to the
+// total queued work, which is what made long oversubscribed simulations
+// quadratically slow.
 func (s *Sim) settle(m *machine, t float64) {
 	rate := m.rate()
+	m.gen++
+	var next *job
+	var nextT float64
 	for j := range m.jobs {
 		j.service -= (t - j.lastTick) * j.rate
 		if j.service < 0 {
@@ -282,7 +299,12 @@ func (s *Sim) settle(m *machine, t float64) {
 		}
 		j.lastTick = t
 		j.rate = rate
-		s.push(t+j.service/rate, evDeparture, j)
+		if ft := t + j.service/rate; next == nil || ft < nextT {
+			next, nextT = j, ft
+		}
+	}
+	if next != nil {
+		s.push(nextT, evDeparture, next)
 	}
 }
 
@@ -381,18 +403,11 @@ func (s *Sim) Run() *Metrics {
 			}
 		case evDeparture:
 			j := e.job
-			if j.machine == nil {
-				continue
+			if j.machine == nil || e.gen != j.machine.gen {
+				continue // stale: the schedule was rebuilt after this push
 			}
-			if _, ok := j.machine.jobs[j]; !ok {
-				continue // stale event from an earlier settle
-			}
-			// Validate against the job's current schedule.
-			j.service -= (s.now - j.lastTick) * j.rate
+			j.service = 0
 			j.lastTick = s.now
-			if j.service > 1e-9 {
-				continue // superseded; a settle re-pushed a later departure
-			}
 			delete(j.machine.jobs, j)
 			s.settle(j.machine, s.now)
 			lat := s.now - j.arrive

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"bytes"
+	"compress/zlib"
+	"encoding/binary"
+	"io"
+	"sync"
+
+	"lepton/internal/arith"
+	"lepton/internal/jpeg"
+	"lepton/internal/model"
+)
+
+// Codec is a reusable encode/decode pipeline. It owns sync.Pools for the
+// dominant per-conversion allocations — model statistic-bin tables (~1 MiB
+// per thread segment), coefficient planes, per-segment arithmetic coders and
+// rolling-cache scratch, and the zlib header compressors — so a long-lived
+// codec serving many conversions reuses memory instead of re-allocating it
+// on every call. That is the shape of the paper's deployment: blockservers
+// run for months and per-request memory is the binding constraint (§6.2).
+//
+// A Codec is safe for concurrent use. A nil *Codec is also valid: every
+// method falls back to fresh allocations, which is exactly the behavior of
+// the package-level Encode/Decode/DecodeTo one-shot functions.
+type Codec struct {
+	segCodecs sync.Pool // *model.Codec: bin tables + segment scratch
+	encoders  sync.Pool // *arith.Encoder: arithmetic-coder output buffers
+	planes    sync.Pool // *planeSlab: decode-side coefficient planes
+	scanBufs  sync.Pool // *jpeg.ScanBuffers: encode-side planes + positions
+	zlibWs    sync.Pool // *zlib.Writer: container header compressor
+	zlibRs    sync.Pool // io.ReadCloser (+zlib.Resetter): header decompressor
+	bufs      sync.Pool // *bytes.Buffer: marshal/unmarshal scratch
+}
+
+// NewCodec returns an empty codec; pools fill as it is used.
+func NewCodec() *Codec { return &Codec{} }
+
+// planeSlab is one pooled coefficient allocation covering all components.
+type planeSlab struct{ buf []int16 }
+
+// --- pool accessors; every one tolerates a nil receiver ------------------
+
+func (c *Codec) getSegCodec(comps []model.ComponentPlane, rs, re []int, flags model.Flags) *model.Codec {
+	if c != nil {
+		if v := c.segCodecs.Get(); v != nil {
+			mc := v.(*model.Codec)
+			mc.Reset(comps, rs, re, flags)
+			return mc
+		}
+	}
+	return model.NewCodec(comps, rs, re, flags)
+}
+
+func (c *Codec) putSegCodec(mc *model.Codec) {
+	if c == nil || mc == nil {
+		return
+	}
+	mc.Release()
+	c.segCodecs.Put(mc)
+}
+
+func (c *Codec) getEncoder() *arith.Encoder {
+	if c != nil {
+		if v := c.encoders.Get(); v != nil {
+			e := v.(*arith.Encoder)
+			e.Reset()
+			return e
+		}
+	}
+	return arith.NewEncoder()
+}
+
+func (c *Codec) putEncoder(e *arith.Encoder) {
+	if c != nil && e != nil {
+		c.encoders.Put(e)
+	}
+}
+
+// getCoeffPlanes returns zeroed per-component coefficient planes backed by
+// one pooled slab. The slab must be returned with putCoeffPlanes only after
+// every reader and writer of the planes is done.
+func (c *Codec) getCoeffPlanes(f *jpeg.File) ([][]int16, *planeSlab) {
+	total := f.CoefficientCount()
+	var slab *planeSlab
+	if c != nil {
+		if v := c.planes.Get(); v != nil {
+			slab = v.(*planeSlab)
+		}
+	}
+	if slab == nil {
+		slab = &planeSlab{}
+	}
+	if cap(slab.buf) < total {
+		slab.buf = make([]int16, total)
+	} else {
+		slab.buf = slab.buf[:total]
+		clear(slab.buf)
+	}
+	out := make([][]int16, len(f.Components))
+	off := 0
+	for i := range f.Components {
+		comp := &f.Components[i]
+		n := comp.BlocksWide * comp.BlocksHigh * 64
+		out[i] = slab.buf[off : off+n : off+n]
+		off += n
+	}
+	return out, slab
+}
+
+func (c *Codec) putCoeffPlanes(slab *planeSlab) {
+	if c != nil && slab != nil {
+		c.planes.Put(slab)
+	}
+}
+
+// decodeScan entropy-decodes f's scan using pooled buffers; the Scan aliases
+// the returned ScanBuffers, which must be released only once the Scan is
+// dead.
+func (c *Codec) decodeScan(f *jpeg.File) (*jpeg.Scan, *jpeg.ScanBuffers, error) {
+	var sb *jpeg.ScanBuffers
+	if c != nil {
+		if v := c.scanBufs.Get(); v != nil {
+			sb = v.(*jpeg.ScanBuffers)
+		} else {
+			sb = &jpeg.ScanBuffers{}
+		}
+	}
+	s, err := jpeg.DecodeScanInto(f, sb)
+	if err != nil {
+		c.putScanBufs(sb)
+		return nil, nil, err
+	}
+	return s, sb, nil
+}
+
+func (c *Codec) putScanBufs(sb *jpeg.ScanBuffers) {
+	if c != nil && sb != nil {
+		c.scanBufs.Put(sb)
+	}
+}
+
+func (c *Codec) getBuf() *bytes.Buffer {
+	if c != nil {
+		if v := c.bufs.Get(); v != nil {
+			b := v.(*bytes.Buffer)
+			b.Reset()
+			return b
+		}
+	}
+	return &bytes.Buffer{}
+}
+
+func (c *Codec) putBuf(b *bytes.Buffer) {
+	if c != nil && b != nil {
+		c.bufs.Put(b)
+	}
+}
+
+func (c *Codec) getZlibW(w io.Writer) *zlib.Writer {
+	if c != nil {
+		if v := c.zlibWs.Get(); v != nil {
+			zw := v.(*zlib.Writer)
+			zw.Reset(w)
+			return zw
+		}
+	}
+	return zlib.NewWriter(w)
+}
+
+func (c *Codec) putZlibW(zw *zlib.Writer) {
+	if c != nil && zw != nil {
+		c.zlibWs.Put(zw)
+	}
+}
+
+func (c *Codec) getZlibR(r io.Reader) (io.ReadCloser, error) {
+	if c != nil {
+		if v := c.zlibRs.Get(); v != nil {
+			zr := v.(io.ReadCloser)
+			if err := zr.(zlib.Resetter).Reset(r, nil); err != nil {
+				// Reset consumed (part of) the stream header; the error IS
+				// the header error. Falling through to a fresh reader here
+				// would parse from a shifted offset and make the outcome
+				// depend on pool state.
+				return nil, err
+			}
+			return zr, nil
+		}
+	}
+	return zlib.NewReader(r)
+}
+
+func (c *Codec) putZlibR(zr io.ReadCloser) {
+	if c == nil || zr == nil {
+		return
+	}
+	// Detach the reader from its source before pooling: otherwise each
+	// pooled reader pins the caller's input buffer (up to a whole request
+	// payload) until its next reuse. The Reset error (EOF on an empty
+	// source) is expected and discarded.
+	_ = zr.(zlib.Resetter).Reset(bytes.NewReader(nil), nil)
+	c.zlibRs.Put(zr)
+}
+
+// MarshalContainer serializes cont, drawing marshal scratch and the zlib
+// header compressor from the codec's pools. Any stream buffers released by
+// an EncodeSegments release callback must not be recycled until this
+// returns; callers therefore marshal first and release after.
+func (c *Codec) MarshalContainer(cont *Container) ([]byte, error) {
+	return cont.marshal(c)
+}
+
+// ContainerOutputSize reads the exact reconstructed size recorded in a
+// container's fixed header, without unmarshaling the container. Servers use
+// it to frame a response before streaming the decode.
+func ContainerOutputSize(comp []byte) (uint32, error) {
+	if len(comp) < 28 {
+		return 0, badContainer("too short: %d bytes", len(comp))
+	}
+	if comp[0] != Magic0 || comp[1] != Magic1 {
+		return 0, badContainer("bad magic %#02x %#02x", comp[0], comp[1])
+	}
+	return binary.LittleEndian.Uint32(comp[20:]), nil
+}

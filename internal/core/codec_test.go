@@ -1,0 +1,203 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"lepton/internal/imagegen"
+)
+
+func genJPEG(t testing.TB, seed int64, w, h int) []byte {
+	t.Helper()
+	data, err := imagegen.Generate(seed, w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestCodecReuseByteIdentical drives one codec through many files and checks
+// that every output is byte-identical to the one-shot path: pooled bins,
+// planes, and scratch must leave no trace from one conversion in the next.
+func TestCodecReuseByteIdentical(t *testing.T) {
+	codec := NewCodec()
+	for round := 0; round < 3; round++ {
+		for seed := int64(1); seed <= 6; seed++ {
+			w := 96 + int(seed)*40
+			h := 80 + int(seed)*32
+			data := genJPEG(t, seed, w, h)
+			oneShot, err := Encode(data, EncodeOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pooled, err := codec.Encode(data, EncodeOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(oneShot.Compressed, pooled.Compressed) {
+				t.Fatalf("round %d seed %d: pooled output differs from one-shot", round, seed)
+			}
+			back, err := codec.Decode(pooled.Compressed, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(back, data) {
+				t.Fatalf("round %d seed %d: pooled decode mismatch", round, seed)
+			}
+		}
+	}
+}
+
+// TestCodecPoolPoisoning interleaves files of very different shapes —
+// tiny gray-ish, large multi-segment, progressive (which bypasses the
+// pools), and raw fallbacks — through one codec, ensuring buffer reuse
+// never corrupts a later conversion.
+func TestCodecPoolPoisoning(t *testing.T) {
+	codec := NewCodec()
+	shapes := []struct {
+		seed int64
+		w, h int
+	}{
+		{1, 640, 480}, // large: many segments, big planes
+		{2, 64, 48},   // tiny: planes shrink, stale data beyond the slice
+		{3, 320, 240},
+		{4, 72, 96},
+		{5, 512, 384},
+	}
+	for round := 0; round < 2; round++ {
+		for _, s := range shapes {
+			data := genJPEG(t, s.seed, s.w, s.h)
+			res, err := codec.Encode(data, EncodeOptions{VerifyRoundtrip: true})
+			if err != nil {
+				t.Fatalf("shape %dx%d: %v", s.w, s.h, err)
+			}
+			back, err := codec.Decode(res.Compressed, 0)
+			if err != nil || !bytes.Equal(back, data) {
+				t.Fatalf("shape %dx%d: decode mismatch (%v)", s.w, s.h, err)
+			}
+		}
+		// Rejected inputs exercise the error paths between pool get/put.
+		prog := imagegen.MakeProgressive(genJPEG(t, 7, 120, 90))
+		if _, err := codec.Encode(prog, EncodeOptions{}); err == nil {
+			t.Fatal("progressive input must be rejected by default")
+		}
+		if _, err := codec.Encode([]byte("not a jpeg"), EncodeOptions{}); err == nil {
+			t.Fatal("garbage input must be rejected")
+		}
+	}
+}
+
+// TestCodecStreamsSurviveRelease guards the EncodeSegments contract: stream
+// lengths recorded in the container must match the marshaled bytes even
+// after encoders are recycled by later conversions.
+func TestCodecEncodeTo(t *testing.T) {
+	codec := NewCodec()
+	data := genJPEG(t, 11, 256, 192)
+	res, err := codec.Encode(data, EncodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	res2, err := codec.EncodeTo(&buf, data, EncodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Compressed != nil {
+		t.Fatal("EncodeTo must not retain the compressed bytes")
+	}
+	if !bytes.Equal(buf.Bytes(), res.Compressed) {
+		t.Fatal("EncodeTo bytes differ from Encode")
+	}
+}
+
+// TestCodecConcurrent hammers one codec from several goroutines: pools must
+// never hand the same object to two conversions at once.
+func TestCodecConcurrent(t *testing.T) {
+	codec := NewCodec()
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			data := genJPEG(t, int64(20+g), 128+16*g, 120)
+			for i := 0; i < 3; i++ {
+				res, err := codec.Encode(data, EncodeOptions{})
+				if err != nil {
+					errs <- fmt.Errorf("worker %d: %w", g, err)
+					return
+				}
+				back, err := codec.Decode(res.Compressed, 0)
+				if err != nil || !bytes.Equal(back, data) {
+					errs <- fmt.Errorf("worker %d: round trip mismatch (%v)", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestCodecAllocReduction is the acceptance check for the pooled pipeline:
+// steady-state compression through a reused Codec must allocate at least
+// 40% fewer objects per op than the one-shot path.
+func TestCodecAllocReduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc measurement is slow")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation skews allocation counts")
+	}
+	data := genJPEG(t, 31, 512, 384)
+	codec := NewCodec()
+	// Warm the pools.
+	for i := 0; i < 3; i++ {
+		if _, err := codec.Encode(data, EncodeOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	oneShot := testing.AllocsPerRun(10, func() {
+		if _, err := Encode(data, EncodeOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	pooled := testing.AllocsPerRun(10, func() {
+		if _, err := codec.Encode(data, EncodeOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("allocs/op: one-shot=%.0f pooled=%.0f (%.0f%% fewer)",
+		oneShot, pooled, 100*(1-pooled/oneShot))
+	if pooled > 0.6*oneShot {
+		t.Fatalf("pooled path allocates %.0f/op vs one-shot %.0f/op; want >=40%% reduction", pooled, oneShot)
+	}
+}
+
+// TestContainerOutputSize checks the cheap header peek servers use to frame
+// streamed responses.
+func TestContainerOutputSize(t *testing.T) {
+	data := genJPEG(t, 41, 160, 120)
+	res, err := Encode(data, EncodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := ContainerOutputSize(res.Compressed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(n) != len(data) {
+		t.Fatalf("output size %d, want %d", n, len(data))
+	}
+	if _, err := ContainerOutputSize([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short input must error")
+	}
+	if _, err := ContainerOutputSize(make([]byte, 64)); err == nil {
+		t.Fatal("bad magic must error")
+	}
+}

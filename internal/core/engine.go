@@ -139,8 +139,17 @@ func rowRangesFor(f *jpeg.File, startMCU, endMCU int) (rs, re []int) {
 	return rs, re
 }
 
-// Encode compresses one whole baseline JPEG into a Lepton container.
+// Encode compresses one whole baseline JPEG into a Lepton container,
+// allocating fresh state (one-shot). Long-lived callers should prefer a
+// reusable Codec, which draws the model tables and scratch from pools.
 func Encode(data []byte, opt EncodeOptions) (*Result, error) {
+	return (*Codec)(nil).Encode(data, opt)
+}
+
+// Encode compresses one whole baseline JPEG into a Lepton container, reusing
+// pooled state from earlier conversions. Output is byte-identical to the
+// one-shot path.
+func (c *Codec) Encode(data []byte, opt EncodeOptions) (*Result, error) {
 	encBudget := opt.MemEncodeBudget
 	if encBudget == 0 {
 		encBudget = DefaultMemEncodeBudget
@@ -162,10 +171,11 @@ func Encode(data []byte, opt EncodeOptions) (*Result, error) {
 		return nil, &jpeg.Error{Reason: jpeg.ReasonMemDecode,
 			Detail: fmt.Sprintf("decode would need %d coefficient bytes", f.CoefficientCount()*2)}
 	}
-	s, err := jpeg.DecodeScan(f)
+	s, sb, err := c.decodeScan(f)
 	if err != nil {
 		return nil, err
 	}
+	defer c.putScanBufs(sb)
 
 	flags := model.DefaultFlags()
 	if opt.Flags != nil {
@@ -181,7 +191,7 @@ func Encode(data []byte, opt EncodeOptions) (*Result, error) {
 	total := f.TotalMCUs()
 
 	res := &Result{HeaderOriginal: len(f.Header)}
-	c := &Container{
+	cont := &Container{
 		Mode:       ModeLepton,
 		OutputSize: uint32(len(data)),
 		JPEGHeader: f.Header,
@@ -197,25 +207,27 @@ func Encode(data []byte, opt EncodeOptions) (*Result, error) {
 	}
 
 	var stats [model.NumClasses]float64
-	c.Segments, c.Streams, stats = EncodeSegments(f, s, 0, total, nSeg, flags, opt.CollectStats)
-	res.Segments = len(c.Segments)
+	var release func()
+	cont.Segments, cont.Streams, stats, release = c.EncodeSegments(f, s, 0, total, nSeg, flags, opt.CollectStats)
+	res.Segments = len(cont.Segments)
 	res.ClassBits = stats
 	if opt.CollectStats {
 		res.OriginalClassBits = originalClassBits(f, s)
 	}
 
-	comp, err := c.Marshal()
+	comp, err := cont.marshal(c)
+	release()
 	if err != nil {
 		return nil, err
 	}
 	res.Compressed = comp
 	res.HeaderCompressed = len(comp)
-	for _, st := range c.Streams {
+	for _, st := range cont.Streams {
 		res.HeaderCompressed -= len(st)
 	}
 
 	if opt.VerifyRoundtrip {
-		back, err := Decode(comp, decBudget)
+		back, err := c.Decode(comp, decBudget)
 		if err != nil {
 			return nil, &jpeg.Error{Reason: jpeg.ReasonRoundtrip, Detail: err.Error()}
 		}
@@ -226,6 +238,23 @@ func Encode(data []byte, opt EncodeOptions) (*Result, error) {
 	return res, nil
 }
 
+// EncodeTo compresses data and writes the container to w, returning the
+// accounting Result with Compressed left nil. The container format needs
+// every stream length before the first byte, so the write happens once the
+// encode completes; the point of EncodeTo is composing with sockets and
+// files without an extra copy at the call site.
+func (c *Codec) EncodeTo(w io.Writer, data []byte, opt EncodeOptions) (*Result, error) {
+	res, err := c.Encode(data, opt)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Write(res.Compressed); err != nil {
+		return nil, err
+	}
+	res.Compressed = nil
+	return res, nil
+}
+
 // EncodeSegments arithmetic-codes the MCU range [mStart, mEnd) — which must
 // be MCU-row aligned — as nSeg thread segments, in parallel. It returns the
 // segment descriptors (with handover words taken from the scan's recorded
@@ -233,15 +262,29 @@ func Encode(data []byte, opt EncodeOptions) (*Result, error) {
 // collectStats is set. The chunk layer composes this into per-chunk
 // containers; Encode uses it for whole files.
 func EncodeSegments(f *jpeg.File, s *jpeg.Scan, mStart, mEnd, nSeg int, flags model.Flags, collectStats bool) ([]Segment, [][]byte, [model.NumClasses]float64) {
+	segs, streams, stats, release := (*Codec)(nil).EncodeSegments(f, s, mStart, mEnd, nSeg, flags, collectStats)
+	release()
+	return segs, streams, stats
+}
+
+// EncodeSegments is the pooled variant: segment model codecs and arithmetic
+// encoders come from the codec's pools. The returned streams alias pooled
+// encoder buffers; the caller must call release once the stream bytes have
+// been copied out (normally by Container marshaling) and must not touch
+// their contents afterwards.
+func (c *Codec) EncodeSegments(f *jpeg.File, s *jpeg.Scan, mStart, mEnd, nSeg int, flags model.Flags, collectStats bool) ([]Segment, [][]byte, [model.NumClasses]float64, func()) {
 	startRow := mStart / f.MCUsWide
 	endRow := (mEnd + f.MCUsWide - 1) / f.MCUsWide
 	starts := segmentRanges(f, nSeg, startRow, endRow)
+	planes := planesOf(f, s.Coeff)
 
 	type segOut struct {
 		bytes []byte
 		stats *model.Stats
 	}
 	outs := make([]segOut, len(starts))
+	codecs := make([]*model.Codec, len(starts))
+	encs := make([]*arith.Encoder, len(starts))
 	var wg sync.WaitGroup
 	for i := range starts {
 		start := starts[i]
@@ -253,11 +296,13 @@ func EncodeSegments(f *jpeg.File, s *jpeg.Scan, mStart, mEnd, nSeg int, flags mo
 		go func(i, start, end int) {
 			defer wg.Done()
 			rs, re := rowRangesFor(f, start, end)
-			codec := model.NewCodec(planesOf(f, s.Coeff), rs, re, flags)
+			codec := c.getSegCodec(planes, rs, re, flags)
+			codecs[i] = codec
 			if collectStats {
 				codec.Stats = &model.Stats{}
 			}
-			e := arith.NewEncoder()
+			e := c.getEncoder()
+			encs[i] = e
 			codec.EncodeSegment(e)
 			outs[i] = segOut{bytes: e.Flush(), stats: codec.Stats}
 		}(i, start, end)
@@ -284,14 +329,26 @@ func EncodeSegments(f *jpeg.File, s *jpeg.Scan, mStart, mEnd, nSeg int, flags mo
 			}
 		}
 	}
-	return segs, streams, stats
+	release := func() {
+		for i := range codecs {
+			c.putSegCodec(codecs[i])
+			c.putEncoder(encs[i])
+		}
+	}
+	return segs, streams, stats, release
 }
 
 // Decode reconstructs the original bytes from a Lepton container.
 // memBudget bounds coefficient memory (0 = default).
 func Decode(comp []byte, memBudget int64) ([]byte, error) {
+	return (*Codec)(nil).Decode(comp, memBudget)
+}
+
+// Decode reconstructs the original bytes, drawing decode state from the
+// codec's pools.
+func (c *Codec) Decode(comp []byte, memBudget int64) ([]byte, error) {
 	var buf bytes.Buffer
-	if err := DecodeTo(&buf, comp, memBudget); err != nil {
+	if err := c.DecodeTo(&buf, comp, memBudget); err != nil {
 		return nil, err
 	}
 	return buf.Bytes(), nil
@@ -301,14 +358,28 @@ func Decode(comp []byte, memBudget int64) ([]byte, error) {
 // segment k is written as soon as segments 0..k have completed, which gives
 // the low time-to-first-byte the paper's file servers need (§3.4).
 func DecodeTo(w io.Writer, comp []byte, memBudget int64) error {
+	return (*Codec)(nil).DecodeTo(w, comp, memBudget)
+}
+
+// DecodeTo is the pooled streaming decode: coefficient planes, per-segment
+// model codecs, and the container-header decompressor are reused across
+// calls on the same codec.
+func (cd *Codec) DecodeTo(w io.Writer, comp []byte, memBudget int64) error {
 	if memBudget == 0 {
 		memBudget = DefaultMemDecodeBudget
 	}
-	c, err := Unmarshal(comp)
+	c, headBuf, err := unmarshal(comp, cd)
 	if err != nil {
 		return err
 	}
+	defer cd.putBuf(headBuf)
 	if c.Mode == ModeRaw {
+		// Enforce the recorded size before the first write: callers frame
+		// responses from the container header, so a mismatch must fail
+		// loudly instead of desyncing the caller's framing.
+		if uint32(len(c.Raw)) != c.OutputSize {
+			return badContainer("raw payload %d bytes, header says %d", len(c.Raw), c.OutputSize)
+		}
 		_, err := w.Write(c.Raw)
 		return err
 	}
@@ -327,11 +398,8 @@ func DecodeTo(w io.Writer, comp []byte, memBudget int64) error {
 	if c.MCUEnd > uint32(total) || c.MCUStart > c.MCUEnd {
 		return badContainer("MCU range %d..%d of %d", c.MCUStart, c.MCUEnd, total)
 	}
-	coeff := make([][]int16, len(f.Components))
-	for i := range f.Components {
-		comp := &f.Components[i]
-		coeff[i] = make([]int16, comp.BlocksWide*comp.BlocksHigh*64)
-	}
+	coeff, slab := cd.getCoeffPlanes(f)
+	planes := planesOf(f, coeff)
 
 	// Every segment runs its whole pipeline — arithmetic decode of
 	// coefficients, then Huffman re-encode seeded from its handover word —
@@ -347,6 +415,7 @@ func DecodeTo(w io.Writer, comp []byte, memBudget int64) error {
 		bytes []byte
 		err   error
 	}
+	codecs := make([]*model.Codec, len(c.Segments))
 	done := make([]chan segResult, len(c.Segments))
 	for i := range c.Segments {
 		done[i] = make(chan segResult, 1)
@@ -357,7 +426,8 @@ func DecodeTo(w io.Writer, comp []byte, memBudget int64) error {
 				end = int(c.Segments[i+1].StartMCU)
 			}
 			rs, re := rowRangesFor(f, start, end)
-			codec := model.NewCodec(planesOf(f, coeff), rs, re, flags)
+			codec := cd.getSegCodec(planes, rs, re, flags)
+			codecs[i] = codec
 			d := arith.NewDecoder(c.Streams[i])
 			if err := codec.DecodeSegment(d); err != nil {
 				done[i] <- segResult{err: fmt.Errorf("core: segment decode: %w", err)}
@@ -421,6 +491,11 @@ func DecodeTo(w io.Writer, comp []byte, memBudget int64) error {
 			firstErr = err
 		}
 	}
+	// All segment goroutines have finished: pooled state can be recycled.
+	for _, mc := range codecs {
+		cd.putSegCodec(mc)
+	}
+	cd.putCoeffPlanes(slab)
 	if firstErr != nil {
 		return firstErr
 	}

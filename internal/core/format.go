@@ -6,7 +6,6 @@ package core
 
 import (
 	"bytes"
-	"compress/zlib"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -173,68 +172,79 @@ func (r *reader) bytes() []byte {
 }
 
 // Marshal serializes the container.
-func (c *Container) Marshal() ([]byte, error) {
-	var head bytes.Buffer
+func (c *Container) Marshal() ([]byte, error) { return c.marshal(nil) }
+
+// marshal serializes the container, drawing scratch buffers and the zlib
+// header compressor from p's pools when p is non-nil.
+func (c *Container) marshal(p *Codec) ([]byte, error) {
+	head := p.getBuf()
+	defer p.putBuf(head)
 	head.WriteByte(c.Mode)
 	if c.Mode == ModeRaw {
-		putBytes(&head, c.Raw)
+		putBytes(head, c.Raw)
 	} else {
-		putBytes(&head, c.JPEGHeader)
-		putBytes(&head, c.Trailer)
-		putBytes(&head, c.Prepend)
-		putBytes(&head, c.Tail)
+		putBytes(head, c.JPEGHeader)
+		putBytes(head, c.Trailer)
+		putBytes(head, c.Prepend)
+		putBytes(head, c.Tail)
 		head.WriteByte(c.PadBit)
 		head.WriteByte(boolByte(c.EmitHeader))
 		head.WriteByte(boolByte(c.EmitTail))
 		head.WriteByte(c.ModelFlags)
-		putU32(&head, c.RSTCount)
-		putU32(&head, c.MCUStart)
-		putU32(&head, c.MCUEnd)
-		putU32(&head, uint32(len(c.Segments)))
+		putU32(head, c.RSTCount)
+		putU32(head, c.MCUStart)
+		putU32(head, c.MCUEnd)
+		putU32(head, uint32(len(c.Segments)))
 		for _, s := range c.Segments {
-			putU32(&head, s.StartMCU)
+			putU32(head, s.StartMCU)
 			head.WriteByte(s.Handover.BitOff)
 			head.WriteByte(s.Handover.Partial)
-			putU32(&head, s.Handover.RSTSeen)
+			putU32(head, s.Handover.RSTSeen)
 			for _, dc := range s.Handover.PrevDC {
 				head.WriteByte(byte(uint16(dc)))
 				head.WriteByte(byte(uint16(dc) >> 8))
 			}
-			putU32(&head, s.ArithLen)
+			putU32(head, s.ArithLen)
 		}
 		if c.Mode == ModeProgressive {
-			putU32(&head, uint32(len(c.ProgScans)))
+			putU32(head, uint32(len(c.ProgScans)))
 			for _, ps := range c.ProgScans {
-				putBytes(&head, ps.HeaderBytes)
-				putBytes(&head, ps.Comps)
-				putBytes(&head, ps.Sel)
+				putBytes(head, ps.HeaderBytes)
+				putBytes(head, ps.Comps)
+				putBytes(head, ps.Sel)
 				head.WriteByte(ps.Ss)
 				head.WriteByte(ps.Se)
 				head.WriteByte(ps.PadBit)
-				putU32(&head, ps.RSTCount)
-				putBytes(&head, ps.Tail)
+				putU32(head, ps.RSTCount)
+				putBytes(head, ps.Tail)
 			}
 		}
 	}
 
-	var z bytes.Buffer
-	zw := zlib.NewWriter(&z)
+	z := p.getBuf()
+	defer p.putBuf(z)
+	zw := p.getZlibW(z)
 	if _, err := zw.Write(head.Bytes()); err != nil {
 		return nil, err
 	}
 	if err := zw.Close(); err != nil {
 		return nil, err
 	}
+	p.putZlibW(zw)
 
-	var out bytes.Buffer
+	streamLen := 0
+	for _, s := range c.Streams {
+		streamLen += len(s)
+	}
+	out := bytes.NewBuffer(make([]byte, 0, 28+z.Len()+streamLen))
 	out.WriteByte(Magic0)
 	out.WriteByte(Magic1)
 	out.WriteByte(Version)
 	out.WriteByte(c.Mode)
-	putU32(&out, uint32(len(c.Segments)))
+	putU32(out, uint32(len(c.Segments)))
 	out.Write(BuildRevision[:])
-	putU32(&out, c.OutputSize)
-	putU32(&out, uint32(z.Len()))
+	putU32(out, c.OutputSize)
+	putU32(out, uint32(z.Len()))
 	out.Write(z.Bytes())
 	for _, s := range c.Streams {
 		out.Write(s)
@@ -263,45 +273,61 @@ func flagsByte(edge, dcGradient bool) uint8 {
 
 // Unmarshal parses a serialized container.
 func Unmarshal(data []byte) (*Container, error) {
+	c, _, err := unmarshal(data, nil)
+	return c, err
+}
+
+// unmarshal parses a serialized container, drawing the zlib reader and the
+// decompressed-header buffer from p's pools when p is non-nil. The returned
+// Container aliases the returned buffer's storage; the caller must
+// p.putBuf it only once the container is dead.
+func unmarshal(data []byte, p *Codec) (*Container, *bytes.Buffer, error) {
 	if len(data) < 28 {
-		return nil, badContainer("too short: %d bytes", len(data))
+		return nil, nil, badContainer("too short: %d bytes", len(data))
 	}
 	if data[0] != Magic0 || data[1] != Magic1 {
-		return nil, badContainer("bad magic %#02x %#02x", data[0], data[1])
+		return nil, nil, badContainer("bad magic %#02x %#02x", data[0], data[1])
 	}
 	if data[2] != Version {
-		return nil, badContainer("unsupported version %d", data[2])
+		return nil, nil, badContainer("unsupported version %d", data[2])
 	}
 	c := &Container{Mode: data[3]}
 	if c.Mode != ModeLepton && c.Mode != ModeRaw && c.Mode != ModeLeptonInterleaved &&
 		c.Mode != ModeProgressive {
-		return nil, badContainer("unknown mode %#02x", c.Mode)
+		return nil, nil, badContainer("unknown mode %#02x", c.Mode)
 	}
 	nSeg := binary.LittleEndian.Uint32(data[4:])
 	c.OutputSize = binary.LittleEndian.Uint32(data[20:])
 	zlen := binary.LittleEndian.Uint32(data[24:])
 	if 28+int(zlen) > len(data) {
-		return nil, badContainer("zlib section overruns file")
+		return nil, nil, badContainer("zlib section overruns file")
 	}
-	zr, err := zlib.NewReader(bytes.NewReader(data[28 : 28+zlen]))
+	zr, err := p.getZlibR(bytes.NewReader(data[28 : 28+zlen]))
 	if err != nil {
-		return nil, badContainer("zlib: %v", err)
+		return nil, nil, badContainer("zlib: %v", err)
 	}
-	head, err := io.ReadAll(io.LimitReader(zr, 64<<20))
-	if err != nil {
-		return nil, badContainer("zlib: %v", err)
+	headBuf := p.getBuf()
+	if _, err := headBuf.ReadFrom(io.LimitReader(zr, 64<<20)); err != nil {
+		p.putBuf(headBuf)
+		return nil, nil, badContainer("zlib: %v", err)
+	}
+	p.putZlibR(zr)
+	head := headBuf.Bytes()
+	fail := func(err error) (*Container, *bytes.Buffer, error) {
+		p.putBuf(headBuf)
+		return nil, nil, err
 	}
 	r := &reader{data: head}
 	mode := r.u8()
 	if mode != c.Mode {
-		return nil, badContainer("mode mismatch")
+		return fail(badContainer("mode mismatch"))
 	}
 	if c.Mode == ModeRaw {
 		c.Raw = r.bytes()
 		if r.err != nil {
-			return nil, r.err
+			return fail(r.err)
 		}
-		return c, nil
+		return c, headBuf, nil
 	}
 	c.JPEGHeader = r.bytes()
 	c.Trailer = r.bytes()
@@ -316,13 +342,13 @@ func Unmarshal(data []byte) (*Container, error) {
 	c.MCUEnd = r.u32()
 	n := r.u32()
 	if r.err != nil {
-		return nil, r.err
+		return fail(r.err)
 	}
 	if n != nSeg {
-		return nil, badContainer("segment count mismatch %d != %d", n, nSeg)
+		return fail(badContainer("segment count mismatch %d != %d", n, nSeg))
 	}
 	if n > 1024 {
-		return nil, badContainer("absurd segment count %d", n)
+		return fail(badContainer("absurd segment count %d", n))
 	}
 	body := 28 + int(zlen)
 	var lens []uint32
@@ -337,7 +363,7 @@ func Unmarshal(data []byte) (*Container, error) {
 		}
 		s.ArithLen = r.u32()
 		if r.err != nil {
-			return nil, r.err
+			return fail(r.err)
 		}
 		c.Segments = append(c.Segments, s)
 		lens = append(lens, s.ArithLen)
@@ -346,10 +372,10 @@ func Unmarshal(data []byte) (*Container, error) {
 	if c.Mode == ModeProgressive {
 		ns := r.u32()
 		if r.err != nil {
-			return nil, r.err
+			return fail(r.err)
 		}
 		if ns > 64 {
-			return nil, badContainer("absurd progressive scan count %d", ns)
+			return fail(badContainer("absurd progressive scan count %d", ns))
 		}
 		for i := uint32(0); i < ns; i++ {
 			var ps ProgScanMeta
@@ -362,7 +388,7 @@ func Unmarshal(data []byte) (*Container, error) {
 			ps.RSTCount = r.u32()
 			ps.Tail = r.bytes()
 			if r.err != nil {
-				return nil, r.err
+				return fail(r.err)
 			}
 			c.ProgScans = append(c.ProgScans, ps)
 		}
@@ -370,21 +396,21 @@ func Unmarshal(data []byte) (*Container, error) {
 	if c.Mode == ModeLeptonInterleaved {
 		streams, err := deinterleave(data[body:], lens)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		c.Streams = streams
 		// Normalize: downstream consumers treat the container uniformly.
 		c.Mode = ModeLepton
-		return c, nil
+		return c, headBuf, nil
 	}
 	for i, l := range lens {
 		if body+int(l) > len(data) {
-			return nil, badContainer("segment %d stream overruns file", i)
+			return fail(badContainer("segment %d stream overruns file", i))
 		}
 		c.Streams = append(c.Streams, data[body:body+int(l)])
 		body += int(l)
 	}
-	return c, nil
+	return c, headBuf, nil
 }
 
 // IsLepton reports whether data begins with the Lepton magic number.

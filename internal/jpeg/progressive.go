@@ -333,11 +333,11 @@ func reparseTables(f *File, hdr []byte) error {
 // progRestart consumes an expected restart marker; unlike the baseline
 // decoder this is strict (our progressive writer always emits them).
 func progRestart(r *bitio.Reader, expect int, pads *[]uint8) error {
-	bits, err := r.AlignSkipPad()
+	bits, nbits, err := r.AlignSkipPad()
 	if err != nil && !errors.Is(err, bitio.ErrMarker) {
 		return wrapEntropyErr(err)
 	}
-	*pads = append(*pads, bits...)
+	*pads = append(*pads, bits[:nbits]...)
 	if _, err := r.ReadBit(); !errors.Is(err, bitio.ErrMarker) {
 		return reject(ReasonRoundtrip, "missing restart marker in progressive scan")
 	}
@@ -409,11 +409,11 @@ func decodeProgDC(f *File, scan *ProgScan, coeff [][]int16) error {
 		}
 	}
 	scan.RSTCount = rstSeen
-	tailBits, err := r.AlignSkipPad()
+	tailBits, nTail, err := r.AlignSkipPad()
 	if err != nil && !errors.Is(err, bitio.ErrTruncated) && !errors.Is(err, bitio.ErrMarker) {
 		return wrapEntropyErr(err)
 	}
-	if err := notePads(scan, tailBits); err != nil {
+	if err := notePads(scan, tailBits[:nTail]); err != nil {
 		return err
 	}
 	scan.Tail = append([]byte(nil), r.Remaining()...)
@@ -549,11 +549,11 @@ func decodeProgAC(f *File, scan *ProgScan, plane []int16, ci int) error {
 		return reject(ReasonRoundtrip, "EOB run extends past final block")
 	}
 	scan.RSTCount = rstSeen
-	tailBits, err := r.AlignSkipPad()
+	tailBits, nTail, err := r.AlignSkipPad()
 	if err != nil && !errors.Is(err, bitio.ErrTruncated) && !errors.Is(err, bitio.ErrMarker) {
 		return wrapEntropyErr(err)
 	}
-	if err := notePads(scan, tailBits); err != nil {
+	if err := notePads(scan, tailBits[:nTail]); err != nil {
 		return err
 	}
 	scan.Tail = append([]byte(nil), r.Remaining()...)

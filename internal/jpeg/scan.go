@@ -174,7 +174,7 @@ func (d *scanDecoder) notePad(bits []uint8) error {
 // if absent (zero-filled tail case: decoding continues without a DC reset).
 func (d *scanDecoder) tryRestart(expect byte) (bool, error) {
 	save := *d.r
-	pads, err := d.r.AlignSkipPad()
+	pads, npads, err := d.r.AlignSkipPad()
 	if err != nil {
 		*d.r = save
 		return false, nil
@@ -191,25 +191,64 @@ func (d *scanDecoder) tryRestart(expect byte) (bool, error) {
 		*d.r = save
 		return false, nil
 	}
-	if err := d.notePad(pads); err != nil {
+	if err := d.notePad(pads[:npads]); err != nil {
 		return false, err
 	}
 	return true, nil
 }
 
+// ScanBuffers is reusable backing storage for DecodeScanInto: one
+// coefficient slab covering every component plane plus the per-MCU position
+// table. Pooling these across conversions removes the two dominant
+// per-encode allocations.
+type ScanBuffers struct {
+	Coeff []int16
+	Pos   []MCUPos
+}
+
 // DecodeScan entropy-decodes the scan of a parsed file into coefficients,
 // recording per-MCU handover state.
-func DecodeScan(f *File) (*Scan, error) {
+func DecodeScan(f *File) (*Scan, error) { return DecodeScanInto(f, nil) }
+
+// DecodeScanInto is DecodeScan drawing coefficient and position storage from
+// buf, growing it as needed; the returned Scan aliases buf, so buf must not
+// be reused until the Scan is dead. A nil buf allocates fresh storage.
+func DecodeScanInto(f *File, buf *ScanBuffers) (*Scan, error) {
 	d, err := newScanDecoder(f)
 	if err != nil {
 		return nil, err
 	}
 	s := &Scan{File: f}
-	for _, c := range f.Components {
-		s.Coeff = append(s.Coeff, make([]int16, c.BlocksWide*c.BlocksHigh*64))
-	}
 	total := f.TotalMCUs()
-	s.Positions = make([]MCUPos, total)
+	if buf != nil {
+		need := f.CoefficientCount()
+		if cap(buf.Coeff) < need {
+			buf.Coeff = make([]int16, need)
+		} else {
+			// The entropy decoder writes only nonzero coefficients; planes
+			// must start zeroed.
+			buf.Coeff = buf.Coeff[:need]
+			clear(buf.Coeff)
+		}
+		if cap(buf.Pos) < total {
+			buf.Pos = make([]MCUPos, total)
+		} else {
+			// Every entry is assigned below; no clear needed.
+			buf.Pos = buf.Pos[:total]
+		}
+		off := 0
+		for _, c := range f.Components {
+			n := c.BlocksWide * c.BlocksHigh * 64
+			s.Coeff = append(s.Coeff, buf.Coeff[off:off+n:off+n])
+			off += n
+		}
+		s.Positions = buf.Pos
+	} else {
+		for _, c := range f.Components {
+			s.Coeff = append(s.Coeff, make([]int16, c.BlocksWide*c.BlocksHigh*64))
+		}
+		s.Positions = make([]MCUPos, total)
+	}
 	ri := f.RestartInterval
 	rstSeen := 0
 	rstMissing := false
@@ -241,17 +280,17 @@ func DecodeScan(f *File) (*Scan, error) {
 		}
 	}
 	// Final byte alignment: remaining bits of the last byte are padding.
-	pads, err := d.r.AlignSkipPad()
+	pads, npads, err := d.r.AlignSkipPad()
 	if err != nil {
 		if errors.Is(err, bitio.ErrTruncated) {
 			// The last byte of the scan was also the last byte of data; no
 			// padding present.
-			pads = nil
+			npads = 0
 		} else if !errors.Is(err, bitio.ErrMarker) {
 			return nil, wrapEntropyErr(err)
 		}
 	}
-	if err := d.notePad(pads); err != nil {
+	if err := d.notePad(pads[:npads]); err != nil {
 		return nil, err
 	}
 	s.PadBit = 1

@@ -43,6 +43,10 @@ type Codec struct {
 
 	rowStart, rowEnd []int
 
+	// st is the per-component rolling-cache scratch, reused across
+	// components and (via Reset) across conversions.
+	st segState
+
 	// Stats is filled on the encode path when non-nil.
 	Stats *Stats
 }
@@ -68,8 +72,38 @@ func NewCodec(comps []ComponentPlane, rowStart, rowEnd []int, flags Flags) *Code
 	return c
 }
 
-// BinCount returns the number of statistic bins allocated by this codec.
-func (c *Codec) BinCount() int { return len(c.bins) * BinsPerChannel }
+// Reset re-targets a used codec at a new set of planes, clearing the
+// adaptive statistic bins so it behaves exactly like a freshly allocated
+// codec while reusing the bin tables and scratch — the dominant per-segment
+// allocations. Callers pooling codecs across conversions use this instead of
+// NewCodec.
+func (c *Codec) Reset(comps []ComponentPlane, rowStart, rowEnd []int, flags Flags) {
+	c.flags = flags
+	c.comps = append(c.comps[:0], comps...)
+	c.rowStart = append(c.rowStart[:0], rowStart...)
+	c.rowEnd = append(c.rowEnd[:0], rowEnd...)
+	for len(c.bins) < len(comps) {
+		c.bins = append(c.bins, &chanBins{})
+	}
+	for i := range comps {
+		*c.bins[i] = chanBins{}
+	}
+	c.Stats = nil
+}
+
+// Release drops the codec's references to coefficient planes so a pooled
+// codec does not pin multi-megabyte buffers between conversions. The bin
+// tables and scratch stay allocated for reuse via Reset.
+func (c *Codec) Release() {
+	for i := range c.comps {
+		c.comps[i] = ComponentPlane{}
+	}
+	c.comps = c.comps[:0]
+	c.Stats = nil
+}
+
+// BinCount returns the number of statistic bins in use by this codec.
+func (c *Codec) BinCount() int { return len(c.comps) * BinsPerChannel }
 
 // ModelBytes returns the approximate memory footprint of the bins.
 func (c *Codec) ModelBytes() int { return c.BinCount() * 4 }
@@ -85,13 +119,24 @@ type segState struct {
 	prevDC   int32
 }
 
-func newSegState(w int) *segState {
-	return &segState{
-		nzAbove: make([]uint8, w),
-		nzCur:   make([]uint8, w),
-		edAbove: make([]blockEdges, w),
-		edCur:   make([]blockEdges, w),
+// reset sizes the caches for a plane w blocks wide, growing the backing
+// arrays only when needed. Stale contents are harmless: nzAbove/edAbove are
+// read only once hasAbove is set (after the first nextRow), and nzCur/edCur
+// are written at every column before any read.
+func (s *segState) reset(w int) {
+	if cap(s.nzAbove) < w {
+		s.nzAbove = make([]uint8, w)
+		s.nzCur = make([]uint8, w)
+		s.edAbove = make([]blockEdges, w)
+		s.edCur = make([]blockEdges, w)
+	} else {
+		s.nzAbove = s.nzAbove[:w]
+		s.nzCur = s.nzCur[:w]
+		s.edAbove = s.edAbove[:w]
+		s.edCur = s.edCur[:w]
 	}
+	s.hasAbove = false
+	s.prevDC = 0
 }
 
 func (s *segState) nextRow() {
@@ -118,7 +163,8 @@ func (c *Codec) DecodeSegment(d *arith.Decoder) error {
 func (c *Codec) run(em *emitter) error {
 	for ci := range c.comps {
 		cp := &c.comps[ci]
-		st := newSegState(cp.BlocksWide)
+		st := &c.st
+		st.reset(cp.BlocksWide)
 		for row := c.rowStart[ci]; row < c.rowEnd[ci]; row++ {
 			for col := 0; col < cp.BlocksWide; col++ {
 				if err := c.codeBlock(em, ci, row, col, st); err != nil {

@@ -2,7 +2,9 @@ package server
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
 	"net"
@@ -59,7 +61,9 @@ func NewPeerPool(addrs []string, seed int64) *PeerPool {
 	return &PeerPool{Addrs: addrs, ProbeTimeout: time.Second, rng: rand.New(rand.NewSource(seed))}
 }
 
-// Target probes two random peers and returns the less loaded.
+// Target probes two random peers concurrently and returns the less loaded.
+// Probing in parallel keeps the selection latency at one probe RTT instead
+// of two — it sits on the critical path of every outsourced conversion.
 func (p *PeerPool) Target() (string, bool) {
 	if len(p.Addrs) == 0 {
 		return "", false
@@ -71,8 +75,23 @@ func (p *PeerPool) Target() (string, bool) {
 	if a == b {
 		return a, true
 	}
-	la, erra := probeLoad(a, p.ProbeTimeout)
-	lb, errb := probeLoad(b, p.ProbeTimeout)
+	type probe struct {
+		load uint32
+		err  error
+	}
+	ra := make(chan probe, 1)
+	rb := make(chan probe, 1)
+	go func() {
+		l, err := probeLoad(a, p.ProbeTimeout)
+		ra <- probe{l, err}
+	}()
+	go func() {
+		l, err := probeLoad(b, p.ProbeTimeout)
+		rb <- probe{l, err}
+	}()
+	pa, pb := <-ra, <-rb
+	la, erra := pa.load, pa.err
+	lb, errb := pb.load, pb.err
 	switch {
 	case erra != nil && errb != nil:
 		return "", false
@@ -104,9 +123,15 @@ type Stats struct {
 }
 
 // Blockserver serves Lepton conversions on a listener. It mirrors the
-// production setup: a 16-core box where two concurrent Lepton jobs saturate
-// the machine, so jobs beyond OutsourceThreshold are forwarded elsewhere
-// when an Outsourcer is configured (§5.5).
+// production setup: a 16-core box where a few concurrent Lepton jobs
+// saturate the machine, so conversions run through a bounded shared worker
+// pool (MaxConcurrent) and jobs arriving beyond OutsourceThreshold are
+// forwarded elsewhere when an Outsourcer is configured (§5.5).
+//
+// Connections are persistent: each serves a request loop until the client
+// closes or a streaming failure forces a teardown, and all connections
+// share one pooled core.Codec so steady-state conversions reuse model
+// tables and coefficient planes instead of re-allocating them per request.
 type Blockserver struct {
 	// Outsource, when non-nil, receives compression jobs arriving while
 	// more than OutsourceThreshold conversions are in flight.
@@ -114,6 +139,21 @@ type Blockserver struct {
 	// OutsourceThreshold is the concurrent-conversion limit; the paper used
 	// "more than three conversions at a time".
 	OutsourceThreshold int
+	// MaxConcurrent bounds conversions running at once across all
+	// connections (the worker pool); 0 means DefaultMaxConcurrent.
+	// Requests beyond the bound queue; InFlight counts queued and running
+	// conversions alike so load probes and the outsourcing trigger see the
+	// backlog.
+	MaxConcurrent int
+	// WriteTimeout bounds how long one response may take to reach the
+	// client; 0 means DefaultWriteTimeout. Because conversions hold a
+	// worker-pool slot through their response write, a client that stops
+	// reading would otherwise pin a slot forever — the deadline converts
+	// that into a connection teardown.
+	WriteTimeout time.Duration
+	// Codec is the pooled conversion pipeline shared by every connection;
+	// nil gets a private codec on first Serve.
+	Codec *core.Codec
 	// EncodeOptions configures the codec.
 	EncodeOptions core.EncodeOptions
 	// Store, when non-nil, enables the store-backed chunk operations
@@ -125,16 +165,40 @@ type Blockserver struct {
 	Stats Stats
 
 	inFlight atomic.Int32
+	sem      chan struct{}
 	ln       net.Listener
 	wg       sync.WaitGroup
 	closed   atomic.Bool
 }
+
+// DefaultMaxConcurrent matches the paper's observation that a handful of
+// conversions saturate a blockserver; beyond this they queue (or are
+// outsourced when a pool is configured).
+const DefaultMaxConcurrent = 4
+
+// DefaultWriteTimeout is generous against slow networks while still
+// bounding how long a stalled client can hold a worker-pool slot.
+const DefaultWriteTimeout = 2 * time.Minute
 
 // Serve accepts connections until the listener is closed.
 func (b *Blockserver) Serve(ln net.Listener) error {
 	b.ln = ln
 	if b.OutsourceThreshold == 0 {
 		b.OutsourceThreshold = 3
+	}
+	if b.Codec == nil {
+		b.Codec = core.NewCodec()
+	}
+	if b.Store != nil && b.Store.Codec == nil {
+		// Store-backed conversions share the server's pools.
+		b.Store.Codec = b.Codec
+	}
+	if b.sem == nil {
+		n := b.MaxConcurrent
+		if n <= 0 {
+			n = DefaultMaxConcurrent
+		}
+		b.sem = make(chan struct{}, n)
 	}
 	for {
 		conn, err := ln.Accept()
@@ -150,6 +214,19 @@ func (b *Blockserver) Serve(ln net.Listener) error {
 			b.handle(conn)
 		}()
 	}
+}
+
+// acquire admits one conversion into the shared worker pool. InFlight is
+// incremented before the semaphore so queued work is visible to load
+// probes and the outsourcing trigger.
+func (b *Blockserver) acquire() {
+	b.inFlight.Add(1)
+	b.sem <- struct{}{}
+}
+
+func (b *Blockserver) release() {
+	<-b.sem
+	b.inFlight.Add(-1)
 }
 
 // Close stops the listener and waits for in-flight requests.
@@ -172,19 +249,45 @@ func (b *Blockserver) logf(format string, args ...any) {
 	}
 }
 
+// handle runs one connection's request loop: requests are served in order
+// until the peer closes (or half-closes, as the one-shot protocol does) or
+// a mid-stream failure makes the framing unrecoverable.
 func (b *Blockserver) handle(conn net.Conn) {
 	defer conn.Close()
-	op, payload, err := ReadRequest(conn)
-	if err != nil {
-		b.Stats.Errors.Add(1)
-		return
+	for {
+		op, payload, err := ReadRequest(conn)
+		if err != nil {
+			// EOF here is the normal end of a persistent connection.
+			if !errors.Is(err, io.EOF) {
+				b.Stats.Errors.Add(1)
+			}
+			return
+		}
+		if !b.serveOne(conn, op, payload) {
+			return
+		}
+	}
+}
+
+// serveOne dispatches one request and reports whether the connection can
+// serve another (false after a write failure or a decode error discovered
+// mid-stream, when the only correct signal left is closing the
+// connection).
+func (b *Blockserver) serveOne(conn net.Conn, op byte, payload []byte) bool {
+	// Bound the whole serve+respond; a client that stops reading must not
+	// pin a worker-pool slot past the deadline.
+	wt := b.WriteTimeout
+	if wt == 0 {
+		wt = DefaultWriteTimeout
+	}
+	if wt > 0 {
+		_ = conn.SetWriteDeadline(time.Now().Add(wt))
 	}
 	switch op {
 	case OpLoad:
 		var resp [4]byte
 		binary.LittleEndian.PutUint32(resp[:], uint32(b.inFlight.Load()))
-		_ = WriteResponse(conn, StatusOK, resp[:])
-		return
+		return WriteResponse(conn, StatusOK, resp[:]) == nil
 	case OpCompress:
 		// Outsource when oversubscribed (§5.5): a blockserver handling
 		// many cheap requests can be randomly assigned too many Lepton
@@ -194,113 +297,145 @@ func (b *Blockserver) handle(conn net.Conn) {
 				resp, err := Do(addr, OpCompress, payload, 30*time.Second)
 				if err == nil {
 					b.Stats.Outsourced.Add(1)
-					_ = WriteResponse(conn, StatusOK, resp)
-					return
+					return WriteResponse(conn, StatusOK, resp) == nil
 				}
 				b.logf("outsource to %s failed: %v; handling locally", addr, err)
 			}
 		}
-		b.inFlight.Add(1)
-		defer b.inFlight.Add(-1)
+		b.acquire()
+		defer b.release()
 		b.Stats.Compresses.Add(1)
-		res, err := core.Encode(payload, withVerify(b.EncodeOptions))
+		res, err := b.Codec.Encode(payload, withVerify(b.EncodeOptions))
 		if err != nil {
 			// Unsupported inputs are service-level successes with a
 			// fallback marker: production stored them with Deflate.
 			if jpeg.ReasonOf(err) != jpeg.ReasonNone {
 				raw, merr := rawContainer(payload)
 				if merr == nil {
-					_ = WriteResponse(conn, StatusOK, raw)
-					return
+					return WriteResponse(conn, StatusOK, raw) == nil
 				}
 			}
 			b.Stats.Errors.Add(1)
-			_ = WriteResponse(conn, StatusError, []byte(err.Error()))
-			return
+			return WriteResponse(conn, StatusError, []byte(err.Error())) == nil
 		}
-		_ = WriteResponse(conn, StatusOK, res.Compressed)
+		return WriteResponse(conn, StatusOK, res.Compressed) == nil
 	case OpDecompress:
-		b.inFlight.Add(1)
-		defer b.inFlight.Add(-1)
+		b.acquire()
+		defer b.release()
 		b.Stats.Decompresses.Add(1)
-		out, err := core.Decode(payload, 0)
+		// The container header records the exact output size, so the
+		// response can be framed up front and the reconstruction streamed
+		// into the connection segment by segment (§3.4) instead of being
+		// buffered whole. The frame header is written lazily, on the
+		// decoder's first output byte: DecodeTo validates everything —
+		// container structure, stored JPEG header, budgets, sizes —
+		// before producing output, so malformed containers come back as
+		// ordinary StatusError responses; once payload bytes flow, only
+		// genuine mid-stream corruption can force a teardown.
+		size, err := core.ContainerOutputSize(payload)
 		if err != nil {
 			b.Stats.Errors.Add(1)
-			_ = WriteResponse(conn, StatusError, []byte(err.Error()))
-			return
+			return WriteResponse(conn, StatusError, []byte(err.Error())) == nil
 		}
-		_ = WriteResponse(conn, StatusOK, out)
+		lw := &lazyFrameWriter{conn: conn, size: size}
+		if err := b.Codec.DecodeTo(lw, payload, 0); err != nil {
+			b.Stats.Errors.Add(1)
+			if !lw.started {
+				return WriteResponse(conn, StatusError, []byte(err.Error())) == nil
+			}
+			// The header promised size bytes; a shortfall can only be
+			// signaled by tearing the connection down.
+			b.logf("decompress stream failed: %v", err)
+			return false
+		}
+		if !lw.started {
+			// Zero-length output (empty raw chunk): frame it now.
+			return WriteResponseHeader(conn, StatusOK, size) == nil
+		}
+		return true
 	case OpPutChunkRaw, OpPutChunkCompressed, OpGetChunkRaw, OpGetChunkCompressed:
-		b.handleStoreOp(conn, op, payload)
+		return b.handleStoreOp(conn, op, payload)
 	default:
 		b.Stats.Errors.Add(1)
-		_ = WriteResponse(conn, StatusError, []byte("unknown op"))
+		return WriteResponse(conn, StatusError, []byte("unknown op")) == nil
 	}
 }
 
-func (b *Blockserver) handleStoreOp(conn net.Conn, op byte, payload []byte) {
+func (b *Blockserver) handleStoreOp(conn net.Conn, op byte, payload []byte) bool {
 	if b.Store == nil {
 		b.Stats.Errors.Add(1)
-		_ = WriteResponse(conn, StatusError, []byte("no store configured"))
-		return
+		return WriteResponse(conn, StatusError, []byte("no store configured")) == nil
 	}
-	fail := func(err error) {
+	fail := func(err error) bool {
 		b.Stats.Errors.Add(1)
-		_ = WriteResponse(conn, StatusError, []byte(err.Error()))
+		return WriteResponse(conn, StatusError, []byte(err.Error())) == nil
 	}
 	switch op {
 	case OpPutChunkRaw:
 		// Server-side codec: the production deployment's shape.
-		b.inFlight.Add(1)
-		defer b.inFlight.Add(-1)
+		b.acquire()
+		defer b.release()
 		b.Stats.Compresses.Add(1)
 		ref, err := b.Store.PutFile(payload)
 		if err != nil {
-			fail(err)
-			return
+			return fail(err)
 		}
 		if len(ref.Chunks) != 1 {
-			fail(fmt.Errorf("chunk payload produced %d chunks", len(ref.Chunks)))
-			return
+			return fail(fmt.Errorf("chunk payload produced %d chunks", len(ref.Chunks)))
 		}
 		h := ref.Chunks[0]
-		_ = WriteResponse(conn, StatusOK, h[:])
+		return WriteResponse(conn, StatusOK, h[:]) == nil
 	case OpPutChunkCompressed:
 		// Client-side codec (§7): only verification runs here.
 		h, err := b.Store.PutCompressedChunk(payload)
 		if err != nil {
-			fail(err)
-			return
+			return fail(err)
 		}
-		_ = WriteResponse(conn, StatusOK, h[:])
+		return WriteResponse(conn, StatusOK, h[:]) == nil
 	case OpGetChunkRaw:
 		h, err := hashOf(payload)
 		if err != nil {
-			fail(err)
-			return
+			return fail(err)
 		}
-		b.inFlight.Add(1)
-		defer b.inFlight.Add(-1)
+		b.acquire()
+		defer b.release()
 		b.Stats.Decompresses.Add(1)
 		out, err := b.Store.GetChunk(h)
 		if err != nil {
-			fail(err)
-			return
+			return fail(err)
 		}
-		_ = WriteResponse(conn, StatusOK, out)
+		return WriteResponse(conn, StatusOK, out) == nil
 	case OpGetChunkCompressed:
 		h, err := hashOf(payload)
 		if err != nil {
-			fail(err)
-			return
+			return fail(err)
 		}
 		cb, ok := b.Store.GetCompressedChunk(h)
 		if !ok {
-			fail(fmt.Errorf("unknown chunk"))
-			return
+			return fail(fmt.Errorf("unknown chunk"))
 		}
-		_ = WriteResponse(conn, StatusOK, cb)
+		return WriteResponse(conn, StatusOK, cb) == nil
 	}
+	return true
+}
+
+// lazyFrameWriter defers the StatusOK response header until the decoder's
+// first output byte, so every pre-stream validation failure can still be
+// reported as a StatusError on an intact connection.
+type lazyFrameWriter struct {
+	conn    net.Conn
+	size    uint32
+	started bool
+}
+
+func (w *lazyFrameWriter) Write(p []byte) (int, error) {
+	if !w.started {
+		if err := WriteResponseHeader(w.conn, StatusOK, w.size); err != nil {
+			return 0, err
+		}
+		w.started = true
+	}
+	return w.conn.Write(p)
 }
 
 func hashOf(payload []byte) (store.Hash, error) {

@@ -1,0 +1,80 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Client is a persistent connection to a blockserver. Unlike the one-shot
+// Do, it issues any number of sequential requests over a single TCP or Unix
+// connection, which removes the per-request dial/teardown that dominated
+// small-request latency at peak (§5.5's outsourcing overhead). A Client is
+// safe for concurrent use; requests are serialized on the connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Dial connects to addr ("unix:<path>" or "tcp:<host:port>").
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	network, address, err := splitAddr(addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.DialTimeout(network, address, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Do performs one request/response exchange on the persistent connection.
+// A transport-level failure (broken framing, deadline) closes the
+// connection — the stream position is unknown, so a retry could read a
+// stale response as its own; subsequent calls report the client closed.
+// Remote errors reported with StatusError leave the connection usable.
+func (c *Client) Do(op byte, payload []byte, timeout time.Duration) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil, fmt.Errorf("server: client is closed")
+	}
+	if timeout > 0 {
+		_ = c.conn.SetDeadline(time.Now().Add(timeout))
+	} else {
+		_ = c.conn.SetDeadline(time.Time{})
+	}
+	if err := WriteFrame(c.conn, op, payload); err != nil {
+		c.teardown()
+		return nil, err
+	}
+	status, resp, err := ReadResponse(c.conn)
+	if err != nil {
+		c.teardown()
+		return nil, err
+	}
+	if status != StatusOK {
+		return nil, fmt.Errorf("server: remote error: %s", resp)
+	}
+	return resp, nil
+}
+
+// teardown closes and clears the connection; callers hold c.mu.
+func (c *Client) teardown() {
+	_ = c.conn.Close()
+	c.conn = nil
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}

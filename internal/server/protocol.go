@@ -1,8 +1,15 @@
 // Package server implements the blockserver network service of paper §5.5:
-// Lepton normally listens on a Unix-domain socket and speaks a simple
-// stream protocol (request written, write side shut down, response read
-// back); overloaded blockservers "outsource" conversions over TCP to other
-// machines chosen by the power of two random choices.
+// Lepton listens on a Unix-domain socket or TCP and speaks a simple
+// length-prefixed stream protocol; overloaded blockservers "outsource"
+// conversions over TCP to other machines chosen by the power of two random
+// choices.
+//
+// Connections are persistent: because every request and response is length
+// framed, a client may issue any number of sequential requests on one
+// connection (see Client). The original one-shot exchange — request
+// written, write side shut down, response read back, as the deployed
+// system did — remains fully supported: the server simply sees EOF on the
+// next read and closes its side.
 package server
 
 import (
@@ -39,17 +46,25 @@ const (
 // maxPayload bounds a request body (a chunk plus slack).
 const maxPayload = 8 << 20
 
-// WriteRequest sends op+payload and half-closes the write side, signaling
-// end of request exactly as the production protocol did ("the file is
-// complete once the socket is shut down for writing").
-func WriteRequest(conn net.Conn, op byte, payload []byte) error {
+// WriteFrame sends op+payload, leaving the write side open so further
+// requests can follow on the same connection.
+func WriteFrame(conn net.Conn, op byte, payload []byte) error {
 	var hdr [5]byte
 	hdr[0] = op
 	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
 	if _, err := conn.Write(hdr[:]); err != nil {
 		return err
 	}
-	if _, err := conn.Write(payload); err != nil {
+	_, err := conn.Write(payload)
+	return err
+}
+
+// WriteRequest sends op+payload and half-closes the write side, signaling
+// end of request exactly as the production protocol did ("the file is
+// complete once the socket is shut down for writing"). Persistent clients
+// use WriteFrame instead.
+func WriteRequest(conn net.Conn, op byte, payload []byte) error {
+	if err := WriteFrame(conn, op, payload); err != nil {
 		return err
 	}
 	type closeWriter interface{ CloseWrite() error }
@@ -78,13 +93,21 @@ func ReadRequest(conn net.Conn) (op byte, payload []byte, err error) {
 
 // WriteResponse sends status+payload.
 func WriteResponse(conn net.Conn, status byte, payload []byte) error {
-	var hdr [5]byte
-	hdr[0] = status
-	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
-	if _, err := conn.Write(hdr[:]); err != nil {
+	if err := WriteResponseHeader(conn, status, uint32(len(payload))); err != nil {
 		return err
 	}
 	_, err := conn.Write(payload)
+	return err
+}
+
+// WriteResponseHeader sends only the status+length header; exactly n body
+// bytes must follow. Servers use it to stream a decode into the connection
+// as segments complete instead of buffering the whole reconstruction.
+func WriteResponseHeader(conn net.Conn, status byte, n uint32) error {
+	var hdr [5]byte
+	hdr[0] = status
+	binary.LittleEndian.PutUint32(hdr[1:], n)
+	_, err := conn.Write(hdr[:])
 	return err
 }
 

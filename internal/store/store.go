@@ -98,6 +98,11 @@ type Store struct {
 
 	// ChunkSize for splitting files; 0 means the 4-MiB default.
 	ChunkSize int
+
+	// Codec, when non-nil, supplies pooled conversion state shared across
+	// puts and gets — a store embedded in a long-lived server passes the
+	// server's codec here.
+	Codec *core.Codec
 }
 
 // New returns an empty store.
@@ -126,7 +131,7 @@ func (st *Store) PutFile(data []byte) (FileRef, error) {
 	}
 	if useLepton {
 		var err error
-		comp, err = chunk.Compress(data, chunk.Options{ChunkSize: size, VerifyRoundtrip: true})
+		comp, err = chunk.Compress(data, chunk.Options{ChunkSize: size, VerifyRoundtrip: true, Codec: st.Codec})
 		if err != nil {
 			if jpeg.ReasonOf(err) == jpeg.ReasonRoundtrip {
 				atomic.AddInt64(&st.counters.RoundtripFailures, 1)
@@ -151,7 +156,7 @@ func (st *Store) PutFile(data []byte) (FileRef, error) {
 		if o1 > len(data) {
 			o1 = len(data)
 		}
-		back, err := chunk.Decompress(cb)
+		back, err := st.Codec.Decode(cb, 0)
 		if err != nil || !bytes.Equal(back, data[o0:o1]) {
 			return FileRef{}, fmt.Errorf("store: chunk %d failed admission round trip: %v", k, err)
 		}
@@ -214,7 +219,7 @@ func (st *Store) PutCompressedChunk(cb []byte) (Hash, error) {
 	if !core.IsLepton(cb) {
 		return Hash{}, errors.New("store: not a Lepton container")
 	}
-	if _, err := chunk.Decompress(cb); err != nil {
+	if _, err := st.Codec.Decode(cb, 0); err != nil {
 		return Hash{}, fmt.Errorf("store: chunk not decodable: %w", err)
 	}
 	sum := sha256.Sum256(cb)
@@ -235,7 +240,7 @@ func (st *Store) GetChunk(h Hash) ([]byte, error) {
 		return nil, fmt.Errorf("store: unknown chunk %x", h[:8])
 	}
 	atomic.AddInt64(&st.counters.Decodes, 1)
-	return chunk.Decompress(cb)
+	return st.Codec.Decode(cb, 0)
 }
 
 // GetCompressedChunk returns the stored (compressed) bytes.

@@ -18,6 +18,19 @@
 //	orig, err := lepton.Decompress(res.Compressed)
 //	// orig is byte-identical to jpegBytes
 //
+// Services converting many files should hold a Codec, which pools the
+// model tables, coefficient planes, and scratch that dominate per-call
+// memory, as the deployed blockservers did:
+//
+//	codec := lepton.NewCodec()
+//	for _, f := range files {
+//		res, err := codec.Compress(f, nil) // identical output, far fewer allocations
+//		...
+//	}
+//
+// The package-level functions are thin wrappers over one shared default
+// codec.
+//
 // Files the codec cannot handle (progressive JPEG, CMYK, corrupt data, ...)
 // are rejected with a classified Reason; callers typically fall back to
 // generic compression, as production did.
@@ -128,9 +141,27 @@ type Result struct {
 	ContainerOverhead int
 }
 
+// Codec is a reusable compression pipeline. It owns pools for the model
+// statistic-bin tables, coefficient planes, and per-segment scratch that
+// dominate a conversion's allocations, so a long-lived codec serving many
+// files reuses that memory instead of re-allocating it per call — the
+// shape of the paper's blockserver deployment, where per-request memory
+// was the binding constraint (§6.2). Output is byte-identical to the
+// one-shot package functions. A Codec is safe for concurrent use.
+type Codec struct {
+	core *core.Codec
+}
+
+// NewCodec returns a reusable codec with empty pools.
+func NewCodec() *Codec { return &Codec{core: core.NewCodec()} }
+
+// defaultCodec backs the package-level convenience functions, so even
+// casual callers get steady-state pooling.
+var defaultCodec = NewCodec()
+
 // Compress compresses one whole baseline JPEG file. opts may be nil.
-func Compress(data []byte, opts *Options) (*Result, error) {
-	res, err := core.Encode(data, opts.coreOptions())
+func (c *Codec) Compress(data []byte, opts *Options) (*Result, error) {
+	res, err := c.core.Encode(data, opts.coreOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -144,16 +175,63 @@ func Compress(data []byte, opts *Options) (*Result, error) {
 	}, nil
 }
 
+// CompressTo compresses data and writes the container to w, returning the
+// accounting Result with Compressed left nil.
+func (c *Codec) CompressTo(w io.Writer, data []byte, opts *Options) (*Result, error) {
+	res, err := c.core.EncodeTo(w, data, opts.coreOptions())
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Threads:           res.Segments,
+		ClassBits:         res.ClassBits,
+		OriginalClassBits: res.OriginalClassBits,
+		HeaderOriginal:    res.HeaderOriginal,
+		ContainerOverhead: res.HeaderCompressed,
+	}, nil
+}
+
+// Decompress reconstructs the exact original bytes of a compressed file or
+// chunk.
+func (c *Codec) Decompress(comp []byte) ([]byte, error) {
+	return c.core.Decode(comp, 0)
+}
+
+// DecompressTo streams the reconstruction to w with low time-to-first-byte:
+// output is written segment by segment as decoding completes (§3.4).
+func (c *Codec) DecompressTo(w io.Writer, comp []byte) error {
+	return c.core.DecodeTo(w, comp, 0)
+}
+
+// Verify round-trips data through compress and decompress and reports
+// whether the reconstruction is exact (§5.7 admission control).
+func (c *Codec) Verify(data []byte, opts *Options) error {
+	o := &Options{}
+	if opts != nil {
+		cp := *opts
+		o = &cp
+	}
+	o.Verify = true
+	_, err := c.Compress(data, o)
+	return err
+}
+
+// Compress compresses one whole baseline JPEG file via the default codec.
+// opts may be nil.
+func Compress(data []byte, opts *Options) (*Result, error) {
+	return defaultCodec.Compress(data, opts)
+}
+
 // Decompress reconstructs the exact original bytes of a compressed file or
 // chunk.
 func Decompress(comp []byte) ([]byte, error) {
-	return core.Decode(comp, 0)
+	return defaultCodec.Decompress(comp)
 }
 
 // DecompressTo streams the reconstruction to w with low time-to-first-byte:
 // output is written segment by segment as decoding completes (§3.4).
 func DecompressTo(w io.Writer, comp []byte) error {
-	return core.DecodeTo(w, comp, 0)
+	return defaultCodec.DecompressTo(w, comp)
 }
 
 // IsCompressed reports whether data begins with the Lepton magic number
@@ -172,6 +250,21 @@ type ChunkOptions struct {
 	Verify bool
 	// Threads forces the per-chunk segment count; 0 selects by size.
 	Threads int
+	// BufferLimit bounds how much of a stream CompressChunksFrom holds in
+	// memory; 0 means the deployed encode budget. Larger streams are
+	// chunk-compressed incrementally in raw mode with O(ChunkSize) memory.
+	BufferLimit int64
+}
+
+func (o *ChunkOptions) chunkOptions(c *core.Codec) chunk.Options {
+	co := chunk.Options{Codec: c}
+	if o != nil {
+		co.ChunkSize = o.ChunkSize
+		co.VerifyRoundtrip = o.Verify
+		co.SegmentsPerChunk = o.Threads
+		co.BufferLimit = o.BufferLimit
+	}
+	return co
 }
 
 // CompressChunks splits data at fixed chunk boundaries and compresses each
@@ -179,40 +272,58 @@ type ChunkOptions struct {
 // mid-Huffman-symbol — can later be decompressed on its own with
 // Decompress/DecompressChunk. Inputs Lepton cannot handle come back as
 // deflate-compressed raw chunks rather than an error.
+func (c *Codec) CompressChunks(data []byte, opts *ChunkOptions) ([][]byte, error) {
+	return chunk.Compress(data, opts.chunkOptions(c.core))
+}
+
+// CompressChunksFrom chunk-compresses the stream r incrementally, calling
+// emit with each finished chunk in order, so a file need not be held in
+// memory whole: streams within the buffer limit produce output identical
+// to CompressChunks, and larger streams — beyond the encoder's memory
+// admission budget anyway — deflate through in constant space.
+func (c *Codec) CompressChunksFrom(r io.Reader, opts *ChunkOptions, emit func(chunk []byte) error) error {
+	return chunk.CompressFrom(r, opts.chunkOptions(c.core), emit)
+}
+
+// DecompressChunk reconstructs one chunk's original bytes, independently of
+// every other chunk.
+func (c *Codec) DecompressChunk(chunkData []byte) ([]byte, error) {
+	return c.core.Decode(chunkData, 0)
+}
+
+// CompressChunks splits data into independently decompressible chunks via
+// the default codec.
 func CompressChunks(data []byte, opts *ChunkOptions) ([][]byte, error) {
-	var o chunk.Options
-	if opts != nil {
-		o.ChunkSize = opts.ChunkSize
-		o.VerifyRoundtrip = opts.Verify
-		o.SegmentsPerChunk = opts.Threads
-	}
-	return chunk.Compress(data, o)
+	return defaultCodec.CompressChunks(data, opts)
+}
+
+// CompressChunksFrom streams chunked compression via the default codec.
+func CompressChunksFrom(r io.Reader, opts *ChunkOptions, emit func(chunk []byte) error) error {
+	return defaultCodec.CompressChunksFrom(r, opts, emit)
 }
 
 // DecompressChunk reconstructs one chunk's original bytes, independently of
 // every other chunk.
 func DecompressChunk(chunkData []byte) ([]byte, error) {
-	return chunk.Decompress(chunkData)
+	return defaultCodec.DecompressChunk(chunkData)
 }
 
 // ReassembleChunks decompresses a chunk sequence and concatenates the
 // results into the original file.
+func (c *Codec) ReassembleChunks(chunks [][]byte) ([]byte, error) {
+	return chunk.ReassembleWith(c.core, chunks)
+}
+
+// ReassembleChunks decompresses a chunk sequence via the default codec.
 func ReassembleChunks(chunks [][]byte) ([]byte, error) {
-	return chunk.Reassemble(chunks)
+	return defaultCodec.ReassembleChunks(chunks)
 }
 
 // Verify round-trips data through compress and decompress and reports
 // whether the reconstruction is exact. It is the admission check production
 // ran before accepting any chunk into storage (§5.7).
 func Verify(data []byte, opts *Options) error {
-	o := &Options{}
-	if opts != nil {
-		c := *opts
-		o = &c
-	}
-	o.Verify = true
-	_, err := Compress(data, o)
-	return err
+	return defaultCodec.Verify(data, opts)
 }
 
 // ErrNotLepton is returned by Decompress when the payload lacks the Lepton

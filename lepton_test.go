@@ -202,3 +202,81 @@ func progressiveSample(t testing.TB, seed int64, w, h int) []byte {
 	}
 	return data
 }
+
+func TestPublicCodecReuse(t *testing.T) {
+	// One codec across many files: outputs must match the package-level
+	// (default-codec) path byte for byte, and reuse must never leak state
+	// between conversions.
+	codec := lepton.NewCodec()
+	for round := 0; round < 2; round++ {
+		for seed := int64(11); seed <= 14; seed++ {
+			data := gen(t, seed, 200+int(seed)*8, 160)
+			want, err := lepton.Compress(data, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := codec.Compress(data, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got.Compressed, want.Compressed) {
+				t.Fatalf("seed %d: codec output differs from package-level path", seed)
+			}
+			back, err := codec.Decompress(got.Compressed)
+			if err != nil || !bytes.Equal(back, data) {
+				t.Fatalf("seed %d: codec round trip failed (%v)", seed, err)
+			}
+		}
+	}
+}
+
+func TestPublicCompressTo(t *testing.T) {
+	codec := lepton.NewCodec()
+	data := gen(t, 21, 256, 192)
+	want, err := codec.Compress(data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	res, err := codec.CompressTo(&buf, data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Compressed != nil {
+		t.Fatal("CompressTo must not retain the container")
+	}
+	if !bytes.Equal(buf.Bytes(), want.Compressed) {
+		t.Fatal("CompressTo bytes differ from Compress")
+	}
+}
+
+func TestPublicCompressChunksFrom(t *testing.T) {
+	codec := lepton.NewCodec()
+	data := gen(t, 22, 512, 384)
+	want, err := codec.CompressChunks(data, &lepton.ChunkOptions{ChunkSize: 32 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got [][]byte
+	err = codec.CompressChunksFrom(bytes.NewReader(data),
+		&lepton.ChunkOptions{ChunkSize: 32 << 10},
+		func(c []byte) error {
+			got = append(got, c)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("chunk counts differ: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("chunk %d differs between streaming and in-memory paths", i)
+		}
+	}
+	back, err := lepton.ReassembleChunks(got)
+	if err != nil || !bytes.Equal(back, data) {
+		t.Fatalf("reassembly failed (%v)", err)
+	}
+}
