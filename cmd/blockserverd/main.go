@@ -3,19 +3,27 @@
 // outsource work to peers or a dedicated cluster when oversubscribed
 // (paper §5.5).
 //
+// SIGINT/SIGTERM trigger a graceful drain: the listener closes, requests
+// already in flight finish, and stragglers are force-cancelled when the
+// drain timeout expires — the rollout/rollback discipline of §5.7. A
+// second signal forces an immediate shutdown.
+//
 // Usage:
 //
 //	blockserverd -listen unix:/tmp/lepton.sock
 //	blockserverd -listen tcp:0.0.0.0:7731 -dedicated tcp:10.0.0.5:7731,tcp:10.0.0.6:7731
 //	blockserverd -listen tcp::7731 -peers tcp:peer1:7731,tcp:peer2:7731 -threshold 3
+//	blockserverd -listen tcp::7731 -request-timeout 30s -drain-timeout 10s
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"lepton/internal/server"
@@ -28,11 +36,16 @@ func main() {
 	threshold := flag.Int("threshold", 3, "outsource when more conversions than this are in flight")
 	maxConcurrent := flag.Int("max-concurrent", server.DefaultMaxConcurrent,
 		"bound on conversions running at once (the shared worker pool); extra requests queue")
+	requestTimeout := flag.Duration("request-timeout", 0,
+		"per-request deadline; conversions running longer are cancelled (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
+		"how long a graceful shutdown waits for in-flight requests before cancelling them")
 	flag.Parse()
 
 	b := &server.Blockserver{
 		OutsourceThreshold: *threshold,
 		MaxConcurrent:      *maxConcurrent,
+		RequestTimeout:     *requestTimeout,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "blockserverd: "+format+"\n", args...)
 		},
@@ -51,11 +64,23 @@ func main() {
 	}
 	fmt.Printf("blockserverd listening on %s (threshold %d)\n", addr, *threshold)
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Printf("shutting down: compresses=%d decompresses=%d outsourced=%d errors=%d\n",
-		b.Stats.Compresses.Load(), b.Stats.Decompresses.Load(),
-		b.Stats.Outsourced.Load(), b.Stats.Errors.Load())
-	_ = b.Close()
+	fmt.Printf("draining (up to %v): compresses=%d decompresses=%d outsourced=%d errors=%d cancelled=%d\n",
+		*drainTimeout, b.Stats.Compresses.Load(), b.Stats.Decompresses.Load(),
+		b.Stats.Outsourced.Load(), b.Stats.Errors.Load(), b.Stats.Cancelled.Load())
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	go func() {
+		// A second signal abandons the drain.
+		<-sig
+		cancel()
+	}()
+	if err := b.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "blockserverd: drain incomplete, stragglers cancelled: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("drained cleanly")
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -45,7 +46,14 @@ func main() {
 			batches, b.Shard, b.Users, b.Chunks)
 	}
 
-	// Backfill workers recompress the library, verifying every file.
+	// Backfill workers recompress the library, verifying every file. The
+	// whole run shares one context: cancelling it (an operator abort, a
+	// batch deadline) stops every worker at its current file's next
+	// checkpoint instead of letting the fleet finish work nobody wants —
+	// the §5.6 backfill ran for a year, so operability mattered as much as
+	// throughput.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	var bytesIn, bytesOut, files atomic.Int64
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -58,8 +66,11 @@ func main() {
 		go func() {
 			defer wg.Done()
 			for data := range work {
-				res, err := codec.Compress(data, &lepton.Options{Verify: true})
+				res, err := codec.CompressCtx(ctx, data, &lepton.Options{Verify: true})
 				if err != nil {
+					if ctx.Err() != nil {
+						return // run aborted; drain quietly
+					}
 					log.Fatalf("backfill: %v", err)
 				}
 				bytesIn.Add(int64(len(data)))

@@ -1,11 +1,14 @@
 // Blockserver demonstrates the serving path of §5.5: a frontend
 // blockserver on a Unix-domain socket (the production transport), a
 // dedicated outsourcing worker on TCP, and outsourcing kicking in when the
-// frontend is oversubscribed.
+// frontend is oversubscribed. Every request runs under a context, and both
+// servers finish with a graceful drain (Shutdown), the §5.7 rollout
+// discipline.
 package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -31,7 +34,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer worker.Close()
 
 	// The frontend blockserver on a Unix socket, outsourcing to the worker
 	// when more than one conversion is already in flight.
@@ -44,19 +46,23 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer front.Close()
 	fmt.Printf("frontend on %s\nworker on %s\n", frontAddr, workerAddr)
 
 	// Eight clients upload photos concurrently — a burst like a camera
-	// roll syncing. Each client holds one persistent connection and issues
-	// all of its requests on it; the server's request loop serves them
-	// back to back with no reconnects.
+	// roll syncing. Each client holds one persistent connection, issues
+	// all of its requests on it under a per-upload deadline, and the
+	// server's request loop serves them back to back with no reconnects.
+	// If a client walked away (cancelled its context), the server would
+	// abort that conversion at its next checkpoint instead of finishing
+	// work nobody wants.
 	var wg sync.WaitGroup
 	for i := 0; i < 8; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			cl, err := server.Dial(frontAddr, 5*time.Second)
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			cl, err := server.DialContext(ctx, frontAddr)
 			if err != nil {
 				log.Fatalf("client %d dial: %v", i, err)
 			}
@@ -65,11 +71,11 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			comp, err := cl.Do(server.OpCompress, data, 30*time.Second)
+			comp, err := cl.Compress(ctx, data)
 			if err != nil {
 				log.Fatalf("client %d: %v", i, err)
 			}
-			back, err := cl.Do(server.OpDecompress, comp, 30*time.Second)
+			back, err := cl.Decompress(ctx, comp)
 			if err != nil {
 				log.Fatalf("client %d decompress: %v", i, err)
 			}
@@ -86,4 +92,16 @@ func main() {
 		front.Stats.Compresses.Load(), front.Stats.Outsourced.Load(),
 		front.Stats.Decompresses.Load())
 	fmt.Printf("worker:   %d compressed\n", worker.Stats.Compresses.Load())
+
+	// Graceful drain: stop accepting, let in-flight work finish, cancel
+	// stragglers only if the deadline passes.
+	drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := front.Shutdown(drainCtx); err != nil {
+		log.Fatalf("frontend drain: %v", err)
+	}
+	if err := worker.Shutdown(drainCtx); err != nil {
+		log.Fatalf("worker drain: %v", err)
+	}
+	fmt.Println("both servers drained cleanly")
 }

@@ -3,22 +3,28 @@
 // decompressible *independently* — even chunks that begin mid-scan, in the
 // middle of a Huffman-coded symbol (paper §1, §3.4).
 //
-// It stores a file into the content-addressed store with round-trip
-// admission control, then serves individual chunks out of order.
+// It stores a file into the public lepton.Store — the content-addressed
+// store with §5.7 round-trip admission control — then serves individual
+// chunks out of order. Everything runs under a context, as a real service
+// front end would.
 package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
+	"time"
 
 	"lepton"
 	"lepton/internal/imagegen"
-	"lepton/internal/store"
 )
 
 func main() {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
 	// A larger synthetic photo so we get several chunks at a 64 KiB chunk
 	// size (production uses 4 MiB; the mechanics are identical).
 	const chunkSize = 64 << 10
@@ -31,10 +37,10 @@ func main() {
 
 	// Path 1: the streaming chunk API — chunks are emitted as produced, so
 	// the input could just as well be a Reader over a file larger than
-	// memory.
+	// memory. Cancelling ctx stops the stream between chunks.
 	codec := lepton.NewCodec()
 	var chunks [][]byte
-	err = codec.CompressChunksFrom(bytes.NewReader(data),
+	err = codec.CompressChunksFromCtx(ctx, bytes.NewReader(data),
 		&lepton.ChunkOptions{ChunkSize: chunkSize, Verify: true},
 		func(c []byte) error {
 			chunks = append(chunks, c)
@@ -53,7 +59,7 @@ func main() {
 	// Decompress chunks in random order, each fully independently: no
 	// shared state, no other chunk's bytes.
 	for _, k := range rand.New(rand.NewSource(1)).Perm(len(chunks)) {
-		part, err := codec.DecompressChunk(chunks[k])
+		part, err := codec.DecompressChunkCtx(ctx, chunks[k])
 		if err != nil {
 			log.Fatalf("chunk %d: %v", k, err)
 		}
@@ -65,20 +71,28 @@ func main() {
 		fmt.Printf("  chunk %2d decoded independently: %6d bytes OK\n", k, len(part))
 	}
 
-	// Path 2: the blockserver store with §5.7 safety mechanisms (admission
-	// round trip, checksums, deflate fallback).
-	st := store.New()
-	st.ChunkSize = chunkSize
-	ref, err := st.PutFile(data)
+	// Path 2: the public store with §5.7 safety mechanisms (admission
+	// round trip, checksums, deflate fallback, safety net).
+	st := lepton.NewStore(&lepton.StoreOptions{
+		ChunkSize: chunkSize,
+		SafetyNet: lepton.NewMemSafetyNet(),
+		Codec:     codec,
+	})
+	ref, err := st.PutFile(ctx, data)
 	if err != nil {
 		log.Fatal(err)
 	}
-	back, err := st.GetFile(ref)
+	back, err := st.GetFile(ctx, ref)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if !bytes.Equal(back, data) {
 		log.Fatal("store round trip mismatch")
+	}
+	// Disaster recovery: any chunk's raw bytes can come back from the
+	// safety net, bypassing the codec entirely.
+	if _, err := st.RecoverFromSafetyNet(ref.Chunks[0]); err != nil {
+		log.Fatal(err)
 	}
 	c := st.Counters()
 	fmt.Printf("store: %d Lepton chunks, %d deflate chunks, %d bytes in, %d stored\n",

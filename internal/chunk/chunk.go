@@ -23,6 +23,7 @@ package chunk
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 
@@ -64,6 +65,13 @@ type Options struct {
 // taken. The error return reports only internal failures; unsupported
 // inputs are not errors at this layer.
 func Compress(data []byte, opt Options) ([][]byte, error) {
+	return CompressCtx(context.Background(), data, opt)
+}
+
+// CompressCtx is Compress under a context: cancellation is observed between
+// chunks and, through the core encoder's per-row checkpoints, inside each
+// chunk's segment encode.
+func CompressCtx(ctx context.Context, data []byte, opt Options) ([][]byte, error) {
 	size := opt.ChunkSize
 	if size <= 0 {
 		size = DefaultChunkSize
@@ -73,7 +81,7 @@ func Compress(data []byte, opt Options) ([][]byte, error) {
 		nChunks = 1
 	}
 	out := make([][]byte, 0, nChunks)
-	err := compressAll(data, opt, func(chunk []byte) error {
+	err := compressAll(ctx, data, opt, func(chunk []byte) error {
 		out = append(out, chunk)
 		return nil
 	})
@@ -92,6 +100,12 @@ func Compress(data []byte, opt Options) ([][]byte, error) {
 // chunk without ever holding the whole input, so files larger than memory
 // stream through in constant space.
 func CompressFrom(r io.Reader, opt Options, emit func(chunk []byte) error) error {
+	return CompressFromCtx(context.Background(), r, opt, emit)
+}
+
+// CompressFromCtx is CompressFrom under a context; cancellation is checked
+// before each chunk is read, compressed, and emitted.
+func CompressFromCtx(ctx context.Context, r io.Reader, opt Options, emit func(chunk []byte) error) error {
 	size := opt.ChunkSize
 	if size <= 0 {
 		size = DefaultChunkSize
@@ -100,20 +114,28 @@ func CompressFrom(r io.Reader, opt Options, emit func(chunk []byte) error) error
 	if limit <= 0 {
 		limit = core.DefaultMemEncodeBudget
 	}
+	// The buffering phase can read up to the whole encode budget from a
+	// slow source, so it must observe cancellation too — per read, via the
+	// wrapping reader (a read already blocked in r is not interruptible;
+	// that is io.Reader's contract, not ours).
+	cr := &ctxReader{ctx: ctx, r: r}
 	// Read one byte past the limit so "exactly at the limit" still takes
 	// the whole-file path.
-	buf, err := io.ReadAll(io.LimitReader(r, limit+1))
+	buf, err := io.ReadAll(io.LimitReader(cr, limit+1))
 	if err != nil {
 		return err
 	}
 	if int64(len(buf)) <= limit {
-		return compressAll(buf, opt, emit)
+		return compressAll(ctx, buf, opt, emit)
 	}
 	// Over budget: raw-chunk the buffered prefix and the rest of the
 	// stream without further buffering.
-	src := io.MultiReader(bytes.NewReader(buf), r)
+	src := io.MultiReader(bytes.NewReader(buf), cr)
 	chunkBuf := make([]byte, size)
 	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		n, err := io.ReadFull(src, chunkBuf)
 		if n > 0 {
 			c, merr := rawContainerPooled(chunkBuf[:n], opt.Codec)
@@ -133,9 +155,22 @@ func CompressFrom(r io.Reader, opt Options, emit func(chunk []byte) error) error
 	}
 }
 
+// ctxReader fails reads with the context's error once it is cancelled.
+type ctxReader struct {
+	ctx context.Context
+	r   io.Reader
+}
+
+func (cr *ctxReader) Read(p []byte) (int, error) {
+	if err := cr.ctx.Err(); err != nil {
+		return 0, err
+	}
+	return cr.r.Read(p)
+}
+
 // compressAll is the shared whole-input path behind Compress and
 // CompressFrom, emitting chunks in order as they are produced.
-func compressAll(data []byte, opt Options, emit func(chunk []byte) error) error {
+func compressAll(ctx context.Context, data []byte, opt Options, emit func(chunk []byte) error) error {
 	size := opt.ChunkSize
 	if size <= 0 {
 		size = DefaultChunkSize
@@ -190,19 +225,25 @@ func compressAll(data []byte, opt Options, emit func(chunk []byte) error) error 
 	}
 
 	for k := 0; k < nChunks; k++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		o0 := int64(k) * int64(size)
 		o1 := o0 + int64(size)
 		if o1 > int64(len(data)) {
 			o1 = int64(len(data))
 		}
-		chunkBytes, err := compressOne(data, f, s, flags, opt, k, o0, o1,
+		chunkBytes, err := compressOne(ctx, data, f, s, flags, opt, k, o0, o1,
 			scanStart, scanEnd, total, absPos, rowStartAtOrAfter)
 		if err != nil {
 			return err
 		}
 		if opt.VerifyRoundtrip {
-			back, err := codec.Decode(chunkBytes, 0)
+			back, err := codec.DecodeCtx(ctx, chunkBytes, 0)
 			if err != nil || !bytes.Equal(back, data[o0:o1]) {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
 				return &jpeg.Error{Reason: jpeg.ReasonRoundtrip,
 					Detail: fmt.Sprintf("chunk %d does not round trip", k)}
 			}
@@ -214,7 +255,7 @@ func compressAll(data []byte, opt Options, emit func(chunk []byte) error) error 
 	return nil
 }
 
-func compressOne(data []byte, f *jpeg.File, s *jpeg.Scan, flags model.Flags,
+func compressOne(ctx context.Context, data []byte, f *jpeg.File, s *jpeg.Scan, flags model.Flags,
 	opt Options, k int, o0, o1, scanStart, scanEnd int64, total int,
 	absPos func(int) int64, rowStartAtOrAfter func(int64) int) ([]byte, error) {
 
@@ -276,7 +317,11 @@ func compressOne(data []byte, f *jpeg.File, s *jpeg.Scan, flags model.Flags,
 	if nSeg == 0 {
 		nSeg = core.SegmentCountFor(int(o1 - o0))
 	}
-	segs, streams, _, release := opt.Codec.EncodeSegments(f, s, mStart, mEnd, nSeg, flags, false)
+	segs, streams, _, release, err := opt.Codec.EncodeSegmentsCtx(ctx, f, s, mStart, mEnd, nSeg, flags, false)
+	if err != nil {
+		release()
+		return nil, err
+	}
 	c.Segments = segs
 	c.Streams = streams
 	b, err := opt.Codec.MarshalContainer(c)
@@ -341,10 +386,19 @@ func Reassemble(chunks [][]byte) ([]byte, error) {
 // ReassembleWith is Reassemble drawing decode state from codec's pools
 // (nil codec = one-shot).
 func ReassembleWith(codec *core.Codec, chunks [][]byte) ([]byte, error) {
+	return ReassembleCtx(context.Background(), codec, chunks)
+}
+
+// ReassembleCtx is ReassembleWith under a context, checked per chunk and
+// inside each chunk's segment decode.
+func ReassembleCtx(ctx context.Context, codec *core.Codec, chunks [][]byte) ([]byte, error) {
 	var out []byte
 	for i, ch := range chunks {
-		b, err := codec.Decode(ch, 0)
+		b, err := codec.DecodeCtx(ctx, ch, 0)
 		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			return nil, fmt.Errorf("chunk %d: %w", i, err)
 		}
 		out = append(out, b...)

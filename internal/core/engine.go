@@ -2,6 +2,8 @@ package core
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -150,6 +152,16 @@ func Encode(data []byte, opt EncodeOptions) (*Result, error) {
 // pooled state from earlier conversions. Output is byte-identical to the
 // one-shot path.
 func (c *Codec) Encode(data []byte, opt EncodeOptions) (*Result, error) {
+	return c.EncodeCtx(context.Background(), data, opt)
+}
+
+// EncodeCtx is Encode under a context: cancellation is observed between
+// pipeline phases and, through per-row checkpoints inside every segment
+// goroutine, mid-conversion — a cancelled request stops burning CPU within
+// one block row per segment, not at the next request boundary. The error is
+// ctx.Err() (errors.Is context.Canceled / DeadlineExceeded); pooled state is
+// recycled exactly as on success, so the codec stays reusable.
+func (c *Codec) EncodeCtx(ctx context.Context, data []byte, opt EncodeOptions) (*Result, error) {
 	encBudget := opt.MemEncodeBudget
 	if encBudget == 0 {
 		encBudget = DefaultMemEncodeBudget
@@ -158,10 +170,13 @@ func (c *Codec) Encode(data []byte, opt EncodeOptions) (*Result, error) {
 	if decBudget == 0 {
 		decBudget = DefaultMemDecodeBudget
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	f, err := jpeg.ParseOpt(data, encBudget, opt.AllowCMYK)
 	if err != nil {
 		if opt.AllowProgressive && jpeg.ReasonOf(err) == jpeg.ReasonProgressive {
-			return encodeProgressive(data, opt, encBudget, decBudget)
+			return encodeProgressive(ctx, data, opt, encBudget, decBudget)
 		}
 		return nil, err
 	}
@@ -170,6 +185,9 @@ func (c *Codec) Encode(data []byte, opt EncodeOptions) (*Result, error) {
 	if int64(f.CoefficientCount())*2 > decBudget {
 		return nil, &jpeg.Error{Reason: jpeg.ReasonMemDecode,
 			Detail: fmt.Sprintf("decode would need %d coefficient bytes", f.CoefficientCount()*2)}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	s, sb, err := c.decodeScan(f)
 	if err != nil {
@@ -208,7 +226,12 @@ func (c *Codec) Encode(data []byte, opt EncodeOptions) (*Result, error) {
 
 	var stats [model.NumClasses]float64
 	var release func()
-	cont.Segments, cont.Streams, stats, release = c.EncodeSegments(f, s, 0, total, nSeg, flags, opt.CollectStats)
+	var segErr error
+	cont.Segments, cont.Streams, stats, release, segErr = c.EncodeSegmentsCtx(ctx, f, s, 0, total, nSeg, flags, opt.CollectStats)
+	if segErr != nil {
+		release()
+		return nil, segErr
+	}
 	res.Segments = len(cont.Segments)
 	res.ClassBits = stats
 	if opt.CollectStats {
@@ -227,8 +250,11 @@ func (c *Codec) Encode(data []byte, opt EncodeOptions) (*Result, error) {
 	}
 
 	if opt.VerifyRoundtrip {
-		back, err := c.Decode(comp, decBudget)
+		back, err := c.DecodeCtx(ctx, comp, decBudget)
 		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			return nil, &jpeg.Error{Reason: jpeg.ReasonRoundtrip, Detail: err.Error()}
 		}
 		if !bytes.Equal(back, data) {
@@ -244,7 +270,12 @@ func (c *Codec) Encode(data []byte, opt EncodeOptions) (*Result, error) {
 // encode completes; the point of EncodeTo is composing with sockets and
 // files without an extra copy at the call site.
 func (c *Codec) EncodeTo(w io.Writer, data []byte, opt EncodeOptions) (*Result, error) {
-	res, err := c.Encode(data, opt)
+	return c.EncodeToCtx(context.Background(), w, data, opt)
+}
+
+// EncodeToCtx is EncodeTo under a context (see EncodeCtx).
+func (c *Codec) EncodeToCtx(ctx context.Context, w io.Writer, data []byte, opt EncodeOptions) (*Result, error) {
+	res, err := c.EncodeCtx(ctx, data, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -273,10 +304,22 @@ func EncodeSegments(f *jpeg.File, s *jpeg.Scan, mStart, mEnd, nSeg int, flags mo
 // been copied out (normally by Container marshaling) and must not touch
 // their contents afterwards.
 func (c *Codec) EncodeSegments(f *jpeg.File, s *jpeg.Scan, mStart, mEnd, nSeg int, flags model.Flags, collectStats bool) ([]Segment, [][]byte, [model.NumClasses]float64, func()) {
+	segs, streams, stats, release, _ := c.EncodeSegmentsCtx(context.Background(), f, s, mStart, mEnd, nSeg, flags, collectStats)
+	return segs, streams, stats, release
+}
+
+// EncodeSegmentsCtx is EncodeSegments under a context: every segment
+// goroutine checks ctx at each block row and aborts mid-segment on
+// cancellation. On a non-nil error (ctx.Err()) the segment and stream slices
+// are nil; release must still be called (it is always non-nil) so pooled
+// state is recycled — an aborted encode leaves the codec as reusable as a
+// completed one.
+func (c *Codec) EncodeSegmentsCtx(ctx context.Context, f *jpeg.File, s *jpeg.Scan, mStart, mEnd, nSeg int, flags model.Flags, collectStats bool) ([]Segment, [][]byte, [model.NumClasses]float64, func(), error) {
 	startRow := mStart / f.MCUsWide
 	endRow := (mEnd + f.MCUsWide - 1) / f.MCUsWide
 	starts := segmentRanges(f, nSeg, startRow, endRow)
 	planes := planesOf(f, s.Coeff)
+	done := ctx.Done()
 
 	type segOut struct {
 		bytes []byte
@@ -303,12 +346,25 @@ func (c *Codec) EncodeSegments(f *jpeg.File, s *jpeg.Scan, mStart, mEnd, nSeg in
 			}
 			e := c.getEncoder()
 			encs[i] = e
-			codec.EncodeSegment(e)
+			if err := codec.EncodeSegmentCtx(e, done); err != nil {
+				// Interrupted: drop the partial stream; the pooled encoder
+				// is Reset on next get, so nothing leaks into later calls.
+				return
+			}
 			outs[i] = segOut{bytes: e.Flush(), stats: codec.Stats}
 		}(i, start, end)
 	}
 	wg.Wait()
 
+	release := func() {
+		for i := range codecs {
+			c.putSegCodec(codecs[i])
+			c.putEncoder(encs[i])
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, [model.NumClasses]float64{}, release, err
+	}
 	var segs []Segment
 	var streams [][]byte
 	var stats [model.NumClasses]float64
@@ -329,13 +385,7 @@ func (c *Codec) EncodeSegments(f *jpeg.File, s *jpeg.Scan, mStart, mEnd, nSeg in
 			}
 		}
 	}
-	release := func() {
-		for i := range codecs {
-			c.putSegCodec(codecs[i])
-			c.putEncoder(encs[i])
-		}
-	}
-	return segs, streams, stats, release
+	return segs, streams, stats, release, nil
 }
 
 // Decode reconstructs the original bytes from a Lepton container.
@@ -347,8 +397,13 @@ func Decode(comp []byte, memBudget int64) ([]byte, error) {
 // Decode reconstructs the original bytes, drawing decode state from the
 // codec's pools.
 func (c *Codec) Decode(comp []byte, memBudget int64) ([]byte, error) {
+	return c.DecodeCtx(context.Background(), comp, memBudget)
+}
+
+// DecodeCtx is Decode under a context (see DecodeToCtx).
+func (c *Codec) DecodeCtx(ctx context.Context, comp []byte, memBudget int64) ([]byte, error) {
 	var buf bytes.Buffer
-	if err := c.DecodeTo(&buf, comp, memBudget); err != nil {
+	if err := c.DecodeToCtx(ctx, &buf, comp, memBudget); err != nil {
 		return nil, err
 	}
 	return buf.Bytes(), nil
@@ -365,8 +420,20 @@ func DecodeTo(w io.Writer, comp []byte, memBudget int64) error {
 // model codecs, and the container-header decompressor are reused across
 // calls on the same codec.
 func (cd *Codec) DecodeTo(w io.Writer, comp []byte, memBudget int64) error {
+	return cd.DecodeToCtx(context.Background(), w, comp, memBudget)
+}
+
+// DecodeToCtx is the streaming decode under a context: cancellation is
+// observed at every block row of the arithmetic decode in each segment
+// goroutine and between emitted segments, so an abandoned decompression
+// frees its worker promptly. A cancelled decode may already have written
+// part of the output to w; the error is ctx.Err().
+func (cd *Codec) DecodeToCtx(ctx context.Context, w io.Writer, comp []byte, memBudget int64) error {
 	if memBudget == 0 {
 		memBudget = DefaultMemDecodeBudget
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	c, headBuf, err := unmarshal(comp, cd)
 	if err != nil {
@@ -384,7 +451,7 @@ func (cd *Codec) DecodeTo(w io.Writer, comp []byte, memBudget int64) error {
 		return err
 	}
 	if c.Mode == ModeProgressive {
-		return decodeProgressiveContainer(w, c, memBudget)
+		return decodeProgressiveContainer(ctx, w, c, memBudget)
 	}
 	f, err := jpeg.ParseHeader(c.JPEGHeader)
 	if err != nil {
@@ -416,6 +483,7 @@ func (cd *Codec) DecodeTo(w io.Writer, comp []byte, memBudget int64) error {
 		err   error
 	}
 	codecs := make([]*model.Codec, len(c.Segments))
+	cancelled := ctx.Done()
 	done := make([]chan segResult, len(c.Segments))
 	for i := range c.Segments {
 		done[i] = make(chan segResult, 1)
@@ -429,12 +497,20 @@ func (cd *Codec) DecodeTo(w io.Writer, comp []byte, memBudget int64) error {
 			codec := cd.getSegCodec(planes, rs, re, flags)
 			codecs[i] = codec
 			d := arith.NewDecoder(c.Streams[i])
-			if err := codec.DecodeSegment(d); err != nil {
+			if err := codec.DecodeSegmentCtx(d, cancelled); err != nil {
+				if errors.Is(err, model.ErrInterrupted) {
+					done[i] <- segResult{err: ctx.Err()}
+					return
+				}
 				done[i] <- segResult{err: fmt.Errorf("core: segment decode: %w", err)}
 				return
 			}
 			if err := d.Err(); err != nil {
 				done[i] <- segResult{err: fmt.Errorf("core: segment decode: %w", err)}
+				return
+			}
+			if err := ctx.Err(); err != nil {
+				done[i] <- segResult{err: err}
 				return
 			}
 			e, err := jpeg.NewScanEncoder(f, c.PadBit, int(c.RSTCount))

@@ -2,6 +2,8 @@ package core
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"io"
 
@@ -19,7 +21,7 @@ import (
 
 // encodeProgressive compresses a progressive JPEG into a ModeProgressive
 // container.
-func encodeProgressive(data []byte, opt EncodeOptions, encBudget, decBudget int64) (*Result, error) {
+func encodeProgressive(ctx context.Context, data []byte, opt EncodeOptions, encBudget, decBudget int64) (*Result, error) {
 	p, err := jpeg.ParseProgressive(data, encBudget)
 	if err != nil {
 		return nil, err
@@ -48,7 +50,9 @@ func encodeProgressive(data []byte, opt EncodeOptions, encBudget, decBudget int6
 		codec.Stats = &model.Stats{}
 	}
 	e := arith.NewEncoder()
-	codec.EncodeSegment(e)
+	if err := codec.EncodeSegmentCtx(e, ctx.Done()); err != nil {
+		return nil, ctx.Err()
+	}
 	stream := e.Flush()
 
 	c := &Container{
@@ -95,8 +99,11 @@ func encodeProgressive(data []byte, opt EncodeOptions, encBudget, decBudget int6
 	}
 	res.HeaderCompressed = len(comp) - len(stream)
 	if opt.VerifyRoundtrip {
-		back, err := Decode(comp, decBudget)
+		back, err := (*Codec)(nil).DecodeCtx(ctx, comp, decBudget)
 		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			return nil, &jpeg.Error{Reason: jpeg.ReasonRoundtrip, Detail: err.Error()}
 		}
 		if !bytes.Equal(back, data) {
@@ -108,7 +115,7 @@ func encodeProgressive(data []byte, opt EncodeOptions, encBudget, decBudget int6
 
 // decodeProgressiveContainer reconstructs a progressive file from its
 // container.
-func decodeProgressiveContainer(w io.Writer, c *Container, memBudget int64) error {
+func decodeProgressiveContainer(ctx context.Context, w io.Writer, c *Container, memBudget int64) error {
 	f, err := jpeg.ParseProgressiveHeader(c.JPEGHeader)
 	if err != nil {
 		return fmt.Errorf("core: stored progressive header: %w", err)
@@ -136,7 +143,10 @@ func decodeProgressiveContainer(w io.Writer, c *Container, memBudget int64) erro
 	}
 	codec := model.NewCodec(planesOf(f, coeff), rs, re, flags)
 	d := arith.NewDecoder(c.Streams[0])
-	if err := codec.DecodeSegment(d); err != nil {
+	if err := codec.DecodeSegmentCtx(d, ctx.Done()); err != nil {
+		if errors.Is(err, model.ErrInterrupted) {
+			return ctx.Err()
+		}
 		return fmt.Errorf("core: progressive model decode: %w", err)
 	}
 	if err := d.Err(); err != nil {

@@ -55,6 +55,12 @@ type Codec struct {
 // only a damaged or truncated Lepton stream produces it.
 var ErrCorrupt = errors.New("model: corrupt coefficient stream")
 
+// ErrInterrupted is returned by the *Ctx segment loops when the done channel
+// closes before the segment completes. Callers translate it into their
+// context's error; the codec itself stays reusable (Reset restores it to a
+// fresh state exactly as after a completed segment).
+var ErrInterrupted = errors.New("model: segment interrupted")
+
 // NewCodec builds a segment codec over the given component planes. rowStart
 // and rowEnd give the block-row range of this segment per component
 // (rowEnd exclusive). Neighbor context never crosses the segment's top
@@ -151,21 +157,41 @@ func (s *segState) nextRow() {
 func (c *Codec) EncodeSegment(e *arith.Encoder) {
 	em := &emitter{e: e, stats: c.Stats}
 	// The shared code path returns errors only on the decode side.
-	_ = c.run(em)
+	_ = c.run(em, nil)
+}
+
+// EncodeSegmentCtx is EncodeSegment with a cancellation checkpoint at every
+// block row: when done closes, the loop stops and ErrInterrupted comes back.
+// A nil done channel never fires, making the checkpoint free.
+func (c *Codec) EncodeSegmentCtx(e *arith.Encoder, done <-chan struct{}) error {
+	return c.run(&emitter{e: e, stats: c.Stats}, done)
 }
 
 // DecodeSegment reads all blocks of the segment from d into the coefficient
 // planes.
 func (c *Codec) DecodeSegment(d *arith.Decoder) error {
-	return c.run(&emitter{d: d})
+	return c.run(&emitter{d: d}, nil)
 }
 
-func (c *Codec) run(em *emitter) error {
+// DecodeSegmentCtx is DecodeSegment with the same per-row cancellation
+// checkpoint as EncodeSegmentCtx.
+func (c *Codec) DecodeSegmentCtx(d *arith.Decoder, done <-chan struct{}) error {
+	return c.run(&emitter{d: d}, done)
+}
+
+func (c *Codec) run(em *emitter, done <-chan struct{}) error {
 	for ci := range c.comps {
 		cp := &c.comps[ci]
 		st := &c.st
 		st.reset(cp.BlocksWide)
 		for row := c.rowStart[ci]; row < c.rowEnd[ci]; row++ {
+			if done != nil {
+				select {
+				case <-done:
+					return ErrInterrupted
+				default:
+				}
+			}
 			for col := 0; col < cp.BlocksWide; col++ {
 				if err := c.codeBlock(em, ci, row, col, st); err != nil {
 					return err

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -8,6 +9,7 @@ import (
 	"log"
 	"math/rand"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -120,6 +122,9 @@ type Stats struct {
 	Decompresses atomic.Int64
 	Outsourced   atomic.Int64
 	Errors       atomic.Int64
+	// Cancelled counts conversions aborted mid-flight by a per-request
+	// context: peer disconnect, RequestTimeout, or a forced drain.
+	Cancelled atomic.Int64
 }
 
 // Blockserver serves Lepton conversions on a listener. It mirrors the
@@ -132,6 +137,12 @@ type Stats struct {
 // closes or a streaming failure forces a teardown, and all connections
 // share one pooled core.Codec so steady-state conversions reuse model
 // tables and coefficient planes instead of re-allocating them per request.
+//
+// Every conversion runs under a context derived from its connection: a
+// peer that disconnects mid-request, or a RequestTimeout that expires,
+// cancels the conversion at its next block-row checkpoint instead of
+// letting it burn a worker slot to completion (the paper's per-request
+// deadline discipline, §5.7). Shutdown drains the server gracefully.
 type Blockserver struct {
 	// Outsource, when non-nil, receives compression jobs arriving while
 	// more than OutsourceThreshold conversions are in flight.
@@ -151,6 +162,10 @@ type Blockserver struct {
 	// reading would otherwise pin a slot forever — the deadline converts
 	// that into a connection teardown.
 	WriteTimeout time.Duration
+	// RequestTimeout, when positive, bounds each conversion end to end: the
+	// per-request context expires after this much time and the conversion
+	// aborts at its next checkpoint with a StatusError response.
+	RequestTimeout time.Duration
 	// Codec is the pooled conversion pipeline shared by every connection;
 	// nil gets a private codec on first Serve.
 	Codec *core.Codec
@@ -166,9 +181,17 @@ type Blockserver struct {
 
 	inFlight atomic.Int32
 	sem      chan struct{}
-	ln       net.Listener
 	wg       sync.WaitGroup
 	closed   atomic.Bool
+	draining atomic.Bool
+
+	initOnce  sync.Once
+	baseCtx   context.Context // parent of every request context
+	cancelAll context.CancelFunc
+
+	connMu sync.Mutex
+	ln     net.Listener
+	conns  map[*srvConn]struct{}
 }
 
 // DefaultMaxConcurrent matches the paper's observation that a handful of
@@ -180,25 +203,68 @@ const DefaultMaxConcurrent = 4
 // bounding how long a stalled client can hold a worker-pool slot.
 const DefaultWriteTimeout = 2 * time.Minute
 
-// Serve accepts connections until the listener is closed.
-func (b *Blockserver) Serve(ln net.Listener) error {
-	b.ln = ln
-	if b.OutsourceThreshold == 0 {
-		b.OutsourceThreshold = 3
+// srvConn wraps one accepted connection with the read-ahead state the
+// request watchdog shares with the request loop, and the serving flag
+// Shutdown consults to tell requests in flight from idle keepalives.
+type srvConn struct {
+	conn net.Conn
+	// pend holds bytes the watchdog read ahead of the request loop (the
+	// first byte of a pipelined next request); eof records a clean
+	// half-close. Both are only touched by the watchdog goroutine and, after
+	// it finishes, by the request loop — never concurrently.
+	pend    []byte
+	eof     bool
+	serving atomic.Bool
+}
+
+// Read hands back watchdog read-ahead first, then the connection; a clean
+// EOF observed by the watchdog is replayed once the read-ahead drains.
+func (sc *srvConn) Read(p []byte) (int, error) {
+	if len(sc.pend) > 0 {
+		n := copy(p, sc.pend)
+		sc.pend = sc.pend[n:]
+		return n, nil
 	}
-	if b.Codec == nil {
-		b.Codec = core.NewCodec()
+	if sc.eof {
+		return 0, io.EOF
 	}
-	if b.Store != nil && b.Store.Codec == nil {
-		// Store-backed conversions share the server's pools.
-		b.Store.Codec = b.Codec
-	}
-	if b.sem == nil {
-		n := b.MaxConcurrent
-		if n <= 0 {
-			n = DefaultMaxConcurrent
+	return sc.conn.Read(p)
+}
+
+func (b *Blockserver) init() {
+	b.initOnce.Do(func() {
+		b.baseCtx, b.cancelAll = context.WithCancel(context.Background())
+		b.conns = make(map[*srvConn]struct{})
+		if b.OutsourceThreshold == 0 {
+			b.OutsourceThreshold = 3
 		}
-		b.sem = make(chan struct{}, n)
+		if b.Codec == nil {
+			b.Codec = core.NewCodec()
+		}
+		if b.Store != nil && b.Store.Codec == nil {
+			// Store-backed conversions share the server's pools.
+			b.Store.Codec = b.Codec
+		}
+		if b.sem == nil {
+			n := b.MaxConcurrent
+			if n <= 0 {
+				n = DefaultMaxConcurrent
+			}
+			b.sem = make(chan struct{}, n)
+		}
+	})
+}
+
+// Serve accepts connections until the listener is closed (Close/Shutdown).
+func (b *Blockserver) Serve(ln net.Listener) error {
+	b.init()
+	b.connMu.Lock()
+	b.ln = ln
+	b.connMu.Unlock()
+	if b.closed.Load() {
+		// Shutdown won the race with Serve: refuse to start.
+		_ = ln.Close()
+		return nil
 	}
 	for {
 		conn, err := ln.Accept()
@@ -208,7 +274,20 @@ func (b *Blockserver) Serve(ln net.Listener) error {
 			}
 			return err
 		}
+		// Register under connMu so the Add is ordered against Shutdown's
+		// closed-flag publication: either the handler is counted before the
+		// drain's wg.Wait begins, or the closed flag is already visible here
+		// and the connection is refused. Without this ordering a
+		// just-accepted connection could call wg.Add concurrently with
+		// wg.Wait on a zero counter — the documented WaitGroup misuse.
+		b.connMu.Lock()
+		if b.closed.Load() {
+			b.connMu.Unlock()
+			_ = conn.Close()
+			continue
+		}
 		b.wg.Add(1)
+		b.connMu.Unlock()
 		go func() {
 			defer b.wg.Done()
 			b.handle(conn)
@@ -216,12 +295,19 @@ func (b *Blockserver) Serve(ln net.Listener) error {
 	}
 }
 
-// acquire admits one conversion into the shared worker pool. InFlight is
-// incremented before the semaphore so queued work is visible to load
-// probes and the outsourcing trigger.
-func (b *Blockserver) acquire() {
+// acquire admits one conversion into the shared worker pool, or fails when
+// ctx is cancelled while queued. InFlight is incremented before the
+// semaphore so queued work is visible to load probes and the outsourcing
+// trigger.
+func (b *Blockserver) acquire(ctx context.Context) error {
 	b.inFlight.Add(1)
-	b.sem <- struct{}{}
+	select {
+	case b.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		b.inFlight.Add(-1)
+		return ctx.Err()
+	}
 }
 
 func (b *Blockserver) release() {
@@ -229,18 +315,101 @@ func (b *Blockserver) release() {
 	b.inFlight.Add(-1)
 }
 
-// Close stops the listener and waits for in-flight requests.
+// Close stops the server immediately: the listener closes, every
+// connection is torn down, and in-flight conversions are cancelled at
+// their next checkpoint. Prefer Shutdown for a graceful drain.
 func (b *Blockserver) Close() error {
-	b.closed.Store(true)
-	var err error
-	if b.ln != nil {
-		err = b.ln.Close()
-	}
+	b.init()
+	err := b.beginDrain()
+	b.cancelAll()
+	b.closeConns(true)
 	b.wg.Wait()
 	return err
 }
 
-// InFlight returns the number of conversions currently running.
+// beginDrain publishes the closed/draining flags and closes the listener
+// under connMu, ordering the flags against Serve's accept-time wg.Add (see
+// Serve). Idempotent: a Close after a Shutdown (or a double Close) must not
+// re-close the listener and report a phantom net.ErrClosed.
+func (b *Blockserver) beginDrain() error {
+	b.connMu.Lock()
+	defer b.connMu.Unlock()
+	if b.closed.Load() {
+		return nil
+	}
+	b.closed.Store(true)
+	b.draining.Store(true)
+	if b.ln == nil {
+		return nil
+	}
+	return b.ln.Close()
+}
+
+// Shutdown drains the server gracefully: the listener closes immediately
+// (new connections are refused), idle persistent connections are closed,
+// and requests already in flight run to completion. If ctx expires before
+// the drain finishes, the stragglers' request contexts are cancelled —
+// conversions abort at their next block-row checkpoint — and their
+// connections closed; Shutdown still waits for every handler to unwind
+// before returning ctx.Err(). A nil error means a clean drain.
+func (b *Blockserver) Shutdown(ctx context.Context) error {
+	b.init()
+	_ = b.beginDrain()
+	b.closeConns(false)
+	done := make(chan struct{})
+	go func() {
+		b.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		b.cancelAll()
+		b.closeConns(true)
+		<-done
+		return ctx.Err()
+	}
+}
+
+// closeConns closes tracked connections — all of them, or only those with
+// no request currently being served.
+func (b *Blockserver) closeConns(includeServing bool) {
+	b.connMu.Lock()
+	defer b.connMu.Unlock()
+	for sc := range b.conns {
+		if includeServing || !sc.serving.Load() {
+			_ = sc.conn.Close()
+		}
+	}
+}
+
+func (b *Blockserver) track(sc *srvConn) {
+	b.connMu.Lock()
+	b.conns[sc] = struct{}{}
+	b.connMu.Unlock()
+}
+
+func (b *Blockserver) untrack(sc *srvConn) {
+	b.connMu.Lock()
+	delete(b.conns, sc)
+	b.connMu.Unlock()
+}
+
+// beginServing flips the connection into serving state unless a drain has
+// started; taken under connMu so Shutdown's idle-connection sweep cannot
+// interleave with the transition.
+func (b *Blockserver) beginServing(sc *srvConn) bool {
+	b.connMu.Lock()
+	defer b.connMu.Unlock()
+	if b.draining.Load() {
+		return false
+	}
+	sc.serving.Store(true)
+	return true
+}
+
+// InFlight returns the number of conversions currently queued or running.
 func (b *Blockserver) InFlight() int { return int(b.inFlight.Load()) }
 
 func (b *Blockserver) logf(format string, args ...any) {
@@ -250,30 +419,117 @@ func (b *Blockserver) logf(format string, args ...any) {
 }
 
 // handle runs one connection's request loop: requests are served in order
-// until the peer closes (or half-closes, as the one-shot protocol does) or
-// a mid-stream failure makes the framing unrecoverable.
+// until the peer closes (or half-closes, as the one-shot protocol does), a
+// mid-stream failure makes the framing unrecoverable, or a drain begins.
 func (b *Blockserver) handle(conn net.Conn) {
+	sc := &srvConn{conn: conn}
+	b.track(sc)
+	defer b.untrack(sc)
 	defer conn.Close()
 	for {
-		op, payload, err := ReadRequest(conn)
+		if b.draining.Load() {
+			return
+		}
+		op, payload, err := ReadRequest(sc)
 		if err != nil {
 			// EOF here is the normal end of a persistent connection.
-			if !errors.Is(err, io.EOF) {
+			if !errors.Is(err, io.EOF) && !b.draining.Load() {
 				b.Stats.Errors.Add(1)
 			}
 			return
 		}
-		if !b.serveOne(conn, op, payload) {
+		if !b.beginServing(sc) {
+			return
+		}
+		ok := b.serveOne(sc, op, payload)
+		sc.serving.Store(false)
+		if !ok {
 			return
 		}
 	}
+}
+
+// withRequestCtx runs one conversion under a context derived from the
+// server's base context (cancelled on forced shutdown) and the connection:
+// a watchdog goroutine reads the connection while the conversion runs. The
+// protocol is strictly request/response, so nothing should arrive from the
+// peer before our response — a byte means the client pipelined its next
+// request (kept for the next ReadRequest), a clean EOF is the one-shot
+// protocol's half-close (not an abort), and a read error is a genuine
+// disconnect: the request context is cancelled so the conversion stops
+// burning a worker slot for a client that is gone. RequestTimeout, when
+// set, bounds the whole conversion.
+func (b *Blockserver) withRequestCtx(sc *srvConn, fn func(ctx context.Context) bool) bool {
+	ctx, cancel := context.WithCancel(b.baseCtx)
+	defer cancel()
+	if b.RequestTimeout > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, b.RequestTimeout)
+		defer tcancel()
+	}
+	var peerGone atomic.Bool
+	watchDone := make(chan struct{})
+	go func() {
+		defer close(watchDone)
+		var one [1]byte
+		for {
+			n, err := sc.conn.Read(one[:])
+			if n > 0 {
+				sc.pend = append(sc.pend, one[0])
+				return
+			}
+			if err != nil {
+				switch {
+				case errors.Is(err, io.EOF):
+					sc.eof = true
+				case errors.Is(err, os.ErrDeadlineExceeded):
+					// Not a disconnect. The server never sets read deadlines
+					// today (serveOne sets only the write deadline), but if
+					// one is ever introduced, a timeout must stop the watch
+					// without cancelling a healthy conversion.
+				default:
+					peerGone.Store(true)
+					cancel()
+				}
+				return
+			}
+		}
+	}()
+	ok := fn(ctx)
+	// The response is written: what remains is waiting for the peer's next
+	// byte, which is idle time — clear serving so a drain may close the
+	// connection out from under the wait. The store-then-check order pairs
+	// with Shutdown's set-draining-then-sweep: whichever side runs second
+	// sees the other's flag, so a request finishing mid-drain always gets
+	// its connection closed.
+	sc.serving.Store(false)
+	if !ok || b.draining.Load() {
+		// Teardown required (framing unrecoverable, or a drain is in
+		// progress); closing also unblocks the watchdog if the peer is
+		// still connected but silent.
+		_ = sc.conn.Close()
+	}
+	<-watchDone
+	return ok && !peerGone.Load()
+}
+
+// respondErr reports a conversion failure, counting a context abort
+// separately from a codec error.
+func (b *Blockserver) respondErr(conn net.Conn, err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		b.Stats.Cancelled.Add(1)
+	} else {
+		b.Stats.Errors.Add(1)
+	}
+	return WriteResponse(conn, StatusError, []byte(err.Error())) == nil
 }
 
 // serveOne dispatches one request and reports whether the connection can
 // serve another (false after a write failure or a decode error discovered
 // mid-stream, when the only correct signal left is closing the
 // connection).
-func (b *Blockserver) serveOne(conn net.Conn, op byte, payload []byte) bool {
+func (b *Blockserver) serveOne(sc *srvConn, op byte, payload []byte) bool {
+	conn := sc.conn
 	// Bound the whole serve+respond; a client that stops reading must not
 	// pin a worker-pool slot past the deadline.
 	wt := b.WriteTimeout
@@ -289,94 +545,125 @@ func (b *Blockserver) serveOne(conn net.Conn, op byte, payload []byte) bool {
 		binary.LittleEndian.PutUint32(resp[:], uint32(b.inFlight.Load()))
 		return WriteResponse(conn, StatusOK, resp[:]) == nil
 	case OpCompress:
-		// Outsource when oversubscribed (§5.5): a blockserver handling
-		// many cheap requests can be randomly assigned too many Lepton
-		// conversions at once.
-		if b.Outsource != nil && int(b.inFlight.Load()) >= b.OutsourceThreshold {
-			if addr, ok := b.Outsource.Target(); ok {
-				resp, err := Do(addr, OpCompress, payload, 30*time.Second)
-				if err == nil {
-					b.Stats.Outsourced.Add(1)
-					return WriteResponse(conn, StatusOK, resp) == nil
-				}
-				b.logf("outsource to %s failed: %v; handling locally", addr, err)
-			}
-		}
-		b.acquire()
-		defer b.release()
-		b.Stats.Compresses.Add(1)
-		res, err := b.Codec.Encode(payload, withVerify(b.EncodeOptions))
-		if err != nil {
-			// Unsupported inputs are service-level successes with a
-			// fallback marker: production stored them with Deflate.
-			if jpeg.ReasonOf(err) != jpeg.ReasonNone {
-				raw, merr := rawContainer(payload)
-				if merr == nil {
-					return WriteResponse(conn, StatusOK, raw) == nil
-				}
-			}
-			b.Stats.Errors.Add(1)
-			return WriteResponse(conn, StatusError, []byte(err.Error())) == nil
-		}
-		return WriteResponse(conn, StatusOK, res.Compressed) == nil
+		return b.withRequestCtx(sc, func(ctx context.Context) bool {
+			return b.serveCompress(ctx, conn, payload)
+		})
 	case OpDecompress:
-		b.acquire()
-		defer b.release()
-		b.Stats.Decompresses.Add(1)
-		// The container header records the exact output size, so the
-		// response can be framed up front and the reconstruction streamed
-		// into the connection segment by segment (§3.4) instead of being
-		// buffered whole. The frame header is written lazily, on the
-		// decoder's first output byte: DecodeTo validates everything —
-		// container structure, stored JPEG header, budgets, sizes —
-		// before producing output, so malformed containers come back as
-		// ordinary StatusError responses; once payload bytes flow, only
-		// genuine mid-stream corruption can force a teardown.
-		size, err := core.ContainerOutputSize(payload)
-		if err != nil {
-			b.Stats.Errors.Add(1)
-			return WriteResponse(conn, StatusError, []byte(err.Error())) == nil
-		}
-		lw := &lazyFrameWriter{conn: conn, size: size}
-		if err := b.Codec.DecodeTo(lw, payload, 0); err != nil {
-			b.Stats.Errors.Add(1)
-			if !lw.started {
-				return WriteResponse(conn, StatusError, []byte(err.Error())) == nil
-			}
-			// The header promised size bytes; a shortfall can only be
-			// signaled by tearing the connection down.
-			b.logf("decompress stream failed: %v", err)
-			return false
-		}
-		if !lw.started {
-			// Zero-length output (empty raw chunk): frame it now.
-			return WriteResponseHeader(conn, StatusOK, size) == nil
-		}
-		return true
+		return b.withRequestCtx(sc, func(ctx context.Context) bool {
+			return b.serveDecompress(ctx, conn, payload)
+		})
 	case OpPutChunkRaw, OpPutChunkCompressed, OpGetChunkRaw, OpGetChunkCompressed:
-		return b.handleStoreOp(conn, op, payload)
+		return b.withRequestCtx(sc, func(ctx context.Context) bool {
+			return b.handleStoreOp(ctx, conn, op, payload)
+		})
 	default:
 		b.Stats.Errors.Add(1)
 		return WriteResponse(conn, StatusError, []byte("unknown op")) == nil
 	}
 }
 
-func (b *Blockserver) handleStoreOp(conn net.Conn, op byte, payload []byte) bool {
+func (b *Blockserver) serveCompress(ctx context.Context, conn net.Conn, payload []byte) bool {
+	// Outsource when oversubscribed (§5.5): a blockserver handling
+	// many cheap requests can be randomly assigned too many Lepton
+	// conversions at once.
+	if b.Outsource != nil && int(b.inFlight.Load()) >= b.OutsourceThreshold {
+		if addr, ok := b.Outsource.Target(); ok {
+			octx, ocancel := context.WithTimeout(ctx, 30*time.Second)
+			resp, err := DoCtx(octx, addr, OpCompress, payload)
+			ocancel()
+			if err == nil {
+				b.Stats.Outsourced.Add(1)
+				return WriteResponse(conn, StatusOK, resp) == nil
+			}
+			if ctx.Err() != nil {
+				return b.respondErr(conn, ctx.Err())
+			}
+			b.logf("outsource to %s failed: %v; handling locally", addr, err)
+		}
+	}
+	if err := b.acquire(ctx); err != nil {
+		return b.respondErr(conn, err)
+	}
+	defer b.release()
+	b.Stats.Compresses.Add(1)
+	res, err := b.Codec.EncodeCtx(ctx, payload, withVerify(b.EncodeOptions))
+	if err != nil {
+		if ctx.Err() != nil {
+			return b.respondErr(conn, ctx.Err())
+		}
+		// Unsupported inputs are service-level successes with a
+		// fallback marker: production stored them with Deflate.
+		if jpeg.ReasonOf(err) != jpeg.ReasonNone {
+			raw, merr := rawContainer(payload)
+			if merr == nil {
+				return WriteResponse(conn, StatusOK, raw) == nil
+			}
+		}
+		return b.respondErr(conn, err)
+	}
+	return WriteResponse(conn, StatusOK, res.Compressed) == nil
+}
+
+func (b *Blockserver) serveDecompress(ctx context.Context, conn net.Conn, payload []byte) bool {
+	if err := b.acquire(ctx); err != nil {
+		return b.respondErr(conn, err)
+	}
+	defer b.release()
+	b.Stats.Decompresses.Add(1)
+	// The container header records the exact output size, so the
+	// response can be framed up front and the reconstruction streamed
+	// into the connection segment by segment (§3.4) instead of being
+	// buffered whole. The frame header is written lazily, on the
+	// decoder's first output byte: DecodeTo validates everything —
+	// container structure, stored JPEG header, budgets, sizes —
+	// before producing output, so malformed containers come back as
+	// ordinary StatusError responses; once payload bytes flow, only
+	// genuine mid-stream corruption (or a cancelled context) can force
+	// a teardown.
+	size, err := core.ContainerOutputSize(payload)
+	if err != nil {
+		b.Stats.Errors.Add(1)
+		return WriteResponse(conn, StatusError, []byte(err.Error())) == nil
+	}
+	lw := &lazyFrameWriter{conn: conn, size: size}
+	if err := b.Codec.DecodeToCtx(ctx, lw, payload, 0); err != nil {
+		if !lw.started {
+			return b.respondErr(conn, err)
+		}
+		// The header promised size bytes; a shortfall can only be
+		// signaled by tearing the connection down.
+		if ctx.Err() != nil {
+			b.Stats.Cancelled.Add(1)
+		} else {
+			b.Stats.Errors.Add(1)
+		}
+		b.logf("decompress stream failed: %v", err)
+		return false
+	}
+	if !lw.started {
+		// Zero-length output (empty raw chunk): frame it now.
+		return WriteResponseHeader(conn, StatusOK, size) == nil
+	}
+	return true
+}
+
+func (b *Blockserver) handleStoreOp(ctx context.Context, conn net.Conn, op byte, payload []byte) bool {
 	if b.Store == nil {
 		b.Stats.Errors.Add(1)
 		return WriteResponse(conn, StatusError, []byte("no store configured")) == nil
 	}
 	fail := func(err error) bool {
-		b.Stats.Errors.Add(1)
-		return WriteResponse(conn, StatusError, []byte(err.Error())) == nil
+		return b.respondErr(conn, err)
 	}
 	switch op {
 	case OpPutChunkRaw:
 		// Server-side codec: the production deployment's shape.
-		b.acquire()
+		if err := b.acquire(ctx); err != nil {
+			return fail(err)
+		}
 		defer b.release()
 		b.Stats.Compresses.Add(1)
-		ref, err := b.Store.PutFile(payload)
+		ref, err := b.Store.PutFileCtx(ctx, payload)
 		if err != nil {
 			return fail(err)
 		}
@@ -387,7 +674,7 @@ func (b *Blockserver) handleStoreOp(conn net.Conn, op byte, payload []byte) bool
 		return WriteResponse(conn, StatusOK, h[:]) == nil
 	case OpPutChunkCompressed:
 		// Client-side codec (§7): only verification runs here.
-		h, err := b.Store.PutCompressedChunk(payload)
+		h, err := b.Store.PutCompressedChunkCtx(ctx, payload)
 		if err != nil {
 			return fail(err)
 		}
@@ -397,10 +684,12 @@ func (b *Blockserver) handleStoreOp(conn net.Conn, op byte, payload []byte) bool
 		if err != nil {
 			return fail(err)
 		}
-		b.acquire()
+		if err := b.acquire(ctx); err != nil {
+			return fail(err)
+		}
 		defer b.release()
 		b.Stats.Decompresses.Add(1)
-		out, err := b.Store.GetChunk(h)
+		out, err := b.Store.GetChunkCtx(ctx, h)
 		if err != nil {
 			return fail(err)
 		}
@@ -459,7 +748,7 @@ func rawContainer(payload []byte) ([]byte, error) {
 
 // ListenAndServe starts a blockserver on addr ("unix:<path>" or
 // "tcp:<host:port>") and returns it with the bound address; callers own
-// Close.
+// Close (or Shutdown for a graceful drain).
 func ListenAndServe(addr string, b *Blockserver) (bound string, err error) {
 	network, address, err := splitAddr(addr)
 	if err != nil {

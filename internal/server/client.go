@@ -1,6 +1,8 @@
 package server
 
 import (
+	"context"
+	"encoding/binary"
 	"fmt"
 	"net"
 	"sync"
@@ -12,6 +14,11 @@ import (
 // connection, which removes the per-request dial/teardown that dominated
 // small-request latency at peak (§5.5's outsourcing overhead). A Client is
 // safe for concurrent use; requests are serialized on the connection.
+//
+// The conversion methods take a context. Cancelling it mid-exchange tears
+// the connection down (the stream position is unknown, so a retry could
+// read a stale response as its own) and the server, seeing the disconnect,
+// cancels the conversion on its side too.
 type Client struct {
 	mu   sync.Mutex
 	conn net.Conn
@@ -19,13 +26,25 @@ type Client struct {
 
 // Dial connects to addr ("unix:<path>" or "tcp:<host:port>").
 func Dial(addr string, timeout time.Duration) (*Client, error) {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	return DialContext(ctx, addr)
+}
+
+// DialContext connects to addr under a context.
+func DialContext(ctx context.Context, addr string) (*Client, error) {
 	network, address, err := splitAddr(addr)
 	if err != nil {
 		return nil, err
 	}
-	conn, err := net.DialTimeout(network, address, timeout)
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, network, address)
 	if err != nil {
-		return nil, err
+		return nil, ctxOr(ctx, err)
 	}
 	return &Client{conn: conn}, nil
 }
@@ -36,29 +55,71 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 // stale response as its own; subsequent calls report the client closed.
 // Remote errors reported with StatusError leave the connection usable.
 func (c *Client) Do(op byte, payload []byte, timeout time.Duration) ([]byte, error) {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	return c.DoCtx(ctx, op, payload)
+}
+
+// DoCtx performs one exchange under a context: cancellation interrupts the
+// blocked I/O, tears the connection down, and returns ctx.Err().
+func (c *Client) DoCtx(ctx context.Context, op byte, payload []byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.conn == nil {
 		return nil, fmt.Errorf("server: client is closed")
 	}
-	if timeout > 0 {
-		_ = c.conn.SetDeadline(time.Now().Add(timeout))
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		_ = c.conn.SetDeadline(dl)
 	} else {
 		_ = c.conn.SetDeadline(time.Time{})
 	}
+	stop := watchCtx(ctx, c.conn)
+	defer stop()
 	if err := WriteFrame(c.conn, op, payload); err != nil {
 		c.teardown()
-		return nil, err
+		return nil, ctxOr(ctx, err)
 	}
 	status, resp, err := ReadResponse(c.conn)
 	if err != nil {
 		c.teardown()
-		return nil, err
+		return nil, ctxOr(ctx, err)
 	}
 	if status != StatusOK {
 		return nil, fmt.Errorf("server: remote error: %s", resp)
 	}
 	return resp, nil
+}
+
+// Compress asks the server to compress one whole JPEG payload and returns
+// the Lepton container (or a raw-mode fallback container for unsupported
+// inputs, matching the production service contract).
+func (c *Client) Compress(ctx context.Context, data []byte) ([]byte, error) {
+	return c.DoCtx(ctx, OpCompress, data)
+}
+
+// Decompress asks the server to reconstruct a container's original bytes.
+func (c *Client) Decompress(ctx context.Context, comp []byte) ([]byte, error) {
+	return c.DoCtx(ctx, OpDecompress, comp)
+}
+
+// Load probes the server's in-flight conversion count — the power-of-two
+// choices signal (§5.5).
+func (c *Client) Load(ctx context.Context) (uint32, error) {
+	resp, err := c.DoCtx(ctx, OpLoad, nil)
+	if err != nil {
+		return 0, err
+	}
+	if len(resp) < 4 {
+		return 0, fmt.Errorf("server: short load response (%d bytes)", len(resp))
+	}
+	return binary.LittleEndian.Uint32(resp), nil
 }
 
 // teardown closes and clears the connection; callers hold c.mu.

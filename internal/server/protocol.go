@@ -13,6 +13,7 @@
 package server
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -74,8 +75,9 @@ func WriteRequest(conn net.Conn, op byte, payload []byte) error {
 	return nil
 }
 
-// ReadRequest reads one request from a connection.
-func ReadRequest(conn net.Conn) (op byte, payload []byte, err error) {
+// ReadRequest reads one request from a connection (any io.Reader over the
+// framed stream).
+func ReadRequest(conn io.Reader) (op byte, payload []byte, err error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
 		return 0, nil, err
@@ -131,29 +133,72 @@ func ReadResponse(conn net.Conn) (status byte, payload []byte, err error) {
 // Do performs one request against addr ("unix:/path" or "tcp:host:port")
 // with a deadline.
 func Do(addr string, op byte, payload []byte, timeout time.Duration) ([]byte, error) {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	return DoCtx(ctx, addr, op, payload)
+}
+
+// DoCtx performs one one-shot request under a context: the dial, request
+// write, and response read are all abandoned when ctx is cancelled or its
+// deadline passes, and the error is ctx.Err().
+func DoCtx(ctx context.Context, addr string, op byte, payload []byte) ([]byte, error) {
 	network, address, err := splitAddr(addr)
 	if err != nil {
 		return nil, err
 	}
-	conn, err := net.DialTimeout(network, address, timeout)
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, network, address)
 	if err != nil {
-		return nil, err
+		return nil, ctxOr(ctx, err)
 	}
 	defer conn.Close()
-	if timeout > 0 {
-		_ = conn.SetDeadline(time.Now().Add(timeout))
+	if dl, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(dl)
 	}
+	stop := watchCtx(ctx, conn)
+	defer stop()
 	if err := WriteRequest(conn, op, payload); err != nil {
-		return nil, err
+		return nil, ctxOr(ctx, err)
 	}
 	status, resp, err := ReadResponse(conn)
 	if err != nil {
-		return nil, err
+		return nil, ctxOr(ctx, err)
 	}
 	if status != StatusOK {
 		return nil, fmt.Errorf("server: remote error: %s", resp)
 	}
 	return resp, nil
+}
+
+// watchCtx interrupts conn's blocking I/O when ctx is cancelled by moving
+// its deadline into the past; the returned stop func releases the watcher.
+// A ctx that can never be cancelled costs nothing.
+func watchCtx(ctx context.Context, conn net.Conn) (stop func()) {
+	done := ctx.Done()
+	if done == nil {
+		return func() {}
+	}
+	stopCh := make(chan struct{})
+	go func() {
+		select {
+		case <-done:
+			_ = conn.SetDeadline(time.Now().Add(-time.Second))
+		case <-stopCh:
+		}
+	}()
+	return func() { close(stopCh) }
+}
+
+// ctxOr prefers the context's error over the I/O error it caused.
+func ctxOr(ctx context.Context, err error) error {
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	return err
 }
 
 func splitAddr(addr string) (network, address string, err error) {

@@ -8,6 +8,7 @@ package store
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"errors"
 	"fmt"
@@ -120,6 +121,16 @@ func (st *Store) shutoff() bool {
 // the Lepton round trip are stored deflate-compressed instead — the upload
 // never fails for codec reasons (§5.7).
 func (st *Store) PutFile(data []byte) (FileRef, error) {
+	return st.PutFileCtx(context.Background(), data)
+}
+
+// PutFileCtx is PutFile under a context: cancellation aborts the upload
+// between chunks and inside each chunk's encode, and comes back as ctx.Err()
+// rather than falling through to the deflate path the way codec rejections
+// do. No FileRef is returned, but chunks admitted before the cancellation
+// remain stored — the store is content-addressed, so a retried upload
+// re-admits them under the same hashes.
+func (st *Store) PutFileCtx(ctx context.Context, data []byte) (FileRef, error) {
 	size := st.ChunkSize
 	if size <= 0 {
 		size = chunk.DefaultChunkSize
@@ -131,8 +142,11 @@ func (st *Store) PutFile(data []byte) (FileRef, error) {
 	}
 	if useLepton {
 		var err error
-		comp, err = chunk.Compress(data, chunk.Options{ChunkSize: size, VerifyRoundtrip: true, Codec: st.Codec})
+		comp, err = chunk.CompressCtx(ctx, data, chunk.Options{ChunkSize: size, VerifyRoundtrip: true, Codec: st.Codec})
 		if err != nil {
+			if ctx.Err() != nil {
+				return FileRef{}, ctx.Err()
+			}
 			if jpeg.ReasonOf(err) == jpeg.ReasonRoundtrip {
 				atomic.AddInt64(&st.counters.RoundtripFailures, 1)
 			}
@@ -147,6 +161,9 @@ func (st *Store) PutFile(data []byte) (FileRef, error) {
 
 	ref := FileRef{Size: int64(len(data))}
 	for k, cb := range comp {
+		if err := ctx.Err(); err != nil {
+			return FileRef{}, err
+		}
 		// Checksum of the compressed bytes before admission; compared with
 		// the stored copy to detect in-memory corruption (§5.7's md5sum).
 		sum := sha256.Sum256(cb)
@@ -156,8 +173,11 @@ func (st *Store) PutFile(data []byte) (FileRef, error) {
 		if o1 > len(data) {
 			o1 = len(data)
 		}
-		back, err := st.Codec.Decode(cb, 0)
+		back, err := st.Codec.DecodeCtx(ctx, cb, 0)
 		if err != nil || !bytes.Equal(back, data[o0:o1]) {
+			if ctx.Err() != nil {
+				return FileRef{}, ctx.Err()
+			}
 			return FileRef{}, fmt.Errorf("store: chunk %d failed admission round trip: %v", k, err)
 		}
 		st.mu.Lock()
@@ -216,10 +236,19 @@ func rawChunksOf(data []byte, size int) [][]byte {
 // must prove decodable before admission; the caller is expected to have
 // verified the plaintext round trip on its side.
 func (st *Store) PutCompressedChunk(cb []byte) (Hash, error) {
+	return st.PutCompressedChunkCtx(context.Background(), cb)
+}
+
+// PutCompressedChunkCtx is PutCompressedChunk under a context; the
+// proof-of-decodability decode aborts on cancellation.
+func (st *Store) PutCompressedChunkCtx(ctx context.Context, cb []byte) (Hash, error) {
 	if !core.IsLepton(cb) {
 		return Hash{}, errors.New("store: not a Lepton container")
 	}
-	if _, err := st.Codec.Decode(cb, 0); err != nil {
+	if _, err := st.Codec.DecodeCtx(ctx, cb, 0); err != nil {
+		if ctx.Err() != nil {
+			return Hash{}, ctx.Err()
+		}
 		return Hash{}, fmt.Errorf("store: chunk not decodable: %w", err)
 	}
 	sum := sha256.Sum256(cb)
@@ -233,6 +262,12 @@ func (st *Store) PutCompressedChunk(cb []byte) (Hash, error) {
 
 // GetChunk decompresses one stored chunk.
 func (st *Store) GetChunk(h Hash) ([]byte, error) {
+	return st.GetChunkCtx(context.Background(), h)
+}
+
+// GetChunkCtx is GetChunk under a context; the decode aborts mid-segment on
+// cancellation.
+func (st *Store) GetChunkCtx(ctx context.Context, h Hash) ([]byte, error) {
 	st.mu.RLock()
 	cb, ok := st.blobs[h]
 	st.mu.RUnlock()
@@ -240,7 +275,7 @@ func (st *Store) GetChunk(h Hash) ([]byte, error) {
 		return nil, fmt.Errorf("store: unknown chunk %x", h[:8])
 	}
 	atomic.AddInt64(&st.counters.Decodes, 1)
-	return st.Codec.Decode(cb, 0)
+	return st.Codec.DecodeCtx(ctx, cb, 0)
 }
 
 // GetCompressedChunk returns the stored (compressed) bytes.
@@ -253,9 +288,14 @@ func (st *Store) GetCompressedChunk(h Hash) ([]byte, bool) {
 
 // GetFile reassembles a file from its reference.
 func (st *Store) GetFile(ref FileRef) ([]byte, error) {
+	return st.GetFileCtx(context.Background(), ref)
+}
+
+// GetFileCtx is GetFile under a context, checked chunk by chunk.
+func (st *Store) GetFileCtx(ctx context.Context, ref FileRef) ([]byte, error) {
 	out := make([]byte, 0, ref.Size)
 	for _, h := range ref.Chunks {
-		b, err := st.GetChunk(h)
+		b, err := st.GetChunkCtx(ctx, h)
 		if err != nil {
 			return nil, err
 		}

@@ -31,13 +31,43 @@
 // The package-level functions are thin wrappers over one shared default
 // codec.
 //
+// # Contexts (API v2)
+//
+// Every conversion has a context-taking form — CompressCtx, DecompressCtx,
+// CompressChunksFromCtx, and so on — and the codec observes cancellation
+// mid-conversion, at every block row of every thread segment, not just
+// between requests. A server whose client disconnects, or whose deadline
+// expires, stops burning CPU within one row checkpoint and gets ctx.Err()
+// back (errors.Is context.Canceled / context.DeadlineExceeded). An aborted
+// conversion recycles its pooled state exactly as a completed one does, so
+// the codec remains safe to reuse and its output stays byte-identical:
+//
+//	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+//	defer cancel()
+//	res, err := codec.CompressCtx(ctx, jpegBytes, nil)
+//
+// The non-ctx methods are kept as thin context.Background() wrappers, so
+// existing callers compile unchanged.
+//
+// # Storage
+//
+// Store is the content-addressed chunk store with the paper's §5.7 safety
+// mechanisms (round-trip admission, checksums, deflate fallback, safety
+// net, shutoff switch); see NewStore. The blockserver network service in
+// internal/server drives the same codec and store over a socket protocol
+// and drains gracefully via its Shutdown(ctx).
+//
 // Files the codec cannot handle (progressive JPEG, CMYK, corrupt data, ...)
 // are rejected with a classified Reason; callers typically fall back to
-// generic compression, as production did.
+// generic compression, as production did. Payloads that are not Lepton
+// containers at all are rejected by the decompress functions with an error
+// wrapping ErrNotLepton.
 package lepton
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"io"
 
 	"lepton/internal/chunk"
@@ -161,7 +191,17 @@ var defaultCodec = NewCodec()
 
 // Compress compresses one whole baseline JPEG file. opts may be nil.
 func (c *Codec) Compress(data []byte, opts *Options) (*Result, error) {
-	res, err := c.core.Encode(data, opts.coreOptions())
+	return c.CompressCtx(context.Background(), data, opts)
+}
+
+// CompressCtx compresses one whole baseline JPEG file under a context.
+// Cancellation is observed mid-conversion — every thread segment checks the
+// context at each block row — so an abandoned request aborts within one
+// checkpoint and returns ctx.Err(). The codec's pooled state is recycled as
+// on success; subsequent conversions on the same codec produce byte-identical
+// output. opts may be nil.
+func (c *Codec) CompressCtx(ctx context.Context, data []byte, opts *Options) (*Result, error) {
+	res, err := c.core.EncodeCtx(ctx, data, opts.coreOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -178,7 +218,12 @@ func (c *Codec) Compress(data []byte, opts *Options) (*Result, error) {
 // CompressTo compresses data and writes the container to w, returning the
 // accounting Result with Compressed left nil.
 func (c *Codec) CompressTo(w io.Writer, data []byte, opts *Options) (*Result, error) {
-	res, err := c.core.EncodeTo(w, data, opts.coreOptions())
+	return c.CompressToCtx(context.Background(), w, data, opts)
+}
+
+// CompressToCtx is CompressTo under a context (see CompressCtx).
+func (c *Codec) CompressToCtx(ctx context.Context, w io.Writer, data []byte, opts *Options) (*Result, error) {
+	res, err := c.core.EncodeToCtx(ctx, w, data, opts.coreOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -192,28 +237,61 @@ func (c *Codec) CompressTo(w io.Writer, data []byte, opts *Options) (*Result, er
 }
 
 // Decompress reconstructs the exact original bytes of a compressed file or
-// chunk.
+// chunk. A payload without the Lepton magic is rejected with an error
+// wrapping ErrNotLepton.
 func (c *Codec) Decompress(comp []byte) ([]byte, error) {
-	return c.core.Decode(comp, 0)
+	return c.DecompressCtx(context.Background(), comp)
+}
+
+// DecompressCtx is Decompress under a context: cancellation aborts the
+// arithmetic decode at the next block-row checkpoint in every segment.
+func (c *Codec) DecompressCtx(ctx context.Context, comp []byte) ([]byte, error) {
+	if err := checkMagic(comp); err != nil {
+		return nil, err
+	}
+	return c.core.DecodeCtx(ctx, comp, 0)
 }
 
 // DecompressTo streams the reconstruction to w with low time-to-first-byte:
 // output is written segment by segment as decoding completes (§3.4).
 func (c *Codec) DecompressTo(w io.Writer, comp []byte) error {
-	return c.core.DecodeTo(w, comp, 0)
+	return c.DecompressToCtx(context.Background(), w, comp)
+}
+
+// DecompressToCtx is DecompressTo under a context. A cancelled decode may
+// already have streamed part of the reconstruction into w.
+func (c *Codec) DecompressToCtx(ctx context.Context, w io.Writer, comp []byte) error {
+	if err := checkMagic(comp); err != nil {
+		return err
+	}
+	return c.core.DecodeToCtx(ctx, w, comp, 0)
 }
 
 // Verify round-trips data through compress and decompress and reports
 // whether the reconstruction is exact (§5.7 admission control).
 func (c *Codec) Verify(data []byte, opts *Options) error {
+	return c.VerifyCtx(context.Background(), data, opts)
+}
+
+// VerifyCtx is Verify under a context.
+func (c *Codec) VerifyCtx(ctx context.Context, data []byte, opts *Options) error {
 	o := &Options{}
 	if opts != nil {
 		cp := *opts
 		o = &cp
 	}
 	o.Verify = true
-	_, err := c.Compress(data, o)
+	_, err := c.CompressCtx(ctx, data, o)
 	return err
+}
+
+// checkMagic rejects payloads that cannot be Lepton containers before any
+// further parsing, so callers can branch on ErrNotLepton with errors.Is.
+func checkMagic(comp []byte) error {
+	if !core.IsLepton(comp) {
+		return fmt.Errorf("%w (%d-byte payload)", ErrNotLepton, len(comp))
+	}
+	return nil
 }
 
 // Compress compresses one whole baseline JPEG file via the default codec.
@@ -222,16 +300,33 @@ func Compress(data []byte, opts *Options) (*Result, error) {
 	return defaultCodec.Compress(data, opts)
 }
 
+// CompressCtx compresses via the default codec under a context.
+func CompressCtx(ctx context.Context, data []byte, opts *Options) (*Result, error) {
+	return defaultCodec.CompressCtx(ctx, data, opts)
+}
+
 // Decompress reconstructs the exact original bytes of a compressed file or
-// chunk.
+// chunk. A payload without the Lepton magic is rejected with an error
+// wrapping ErrNotLepton.
 func Decompress(comp []byte) ([]byte, error) {
 	return defaultCodec.Decompress(comp)
+}
+
+// DecompressCtx decompresses via the default codec under a context.
+func DecompressCtx(ctx context.Context, comp []byte) ([]byte, error) {
+	return defaultCodec.DecompressCtx(ctx, comp)
 }
 
 // DecompressTo streams the reconstruction to w with low time-to-first-byte:
 // output is written segment by segment as decoding completes (§3.4).
 func DecompressTo(w io.Writer, comp []byte) error {
 	return defaultCodec.DecompressTo(w, comp)
+}
+
+// DecompressToCtx streams the reconstruction via the default codec under a
+// context.
+func DecompressToCtx(ctx context.Context, w io.Writer, comp []byte) error {
+	return defaultCodec.DecompressToCtx(ctx, w, comp)
 }
 
 // IsCompressed reports whether data begins with the Lepton magic number
@@ -273,7 +368,13 @@ func (o *ChunkOptions) chunkOptions(c *core.Codec) chunk.Options {
 // Decompress/DecompressChunk. Inputs Lepton cannot handle come back as
 // deflate-compressed raw chunks rather than an error.
 func (c *Codec) CompressChunks(data []byte, opts *ChunkOptions) ([][]byte, error) {
-	return chunk.Compress(data, opts.chunkOptions(c.core))
+	return c.CompressChunksCtx(context.Background(), data, opts)
+}
+
+// CompressChunksCtx is CompressChunks under a context, checked between
+// chunks and inside every chunk's segment encode.
+func (c *Codec) CompressChunksCtx(ctx context.Context, data []byte, opts *ChunkOptions) ([][]byte, error) {
+	return chunk.CompressCtx(ctx, data, opts.chunkOptions(c.core))
 }
 
 // CompressChunksFrom chunk-compresses the stream r incrementally, calling
@@ -282,13 +383,28 @@ func (c *Codec) CompressChunks(data []byte, opts *ChunkOptions) ([][]byte, error
 // to CompressChunks, and larger streams — beyond the encoder's memory
 // admission budget anyway — deflate through in constant space.
 func (c *Codec) CompressChunksFrom(r io.Reader, opts *ChunkOptions, emit func(chunk []byte) error) error {
-	return chunk.CompressFrom(r, opts.chunkOptions(c.core), emit)
+	return c.CompressChunksFromCtx(context.Background(), r, opts, emit)
+}
+
+// CompressChunksFromCtx is CompressChunksFrom under a context, checked
+// before each chunk is read, compressed, and emitted.
+func (c *Codec) CompressChunksFromCtx(ctx context.Context, r io.Reader, opts *ChunkOptions, emit func(chunk []byte) error) error {
+	return chunk.CompressFromCtx(ctx, r, opts.chunkOptions(c.core), emit)
 }
 
 // DecompressChunk reconstructs one chunk's original bytes, independently of
-// every other chunk.
+// every other chunk. A payload without the Lepton magic is rejected with an
+// error wrapping ErrNotLepton.
 func (c *Codec) DecompressChunk(chunkData []byte) ([]byte, error) {
-	return c.core.Decode(chunkData, 0)
+	return c.DecompressChunkCtx(context.Background(), chunkData)
+}
+
+// DecompressChunkCtx is DecompressChunk under a context.
+func (c *Codec) DecompressChunkCtx(ctx context.Context, chunkData []byte) ([]byte, error) {
+	if err := checkMagic(chunkData); err != nil {
+		return nil, err
+	}
+	return c.core.DecodeCtx(ctx, chunkData, 0)
 }
 
 // CompressChunks splits data into independently decompressible chunks via
@@ -311,7 +427,18 @@ func DecompressChunk(chunkData []byte) ([]byte, error) {
 // ReassembleChunks decompresses a chunk sequence and concatenates the
 // results into the original file.
 func (c *Codec) ReassembleChunks(chunks [][]byte) ([]byte, error) {
-	return chunk.ReassembleWith(c.core, chunks)
+	return c.ReassembleChunksCtx(context.Background(), chunks)
+}
+
+// ReassembleChunksCtx is ReassembleChunks under a context, checked per
+// chunk.
+func (c *Codec) ReassembleChunksCtx(ctx context.Context, chunks [][]byte) ([]byte, error) {
+	for i, ch := range chunks {
+		if err := checkMagic(ch); err != nil {
+			return nil, fmt.Errorf("chunk %d: %w", i, err)
+		}
+	}
+	return chunk.ReassembleCtx(ctx, c.core, chunks)
 }
 
 // ReassembleChunks decompresses a chunk sequence via the default codec.
@@ -326,6 +453,7 @@ func Verify(data []byte, opts *Options) error {
 	return defaultCodec.Verify(data, opts)
 }
 
-// ErrNotLepton is returned by Decompress when the payload lacks the Lepton
-// magic.
+// ErrNotLepton is returned (wrapped, errors.Is-able) by Decompress,
+// DecompressTo, DecompressChunk, and ReassembleChunks — and their Ctx
+// variants — when a payload lacks the Lepton magic (0xCF 0x84).
 var ErrNotLepton = errors.New("lepton: not a Lepton container")
