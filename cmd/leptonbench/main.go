@@ -13,6 +13,7 @@
 //	leptonbench -outsource    # §5.5 unix-vs-TCP overhead (real sockets)
 //	leptonbench -all          # everything
 //	flags: -n <corpus size> -seed <seed> -quick
+//	       -cpuprofile <file>  # write a pprof CPU profile of the run
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime/pprof"
 
 	"lepton/internal/imagegen"
 )
@@ -41,7 +43,22 @@ func main() {
 	n := flag.Int("n", 40, "corpus size for codec experiments")
 	seed := flag.Int64("seed", 1, "corpus seed")
 	quick := flag.Bool("quick", false, "smaller deployments sims")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	opt := options{n: *n, seed: *seed, quick: *quick}
 	ran := false

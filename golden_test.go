@@ -1,0 +1,100 @@
+package lepton_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lepton"
+	"lepton/internal/imagegen"
+)
+
+// updateGolden regenerates the golden-bitstream fixtures instead of checking
+// against them. Only run it deliberately: a changed fixture means the coder
+// produces a different stream, which breaks decodability of already-stored
+// files (paper §5.2 determinism).
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden bitstream fixtures")
+
+// goldenCases pins the exact compressed bytes for a spread of deterministic
+// inputs: a multi-segment color image, a small single-segment image, and a
+// grayscale image. Any coder or model change that silently alters the stream
+// format fails this test loudly.
+var goldenCases = []struct {
+	name string
+	seed int64
+	w, h int
+}{
+	{"color-multiseg", 7, 640, 480},
+	{"color-small", 3, 96, 64},
+	{"gray", 11, 200, 150},
+}
+
+// TestGoldenBitstream asserts that compression output is byte-identical to
+// the checked-in fixtures generated before the table-driven entropy hot path
+// landed, proving the optimization preserved the format bit for bit.
+func TestGoldenBitstream(t *testing.T) {
+	for _, tc := range goldenCases {
+		t.Run(tc.name, func(t *testing.T) {
+			var data []byte
+			var err error
+			if tc.name == "gray" {
+				img := imagegen.Synthesize(tc.seed, tc.w, tc.h)
+				data, err = imagegen.EncodeJPEG(img, imagegen.Options{
+					Quality: 85, Grayscale: true, PadBit: 1,
+				})
+			} else {
+				data, err = imagegen.Generate(tc.seed, tc.w, tc.h)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := lepton.Compress(data, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", fmt.Sprintf("golden-%s.lep", tc.name))
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, res.Compressed, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d bytes)", path, len(res.Compressed))
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing fixture (run with -update-golden to create): %v", err)
+			}
+			if !bytes.Equal(res.Compressed, want) {
+				t.Fatalf("%s: compressed output diverged from golden fixture: got %d bytes, want %d bytes (first diff at %d)",
+					tc.name, len(res.Compressed), len(want), firstDiff(res.Compressed, want))
+			}
+			// The fixture must still round-trip to the original input.
+			back, err := lepton.Decompress(want)
+			if err != nil {
+				t.Fatalf("fixture decompress: %v", err)
+			}
+			if !bytes.Equal(back, data) {
+				t.Fatal("fixture does not decompress to the original JPEG")
+			}
+		})
+	}
+}
+
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}

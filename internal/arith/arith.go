@@ -7,11 +7,26 @@
 // binary symbol per call against a 12-bit probability drawn from an
 // adaptive statistic bin.
 //
+// The hot path is division-free and table-driven, mirroring the deployed
+// C++ system's precomputed probability tables (§3.1): Bin.Prob multiplies by
+// a precomputed fixed-point reciprocal of count0+count1 instead of dividing
+// (counts are capped at the rescale limit, so the table is small, and every
+// reachable quotient is verified exact against the divide at init), the
+// probability lookup, range-coder step, and bin update are fused into single
+// Encoder.Encode / Decoder.Decode bodies, and renormalization is batched:
+// the encoder writes into a pre-grown buffer with the capacity check hoisted
+// out of the byte-emit loop, and the decoder refills from a 64-bit prefetch
+// window loaded eight input bytes at a time.
+//
 // All state is integer; encode and decode are exact inverses and
 // deterministic across platforms (paper §5.2).
 package arith
 
-import "errors"
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
 
 // probBits is the precision of bin probabilities.
 const probBits = 12
@@ -32,28 +47,61 @@ type Bin struct {
 // halved so the bin keeps adapting to recent statistics.
 const binRescaleLimit = 1024
 
-// Prob returns the 12-bit probability that the next bit is zero, clamped to
-// (0, 1) exclusive so both symbols stay codeable.
+// maxBinTotal is the largest (count0+1)+(count1+1) the probability lookup can
+// see: Update keeps each stored count below binRescaleLimit.
+const maxBinTotal = 2 * binRescaleLimit
+
+// recipShift is the fixed-point scale of the reciprocal table. With
+// numerators at most binRescaleLimit<<probBits = 2^22 and divisors at most
+// maxBinTotal = 2^11, a round-up reciprocal at scale 2^34 reproduces the
+// truncating divide exactly (d·(n_max+d) ≤ 2^34); init verifies this for
+// every reachable (numerator, divisor) pair anyway.
+const recipShift = 34
+
+// recipTable[t] is the round-up reciprocal ⌊2^recipShift/t⌋+1, so that
+// n/t == n*recipTable[t] >> recipShift for every numerator the coder forms.
+var recipTable [maxBinTotal + 1]uint64
+
+func init() {
+	for t := 2; t <= maxBinTotal; t++ {
+		m := uint64(1)<<recipShift/uint64(t) + 1
+		recipTable[t] = m
+		// Verify the multiply-shift against the divide for every numerator
+		// this divisor can meet: c0 ≤ binRescaleLimit and c0 < t.
+		maxC0 := t - 1
+		if maxC0 > binRescaleLimit {
+			maxC0 = binRescaleLimit
+		}
+		for c0 := uint64(1); c0 <= uint64(maxC0); c0++ {
+			n := c0 << probBits
+			if n*m>>recipShift != n/uint64(t) {
+				panic(fmt.Sprintf("arith: reciprocal table inexact for %d/%d", n, t))
+			}
+		}
+	}
+}
+
+// Prob returns the 12-bit probability that the next bit is zero. The
+// division-free lookup is exact: it returns (c0<<12)/(c0+c1) for the
+// one-biased counts, which the count cap keeps strictly inside (0, 1<<12),
+// so both symbols always stay codeable.
 func (b *Bin) Prob() uint32 {
 	c0 := uint32(b.counts[0]) + 1
-	c1 := uint32(b.counts[1]) + 1
-	p := (c0 << probBits) / (c0 + c1)
-	if p < 1 {
-		p = 1
-	}
-	if p > probMax {
-		p = probMax
-	}
-	return p
+	t := c0 + uint32(b.counts[1]) + 1
+	return uint32(uint64(c0<<probBits) * recipTable[t] >> recipShift)
 }
 
 // Update records an observed bit.
 func (b *Bin) Update(bit int) {
 	b.counts[bit]++
 	if b.counts[bit] >= binRescaleLimit {
-		b.counts[0] = (b.counts[0] + 1) >> 1
-		b.counts[1] = (b.counts[1] + 1) >> 1
+		b.rescale()
 	}
+}
+
+func (b *Bin) rescale() {
+	b.counts[0] = (b.counts[0] + 1) >> 1
+	b.counts[1] = (b.counts[1] + 1) >> 1
 }
 
 // Reset returns the bin to its initial 50-50 state.
@@ -64,12 +112,16 @@ func (b *Bin) Counts() (uint16, uint16) { return b.counts[0], b.counts[1] }
 
 // Encoder encodes binary symbols into a byte buffer.
 type Encoder struct {
-	low      uint64
-	rng      uint32
-	cache    byte
-	pending  int64 // count of pending 0xFF bytes awaiting carry resolution
-	started  bool  // first shiftLow discards the initial zero cache
-	out      []byte
+	low     uint64
+	rng     uint32
+	cache   byte
+	pending int64 // count of pending 0xFF bytes awaiting carry resolution
+	started bool  // first shiftLow discards the initial zero cache
+	// buf is the output backing storage; n bytes of it are valid. Writes go
+	// through direct indexing with the capacity check hoisted to renorm, so
+	// the per-byte emit in shiftLow is branch-light.
+	buf      []byte
+	n        int
 	bitCount int64 // number of binary symbols encoded (for accounting)
 }
 
@@ -79,10 +131,39 @@ func NewEncoder() *Encoder {
 }
 
 // Reset reinitializes the encoder, retaining the output buffer's capacity.
+// Output previously returned by Flush or Bytes aliases that buffer and is
+// overwritten by further use; see Flush.
 func (e *Encoder) Reset() {
 	e.low, e.rng, e.cache, e.pending, e.started = 0, 0xFFFFFFFF, 0, 0, false
-	e.out = e.out[:0]
+	e.n = 0
 	e.bitCount = 0
+}
+
+// Grow ensures the output buffer can hold at least n bytes in total without
+// further allocation. Callers that know the input segment size pre-size the
+// encoder once so steady-state encodes never reallocate mid-stream.
+func (e *Encoder) Grow(n int) {
+	if n > len(e.buf) {
+		e.ensure(n - e.n)
+	}
+}
+
+// ensure grows the backing storage so at least spare bytes can be written.
+func (e *Encoder) ensure(spare int) {
+	need := e.n + spare
+	if need <= len(e.buf) {
+		return
+	}
+	c := 2 * len(e.buf)
+	if c < need {
+		c = need
+	}
+	if c < 256 {
+		c = 256
+	}
+	nb := make([]byte, c)
+	copy(nb, e.buf[:e.n])
+	e.buf = nb
 }
 
 // EncodeBit encodes one bit with the given 12-bit probability of zero.
@@ -94,29 +175,64 @@ func (e *Encoder) EncodeBit(prob0 uint32, bit int) {
 		e.low += uint64(bound)
 		e.rng -= bound
 	}
-	for e.rng < topValue {
-		e.shiftLow()
-		e.rng <<= 8
+	if e.rng < topValue {
+		e.renorm()
 	}
 	e.bitCount++
 }
 
 // Encode codes bit against bin and updates the bin. This pairing —
 // probability lookup, code, adapt — is the fundamental operation of
-// Lepton's model.
+// Lepton's model, fused into one body so the per-bit cost is a table
+// lookup, one multiply, and the range step.
 func (e *Encoder) Encode(bin *Bin, bit int) {
-	e.EncodeBit(bin.Prob(), bit)
-	bin.Update(bit)
+	c0 := uint32(bin.counts[0]) + 1
+	t := c0 + uint32(bin.counts[1]) + 1
+	prob0 := uint32(uint64(c0<<probBits) * recipTable[t] >> recipShift)
+	bound := (e.rng >> probBits) * prob0
+	if bit == 0 {
+		e.rng = bound
+		bin.counts[0]++
+		if bin.counts[0] >= binRescaleLimit {
+			bin.rescale()
+		}
+	} else {
+		e.low += uint64(bound)
+		e.rng -= bound
+		bin.counts[1]++
+		if bin.counts[1] >= binRescaleLimit {
+			bin.rescale()
+		}
+	}
+	if e.rng < topValue {
+		e.renorm()
+	}
+	e.bitCount++
+}
+
+// renorm emits bytes until rng is back above the renormalization threshold.
+// The capacity check runs once here — valid probabilities keep the loop to
+// at most two iterations of one byte each — so shiftLow itself writes with
+// plain stores; only the rare pending-0xFF flush re-checks capacity.
+func (e *Encoder) renorm() {
+	if len(e.buf)-e.n < 8 {
+		e.ensure(8)
+	}
+	for e.rng < topValue {
+		e.shiftLow()
+		e.rng <<= 8
+	}
 }
 
 func (e *Encoder) shiftLow() {
 	if e.low < 0xFF000000 || e.low > 0xFFFFFFFF {
 		carry := byte(e.low >> 32)
 		if e.started {
-			e.out = append(e.out, e.cache+carry)
+			e.buf[e.n] = e.cache + carry
+			e.n++
 		}
-		for ; e.pending > 0; e.pending-- {
-			e.out = append(e.out, 0xFF+carry)
+		if e.pending > 0 {
+			e.flushPending(0xFF + carry)
 		}
 		e.cache = byte(e.low >> 24)
 		e.started = true
@@ -126,17 +242,41 @@ func (e *Encoder) shiftLow() {
 	e.low = (e.low << 8) & 0xFFFFFFFF
 }
 
+// flushPending resolves a run of carry-pending 0xFF bytes. Runs can be long,
+// so this path — unlike shiftLow's single-byte store — checks capacity. It
+// must leave the 8 bytes of headroom renorm and Flush established intact:
+// their remaining shiftLow stores after this flush are unchecked.
+func (e *Encoder) flushPending(b byte) {
+	if int64(len(e.buf)-e.n) < e.pending+8 {
+		e.ensure(int(e.pending) + 8)
+	}
+	for ; e.pending > 0; e.pending-- {
+		e.buf[e.n] = b
+		e.n++
+	}
+}
+
 // Flush terminates the stream and returns the encoded bytes. The encoder
 // must not be used again without Reset.
+//
+// Ownership: the returned slice aliases the encoder's internal buffer. It is
+// valid until the next Reset (which truncates and reuses the storage) —
+// callers that pool encoders, like core's segment pipeline, must copy the
+// bytes out before recycling the encoder.
 func (e *Encoder) Flush() []byte {
+	if len(e.buf)-e.n < 8 {
+		e.ensure(8)
+	}
 	for i := 0; i < 5; i++ {
 		e.shiftLow()
 	}
-	return e.out
+	return e.buf[:e.n]
 }
 
 // Bytes returns the output emitted so far (not including buffered state).
-func (e *Encoder) Bytes() []byte { return e.out }
+// Like Flush, the result aliases the internal buffer and is invalidated by
+// Reset or further encoding.
+func (e *Encoder) Bytes() []byte { return e.buf[:e.n] }
 
 // BitsEncoded returns the number of binary symbols encoded.
 func (e *Encoder) BitsEncoded() int64 { return e.bitCount }
@@ -149,31 +289,57 @@ var ErrShortStream = errors.New("arith: truncated arithmetic-coded stream")
 type Decoder struct {
 	code uint32
 	rng  uint32
-	in   []byte
-	pos  int
-	err  error
+	// window prefetches input MSB-aligned, eight bytes per refill, so the
+	// renormalization loop consumes one shift per byte instead of a bounds
+	// check and slice load each.
+	window uint64
+	wbytes int // bytes remaining in window
+	in     []byte
+	pos    int // bytes of in moved into the window (runs past len(in) once padding starts)
+	err    error
 }
 
 // NewDecoder returns a Decoder over data.
 func NewDecoder(data []byte) *Decoder {
 	d := &Decoder{rng: 0xFFFFFFFF, in: data}
 	for i := 0; i < 4; i++ {
-		d.code = d.code<<8 | uint32(d.next())
+		if d.wbytes == 0 {
+			d.refill()
+		}
+		d.code = d.code<<8 | uint32(d.window>>56)
+		d.window <<= 8
+		d.wbytes--
 	}
 	return d
 }
 
-func (d *Decoder) next() byte {
-	if d.pos >= len(d.in) {
-		// Virtual zero padding: a truncated stream yields deterministic
-		// garbage rather than a crash; the caller detects corruption via
-		// the round-trip check (paper §5.7).
-		d.err = ErrShortStream
-		return 0
+// refill reloads the prefetch window: a single 64-bit load on the fast path,
+// byte-assembled near the end of input. Past the end it supplies virtual
+// zero padding — a truncated stream yields deterministic garbage rather
+// than a crash; the caller detects corruption via the round-trip check
+// (paper §5.7).
+func (d *Decoder) refill() {
+	if d.pos+8 <= len(d.in) {
+		d.window = binary.BigEndian.Uint64(d.in[d.pos:])
+		d.pos += 8
+		d.wbytes = 8
+		return
 	}
-	b := d.in[d.pos]
-	d.pos++
-	return b
+	rem := len(d.in) - d.pos
+	if rem <= 0 {
+		d.err = ErrShortStream
+		d.window = 0
+		d.wbytes = 8
+		d.pos += 8
+		return
+	}
+	var w uint64
+	for i := 0; i < rem; i++ {
+		w |= uint64(d.in[d.pos+i]) << (56 - 8*i)
+	}
+	d.window = w
+	d.wbytes = rem
+	d.pos += rem
 }
 
 // DecodeBit decodes one bit with the given 12-bit probability of zero.
@@ -182,25 +348,56 @@ func (d *Decoder) DecodeBit(prob0 uint32) int {
 	var bit int
 	if d.code < bound {
 		d.rng = bound
-		bit = 0
 	} else {
 		d.code -= bound
 		d.rng -= bound
 		bit = 1
 	}
-	for d.rng < topValue {
-		d.code = d.code<<8 | uint32(d.next())
-		d.rng <<= 8
+	if d.rng < topValue {
+		d.renorm()
 	}
 	return bit
 }
 
 // Decode decodes a bit against bin and updates the bin, mirroring
-// Encoder.Encode.
+// Encoder.Encode's fused probability-lookup/code/adapt body.
 func (d *Decoder) Decode(bin *Bin) int {
-	bit := d.DecodeBit(bin.Prob())
-	bin.Update(bit)
+	c0 := uint32(bin.counts[0]) + 1
+	t := c0 + uint32(bin.counts[1]) + 1
+	prob0 := uint32(uint64(c0<<probBits) * recipTable[t] >> recipShift)
+	bound := (d.rng >> probBits) * prob0
+	var bit int
+	if d.code < bound {
+		d.rng = bound
+		bin.counts[0]++
+		if bin.counts[0] >= binRescaleLimit {
+			bin.rescale()
+		}
+	} else {
+		d.code -= bound
+		d.rng -= bound
+		bit = 1
+		bin.counts[1]++
+		if bin.counts[1] >= binRescaleLimit {
+			bin.rescale()
+		}
+	}
+	if d.rng < topValue {
+		d.renorm()
+	}
 	return bit
+}
+
+func (d *Decoder) renorm() {
+	for d.rng < topValue {
+		if d.wbytes == 0 {
+			d.refill()
+		}
+		d.code = d.code<<8 | uint32(d.window>>56)
+		d.window <<= 8
+		d.wbytes--
+		d.rng <<= 8
+	}
 }
 
 // Err returns ErrShortStream if the decoder has read past the end of its
@@ -208,4 +405,10 @@ func (d *Decoder) Decode(bin *Bin) int {
 func (d *Decoder) Err() error { return d.err }
 
 // Consumed returns the number of input bytes consumed so far.
-func (d *Decoder) Consumed() int { return d.pos }
+func (d *Decoder) Consumed() int {
+	c := d.pos - d.wbytes
+	if c > len(d.in) {
+		c = len(d.in)
+	}
+	return c
+}

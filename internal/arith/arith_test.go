@@ -233,6 +233,154 @@ func TestCarryPropagation(t *testing.T) {
 	}
 }
 
+// TestRecipTableExact re-verifies the division-free probability lookup
+// against the plain divide for every (count0, count1) pair a bin can hold —
+// the same property init asserts, stated here as an explicit regression
+// test for anyone retuning binRescaleLimit, probBits, or recipShift.
+func TestRecipTableExact(t *testing.T) {
+	for c0 := uint32(1); c0 <= binRescaleLimit; c0++ {
+		for c1 := uint32(1); c1 <= binRescaleLimit; c1++ {
+			n := uint64(c0 << probBits)
+			want := uint32(n / uint64(c0+c1))
+			got := uint32(n * recipTable[c0+c1] >> recipShift)
+			if got != want {
+				t.Fatalf("recip(%d/%d) = %d, want %d", n, c0+c1, got, want)
+			}
+			if got < 1 || got > probMax {
+				t.Fatalf("prob %d/%d = %d out of codeable range", c0, c1, got)
+			}
+		}
+	}
+}
+
+// TestProbMatchesCounts pins Prob to the documented quotient for bins driven
+// through real Update sequences, including across rescales.
+func TestProbMatchesCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var b Bin
+	for i := 0; i < 200000; i++ {
+		b.Update(rng.Intn(2))
+		c0, c1 := b.Counts()
+		want := (uint32(c0) + 1) << probBits / (uint32(c0) + uint32(c1) + 2)
+		if p := b.Prob(); p != want {
+			t.Fatalf("after %d updates (counts %d/%d): Prob = %d, want %d", i+1, c0, c1, p, want)
+		}
+	}
+}
+
+// TestFlushAliasesBuffer documents the Flush/Bytes ownership contract: the
+// returned slice aliases the encoder's internal buffer, so a pooled encoder
+// reused via Reset overwrites earlier output in place. Callers pooling
+// encoders must copy before recycling — exactly what core's segment
+// pipeline does via Container marshaling before release.
+func TestFlushAliasesBuffer(t *testing.T) {
+	e := NewEncoder()
+	var bin Bin
+	for i := 0; i < 1000; i++ {
+		e.Encode(&bin, i&1)
+	}
+	first := e.Flush()
+	snapshot := append([]byte(nil), first...)
+
+	// Reuse the encoder for a different message, as a pool would.
+	e.Reset()
+	var bin2 Bin
+	for i := 0; i < 1000; i++ {
+		e.Encode(&bin2, (i/3)&1)
+	}
+	second := e.Flush()
+
+	if string(first[:min(len(first), len(second))]) == string(snapshot[:min(len(first), len(second))]) {
+		t.Fatal("expected Flush result to alias the reused buffer; copy-on-return would change the documented ownership contract")
+	}
+	// The copied snapshot must still decode: copying is the correct way to
+	// retain output across Reset.
+	d := NewDecoder(snapshot)
+	var dbin Bin
+	for i := 0; i < 1000; i++ {
+		if got := d.Decode(&dbin); got != i&1 {
+			t.Fatalf("bit %d decoded %d from the snapshot copy", i, got)
+		}
+	}
+	if d.Err() != nil {
+		t.Fatal(d.Err())
+	}
+}
+
+// TestGrowPreventsReallocation checks that a Grow covering the final output
+// keeps the buffer stable for the whole encode.
+func TestGrowPreventsReallocation(t *testing.T) {
+	e := NewEncoder()
+	e.Grow(64 << 10)
+	before := &e.buf[0]
+	rng := rand.New(rand.NewSource(9))
+	var bins [8]Bin
+	for i := 0; i < 100000; i++ {
+		e.Encode(&bins[rng.Intn(8)], rng.Intn(2))
+	}
+	out := e.Flush()
+	if len(out) > 64<<10 {
+		t.Skipf("output %d exceeded the grow hint; test needs a bigger hint", len(out))
+	}
+	if &e.buf[0] != before {
+		t.Fatal("buffer reallocated despite sufficient Grow")
+	}
+}
+
+// BenchmarkEncodeBit is the per-coded-bit regression series for the encode
+// hot path (reciprocal-table probability, fused update, batched renorm),
+// independent of the Figure-2 corpus.
+func BenchmarkEncodeBit(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	bits := make([]int, 1<<16)
+	for i := range bits {
+		if rng.Intn(10) < 2 {
+			bits[i] = 1
+		}
+	}
+	e := NewEncoder()
+	var bin Bin
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		bin.Reset()
+		for _, bit := range bits {
+			e.Encode(&bin, bit)
+		}
+		e.Flush()
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(bits)), "ns/bit")
+}
+
+// BenchmarkDecodeBit is BenchmarkEncodeBit's decode-side counterpart
+// (fused lookup plus the 64-bit prefetch window).
+func BenchmarkDecodeBit(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	bits := make([]int, 1<<16)
+	for i := range bits {
+		if rng.Intn(10) < 2 {
+			bits[i] = 1
+		}
+	}
+	e := NewEncoder()
+	var bin Bin
+	for _, bit := range bits {
+		e.Encode(&bin, bit)
+	}
+	data := e.Flush()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := NewDecoder(data)
+		var dbin Bin
+		for range bits {
+			d.Decode(&dbin)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(bits)), "ns/bit")
+}
+
 func BenchmarkEncodeAdaptive(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	bits := make([]int, 1<<16)
@@ -274,6 +422,40 @@ func BenchmarkDecodeAdaptive(b *testing.B) {
 		var dbin Bin
 		for range bits {
 			d.Decode(&dbin)
+		}
+	}
+}
+
+// TestFlushPendingPreservesHeadroom reproduces the capacity hazard where a
+// carry-pending 0xFF run lined up with the remaining buffer capacity: the
+// pending flush consumed the 8-byte headroom that renorm and Flush had
+// established for their remaining unchecked shiftLow stores, and the next
+// store panicked. The crafted states sweep every (pending, spare)
+// combination around the boundary, through both the renorm and Flush paths.
+func TestFlushPendingPreservesHeadroom(t *testing.T) {
+	for pending := int64(0); pending <= 12; pending++ {
+		for spare := 8; spare <= 16; spare++ {
+			// renorm path: low resolves the pending run, rng forces two
+			// renormalization iterations (two byte stores around the flush).
+			e := NewEncoder()
+			e.buf = make([]byte, 64)
+			e.n = len(e.buf) - spare
+			e.started = true
+			e.cache = 0x12
+			e.pending = pending
+			e.low = 0
+			e.rng = 1 << 10
+			e.renorm()
+
+			// Flush path: five shiftLow calls after one headroom check.
+			f := NewEncoder()
+			f.buf = make([]byte, 64)
+			f.n = len(f.buf) - spare
+			f.started = true
+			f.cache = 0x34
+			f.pending = pending
+			f.low = 0
+			f.Flush()
 		}
 	}
 }

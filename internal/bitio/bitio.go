@@ -2,6 +2,13 @@
 // streams, including the byte-stuffing rule (a 0x00 byte follows every data
 // byte equal to 0xFF), restart-marker alignment, and the partial-byte state
 // needed to seed a writer from a Lepton "Huffman handover word".
+//
+// Reading and writing are batched on the hot path: PeekBits serves up to 24
+// bits from a single word load whenever the lookahead window contains no
+// 0xFF byte (so no stuffing or marker logic applies), SkipBits consumes a
+// peeked span with one add, and WriteBits emits whole bytes instead of
+// looping per bit. The bit-by-bit paths remain the single source of truth
+// for every 0xFF-adjacent case.
 package bitio
 
 import (
@@ -82,9 +89,28 @@ func (w *Writer) WriteBit(bit uint8) {
 }
 
 // WriteBits writes the low n bits of v, most significant first. n may be 0.
+// Bits are gathered into whole bytes before emission, so an n-bit write
+// costs at most ⌈(n+7)/8⌉ emit calls instead of n single-bit steps.
 func (w *Writer) WriteBits(v uint32, n uint8) {
-	for i := int(n) - 1; i >= 0; i-- {
-		w.WriteBit(uint8(v>>uint(i)) & 1)
+	if n == 0 {
+		return
+	}
+	if n < 32 {
+		v &= 1<<n - 1
+	}
+	for {
+		free := 8 - w.nbits
+		if n < free {
+			w.cur |= uint8(v << (free - n))
+			w.nbits += n
+			return
+		}
+		w.emit(w.cur | uint8(v>>(n-free)))
+		w.cur, w.nbits = 0, 0
+		n -= free
+		if n == 0 {
+			return
+		}
 	}
 }
 
@@ -207,8 +233,42 @@ func (r *Reader) ReadBit() (uint8, error) {
 	return bit, nil
 }
 
+// PeekBits returns the next n (0..24) bits of the entropy stream MSB-first
+// without consuming them. ok is false whenever the fast path cannot serve
+// the request exactly — at a pending marker, near the end of input, or when
+// any byte of the 4-byte lookahead window is 0xFF (stuffing or marker
+// handling would apply) — and the caller must fall back to the bit-by-bit
+// path, which is the single source of truth for those cases. After a
+// successful peek, SkipBits(m) is valid for any m <= n.
+func (r *Reader) PeekBits(n uint8) (v uint32, ok bool) {
+	if r.atMarker || r.pos+4 > len(r.data) {
+		return 0, false
+	}
+	d := r.data[r.pos : r.pos+4 : r.pos+4]
+	if d[0] == 0xFF || d[1] == 0xFF || d[2] == 0xFF || d[3] == 0xFF {
+		return 0, false
+	}
+	w := uint32(d[0])<<24 | uint32(d[1])<<16 | uint32(d[2])<<8 | uint32(d[3])
+	return w << r.bit >> (32 - n), true
+}
+
+// SkipBits consumes n bits previously returned by a successful PeekBits.
+// It must only follow a successful PeekBits(m) with n <= m: the single-add
+// advance relies on the peeked span containing no 0xFF bytes.
+func (r *Reader) SkipBits(n uint8) {
+	t := r.bit + n
+	r.pos += int(t >> 3)
+	r.bit = t & 7
+}
+
 // ReadBits reads n bits MSB-first. n must be <= 32.
 func (r *Reader) ReadBits(n uint8) (uint32, error) {
+	if n <= 24 {
+		if v, ok := r.PeekBits(n); ok {
+			r.SkipBits(n)
+			return v, nil
+		}
+	}
 	var v uint32
 	for i := uint8(0); i < n; i++ {
 		b, err := r.ReadBit()

@@ -221,3 +221,117 @@ func TestReaderPosTracking(t *testing.T) {
 		t.Fatalf("partial byte = %#x", pb)
 	}
 }
+
+// TestWriteBitsMatchesBitLoop drives batched WriteBits and a per-bit
+// reference writer with identical random sequences (including unmasked high
+// garbage in v) and requires byte-identical output in both stuffing modes.
+func TestWriteBitsMatchesBitLoop(t *testing.T) {
+	for _, stuff := range []bool{true, false} {
+		rng := rand.New(rand.NewSource(21))
+		var batched, reference *Writer
+		if stuff {
+			batched, reference = NewWriter(), NewWriter()
+		} else {
+			batched, reference = NewRawWriter(), NewRawWriter()
+		}
+		for i := 0; i < 20000; i++ {
+			v := rng.Uint32()
+			n := uint8(rng.Intn(25))
+			batched.WriteBits(v, n)
+			for j := int(n) - 1; j >= 0; j-- {
+				reference.WriteBit(uint8(v>>uint(j)) & 1)
+			}
+		}
+		batched.AlignPad(1)
+		reference.AlignPad(1)
+		if !bytes.Equal(batched.Bytes(), reference.Bytes()) {
+			t.Fatalf("stuff=%v: batched WriteBits diverged from bit-by-bit reference", stuff)
+		}
+	}
+}
+
+// TestPeekBitsMatchesReadBit checks the no-0xFF fast path against the exact
+// reader on streams dense with 0xFF bytes (stuffing) and partial-byte
+// offsets: every successful peek must return exactly the bits ReadBit
+// produces, and SkipBits must leave the reader in the identical position.
+func TestPeekBitsMatchesReadBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	w := NewWriter()
+	for i := 0; i < 4000; i++ {
+		// Bias toward 0xFF-heavy output so stuffing shows up often.
+		if rng.Intn(3) == 0 {
+			w.WriteBits(0xFF, 8)
+		} else {
+			w.WriteBits(rng.Uint32(), uint8(rng.Intn(17)))
+		}
+	}
+	w.AlignPad(1)
+	data := w.Bytes()
+
+	fast := NewReader(data)
+	slow := NewReader(data)
+	for {
+		n := uint8(rng.Intn(24) + 1)
+		v, ok := fast.PeekBits(n)
+		var want uint32
+		var err error
+		for i := uint8(0); i < n; i++ {
+			var b uint8
+			b, err = slow.ReadBit()
+			if err != nil {
+				break
+			}
+			want = want<<1 | uint32(b)
+		}
+		if err != nil {
+			if ok {
+				t.Fatalf("peek succeeded where exact read failed: %v", err)
+			}
+			break
+		}
+		if ok {
+			if v != want {
+				t.Fatalf("PeekBits(%d) = %#x, exact read = %#x", n, v, want)
+			}
+			fast.SkipBits(n)
+		} else {
+			// Fast path declined (0xFF in window or near end): consume via
+			// the exact path to stay in lockstep.
+			for i := uint8(0); i < n; i++ {
+				if _, err := fast.ReadBit(); err != nil {
+					t.Fatalf("exact fallback read: %v", err)
+				}
+			}
+		}
+		fp, fb := fast.Pos()
+		sp, sb := slow.Pos()
+		if fp != sp || fb != sb {
+			t.Fatalf("position diverged: fast %d.%d slow %d.%d", fp, fb, sp, sb)
+		}
+	}
+}
+
+// TestPeekBitsRefusesMarker ensures the fast path never reads through a
+// marker: a peek whose window touches the 0xFF of a marker must decline.
+func TestPeekBitsRefusesMarker(t *testing.T) {
+	data := []byte{0x12, 0x34, 0xFF, 0xD0, 0x56, 0x78, 0x9A, 0xBC}
+	r := NewReader(data)
+	if _, ok := r.PeekBits(16); ok {
+		t.Fatal("peek through a marker byte must decline")
+	}
+	// After consuming the leading data and skipping the marker the fast path
+	// applies again.
+	if _, err := r.ReadBits(16); err != nil {
+		t.Fatalf("pre-marker data: %v", err)
+	}
+	if _, err := r.ReadBit(); err != ErrMarker {
+		t.Fatalf("expected marker, got %v", err)
+	}
+	if _, err := r.SkipMarker(); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := r.PeekBits(24)
+	if !ok || v != 0x56789A {
+		t.Fatalf("post-marker peek = %#x ok=%v, want 0x56789a", v, ok)
+	}
+}

@@ -201,3 +201,42 @@ func TestContainerOutputSize(t *testing.T) {
 		t.Fatal("bad magic must error")
 	}
 }
+
+// TestPooledResultsNotAliased guards the arith.Encoder.Flush ownership
+// contract end to end: Flush returns a slice aliasing the pooled encoder's
+// buffer, so EncodeSegments' streams are only valid until release, and every
+// byte that escapes Encode must have been copied out (by Container
+// marshaling) before the pool recycles the encoder. If a future change let
+// aliased bytes escape, the later conversions here would overwrite the
+// earlier results in place and their decodes would diverge.
+func TestPooledResultsNotAliased(t *testing.T) {
+	codec := NewCodec()
+	type held struct {
+		data, comp, snapshot []byte
+	}
+	var results []held
+	for seed := int64(1); seed <= 8; seed++ {
+		data := genJPEG(t, seed, 120+int(seed)*56, 96+int(seed)*40)
+		res, err := codec.Encode(data, EncodeOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, held{
+			data:     data,
+			comp:     res.Compressed,
+			snapshot: append([]byte(nil), res.Compressed...),
+		})
+	}
+	for i, h := range results {
+		if !bytes.Equal(h.comp, h.snapshot) {
+			t.Fatalf("result %d was mutated by a later pooled conversion (aliased pool memory escaped)", i)
+		}
+		back, err := codec.Decode(h.comp, 0)
+		if err != nil {
+			t.Fatalf("result %d: %v", i, err)
+		}
+		if !bytes.Equal(back, h.data) {
+			t.Fatalf("result %d no longer decodes to its input", i)
+		}
+	}
+}

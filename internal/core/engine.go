@@ -344,6 +344,12 @@ func (c *Codec) EncodeSegmentsCtx(ctx context.Context, f *jpeg.File, s *jpeg.Sca
 			if collectStats {
 				codec.Stats = &model.Stats{}
 			}
+			// Pre-size the arithmetic encoder to this segment's share of the
+			// original scan bytes — an upper bound on its output — so the
+			// segment encode never reallocates mid-stream.
+			if t := f.TotalMCUs(); t > 0 {
+				codec.SetSizeHint(len(f.ScanData) * (end - start) / t)
+			}
 			e := c.getEncoder()
 			encs[i] = e
 			if err := codec.EncodeSegmentCtx(e, done); err != nil {

@@ -108,15 +108,107 @@ func Inverse(src, dst *Block) {
 	for i := range tmp {
 		tmp[i] = int32((acc[i] + half) >> BasisScaleBits)
 	}
-	// Rows: sum over u.
+	// Rows: sum over u, skipping zero intermediates the same way — a column
+	// with no nonzero coefficient contributes exactly zero to every sample
+	// (the +half bias rounds a zero sum to zero), so dropping its term
+	// leaves the int64 accumulation bit-identical while the cost again
+	// scales with the number of occupied columns.
 	for y := 0; y < 8; y++ {
 		t := tmp[y*8 : y*8+8]
-		for x := 0; x < 8; x++ {
-			var a int64
-			for u := 0; u < 8; u++ {
-				a += int64(Basis[u][x]) * int64(t[u])
+		var a [8]int64
+		for u := 0; u < 8; u++ {
+			c := int64(t[u])
+			if c == 0 {
+				continue
 			}
-			dst[y*8+x] = int32((a + half) >> BasisScaleBits)
+			b := &Basis[u]
+			for x := 0; x < 8; x++ {
+				a[x] += int64(b[x]) * c
+			}
+		}
+		for x := 0; x < 8; x++ {
+			dst[y*8+x] = int32((a[x] + half) >> BasisScaleBits)
+		}
+	}
+}
+
+// InverseBorder computes the inverse transform of a block's dequantized AC
+// coefficients (coef[i]*q[i], index 0 treated as zero), restricted to the
+// frame samples consumed by Lepton's DC predictor and edge caches: every
+// sample of rows 0, 1, 6, 7 and columns 0, 1, 6, 7. The 16 interior samples
+// (x and y both in 2..5) are left untouched — callers pass a zeroed block
+// and never read them. Dequantization is fused into the column pass so the
+// sparse common case touches only the nonzero coefficients; computed
+// samples are bit-identical to dequantizing into a block and running
+// Inverse, so encoder and decoder stay in exact agreement (paper §5.2).
+func InverseBorder(coef []int16, q *[64]uint16, dst *Block) {
+	const half = 1 << (BasisScaleBits - 1)
+	var acc [64]int64
+	var occ [8]bool // columns with any nonzero coefficient
+	for v := 0; v < 8; v++ {
+		row := coef[v*8 : v*8+8]
+		qr := q[v*8 : v*8+8]
+		b := &Basis[v]
+		u := 0
+		if v == 0 {
+			u = 1 // AC only: the DC coefficient is treated as zero
+		}
+		for ; u < 8; u++ {
+			if row[u] == 0 {
+				continue
+			}
+			c := int64(row[u]) * int64(qr[u])
+			occ[u] = true
+			for y := 0; y < 8; y++ {
+				acc[y*8+u] += int64(b[y]) * c
+			}
+		}
+	}
+	// Intermediates of untouched columns are exactly zero ((0+half)>>scale),
+	// so only occupied columns need converting into the zeroed tmp.
+	var tmp Block
+	for u := 0; u < 8; u++ {
+		if !occ[u] {
+			continue
+		}
+		for y := 0; y < 8; y++ {
+			tmp[y*8+u] = int32((acc[y*8+u] + half) >> BasisScaleBits)
+		}
+	}
+	for y := 0; y < 8; y++ {
+		t := tmp[y*8 : y*8+8]
+		var a [8]int64
+		if y >= 2 && y <= 5 {
+			// Interior rows: only the left and right column pairs are read.
+			for u := 0; u < 8; u++ {
+				c := int64(t[u])
+				if c == 0 {
+					continue
+				}
+				b := &Basis[u]
+				a[0] += int64(b[0]) * c
+				a[1] += int64(b[1]) * c
+				a[6] += int64(b[6]) * c
+				a[7] += int64(b[7]) * c
+			}
+			dst[y*8+0] = int32((a[0] + half) >> BasisScaleBits)
+			dst[y*8+1] = int32((a[1] + half) >> BasisScaleBits)
+			dst[y*8+6] = int32((a[6] + half) >> BasisScaleBits)
+			dst[y*8+7] = int32((a[7] + half) >> BasisScaleBits)
+			continue
+		}
+		for u := 0; u < 8; u++ {
+			c := int64(t[u])
+			if c == 0 {
+				continue
+			}
+			b := &Basis[u]
+			for x := 0; x < 8; x++ {
+				a[x] += int64(b[x]) * c
+			}
+		}
+		for x := 0; x < 8; x++ {
+			dst[y*8+x] = int32((a[x] + half) >> BasisScaleBits)
 		}
 	}
 }

@@ -188,3 +188,47 @@ func TestQuickForwardInverseWithinQuantBounds(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestInverseBorderMatchesInverse drives the fused dequantize-and-transform
+// against dequantizing by hand and running the full Inverse, with random
+// sparse and dense blocks, and requires bit-identical samples everywhere
+// InverseBorder is specified to compute (rows and columns 0, 1, 6, 7), and
+// untouched zeros in the interior. The model's DC predictor and edge caches
+// rely on exactly this agreement (paper §5.2).
+func TestInverseBorderMatchesInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 5000; trial++ {
+		coef := make([]int16, 64)
+		var q [64]uint16
+		for i := range q {
+			q[i] = uint16(rng.Intn(65535) + 1)
+		}
+		// Mix densities: from near-empty (the common quantized case) to full.
+		// Magnitudes stay below 2^13, the model's coded-magnitude cap.
+		n := rng.Intn(64)
+		for i := 0; i < n; i++ {
+			coef[rng.Intn(64)] = int16(rng.Intn(1<<14) - 1<<13)
+		}
+		var src Block
+		for i := 1; i < 64; i++ {
+			src[i] = int32(coef[i]) * int32(q[i])
+		}
+		var full, border Block
+		Inverse(&src, &full)
+		InverseBorder(coef, &q, &border)
+		for y := 0; y < 8; y++ {
+			for x := 0; x < 8; x++ {
+				interior := y >= 2 && y <= 5 && x >= 2 && x <= 5
+				if interior {
+					if border[y*8+x] != 0 {
+						t.Fatalf("trial %d: interior sample (%d,%d) written: %d", trial, x, y, border[y*8+x])
+					}
+					continue
+				}
+				if border[y*8+x] != full[y*8+x] {
+					t.Fatalf("trial %d: sample (%d,%d) = %d, Inverse = %d", trial, x, y, border[y*8+x], full[y*8+x])
+				}
+			}
+		}
+	}
+}

@@ -3,6 +3,13 @@
 // length plus symbol list), matching encoder tables, and optimal table
 // construction from symbol frequencies (used by the JPEGrescan-style
 // baseline).
+//
+// Decoding is peek-table driven: a single 2^8-entry lookup maps the next
+// eight lookahead bits to (symbol, code length) for every code of length
+// <= 8 — which covers the overwhelming majority of symbols in real DHT
+// tables — and the canonical bit-by-bit walk remains as the slow path for
+// longer codes and for lookaheads the bit reader cannot serve cheaply
+// (stuffed 0xFF bytes, markers, end of input).
 package huffman
 
 import (
@@ -156,12 +163,32 @@ func NewDecoder(s *Spec) (*Decoder, error) {
 	return d, nil
 }
 
-// Decode reads one symbol from r.
+// PeekSym looks up the symbol for an 8-bit lookahead b. A zero returned
+// length means the code is longer than eight bits (or b is not a valid
+// prefix) and the caller must take the canonical slow path. Callers fuse
+// this with bitio.Reader.PeekBits to decode symbol and value bits from one
+// lookahead word.
+func (d *Decoder) PeekSym(b uint8) (sym byte, n uint8) {
+	f := &d.fast[b]
+	return f.sym, f.len
+}
+
+// Decode reads one symbol from r: a single peek-table lookup when the reader
+// can serve an 8-bit lookahead, the canonical bit-by-bit walk otherwise.
 func (d *Decoder) Decode(r *bitio.Reader) (byte, error) {
-	// Bit-by-bit canonical decode. The fast table requires 8-bit lookahead
-	// which the stuffed reader does not expose cheaply, so this path favors
-	// simplicity and determinism; profiling shows it is not the codec
-	// bottleneck (the arithmetic coder is).
+	if b, ok := r.PeekBits(8); ok {
+		if f := &d.fast[b]; f.len != 0 {
+			r.SkipBits(f.len)
+			return f.sym, nil
+		}
+	}
+	return d.decodeSlow(r)
+}
+
+// decodeSlow is the canonical bit-by-bit decode, used for codes longer than
+// the peek table covers and wherever the lookahead crosses stuffing bytes,
+// markers, or end of input — its error handling is authoritative.
+func (d *Decoder) decodeSlow(r *bitio.Reader) (byte, error) {
 	code := int32(0)
 	for l := 1; l <= int(d.maxLen); l++ {
 		b, err := r.ReadBit()

@@ -250,3 +250,125 @@ func TestDecodeInvalidCode(t *testing.T) {
 		t.Fatal("expected invalid code error")
 	}
 }
+
+// TestDecodeFastMatchesSlow streams random symbols (biased toward the long
+// tail of the AC table so >8-bit codes appear) through both the peek-table
+// Decode and the canonical slow path, on stuffing-heavy data, and requires
+// identical symbols and reader positions.
+func TestDecodeFastMatchesSlow(t *testing.T) {
+	enc, err := NewEncoder(&StdACLuminance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewDecoder(&StdACLuminance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	w := bitio.NewWriter()
+	var syms []byte
+	for i := 0; i < 30000; i++ {
+		s := StdACLuminance.Symbols[rng.Intn(len(StdACLuminance.Symbols))]
+		syms = append(syms, s)
+		if err := enc.Encode(w, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.AlignPad(1)
+
+	fast := bitio.NewReader(w.Bytes())
+	slow := bitio.NewReader(w.Bytes())
+	for i, want := range syms {
+		got, err := dec.Decode(fast)
+		if err != nil {
+			t.Fatalf("symbol %d: fast decode: %v", i, err)
+		}
+		ref, err := dec.decodeSlow(slow)
+		if err != nil {
+			t.Fatalf("symbol %d: slow decode: %v", i, err)
+		}
+		if got != want || ref != want {
+			t.Fatalf("symbol %d: fast=%#x slow=%#x want %#x", i, got, ref, want)
+		}
+		fp, fb := fast.Pos()
+		sp, sb := slow.Pos()
+		if fp != sp || fb != sb {
+			t.Fatalf("symbol %d: position diverged fast %d.%d slow %d.%d", i, fp, fb, sp, sb)
+		}
+	}
+}
+
+// TestPeekSymCoversShortCodes checks the peek table against Lookup for every
+// symbol with a code of length <= 8.
+func TestPeekSymCoversShortCodes(t *testing.T) {
+	enc, err := NewEncoder(&StdACLuminance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewDecoder(&StdACLuminance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range StdACLuminance.Symbols {
+		c := enc.Lookup(s)
+		if c.Len > 8 {
+			// Long codes must miss the table for every lookahead they prefix.
+			lo := uint32(c.Bits) >> (c.Len - 8)
+			if _, n := dec.PeekSym(uint8(lo)); n != 0 {
+				t.Fatalf("symbol %#x: %d-bit code unexpectedly in peek table", s, c.Len)
+			}
+			continue
+		}
+		lo := uint32(c.Bits) << (8 - c.Len)
+		hi := lo + 1<<(8-c.Len)
+		for b := lo; b < hi; b++ {
+			sym, n := dec.PeekSym(uint8(b))
+			if sym != s || n != c.Len {
+				t.Fatalf("peek[%#02x] = (%#x, %d), want (%#x, %d)", b, sym, n, s, c.Len)
+			}
+		}
+	}
+}
+
+// BenchmarkScanDecode is the Huffman-symbol regression series for the
+// entropy hot path: decoding a realistic mix of AC symbols through the
+// peek-table decoder, independent of the Figure-2 corpus.
+func BenchmarkScanDecode(b *testing.B) {
+	enc, err := NewEncoder(&StdACLuminance)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec, err := NewDecoder(&StdACLuminance)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	w := bitio.NewWriter()
+	const nsyms = 1 << 15
+	for i := 0; i < nsyms; i++ {
+		// Mostly common (short-code) symbols, as in real scans.
+		var s byte
+		if rng.Intn(10) == 0 {
+			s = StdACLuminance.Symbols[rng.Intn(len(StdACLuminance.Symbols))]
+		} else {
+			s = StdACLuminance.Symbols[rng.Intn(16)]
+		}
+		if err := enc.Encode(w, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	w.AlignPad(1)
+	data := w.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := bitio.NewReader(data)
+		for j := 0; j < nsyms; j++ {
+			if _, err := dec.Decode(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/nsyms, "ns/sym")
+}

@@ -163,16 +163,17 @@ func (e *ScanEncoder) encodeBlock(comp int, blk []int16) error {
 	diff := int32(blk[0]) - int32(e.prevDC[comp])
 	e.prevDC[comp] = blk[0]
 	sCat := category(diff)
-	if err := dcTab.Encode(e.w, sCat); err != nil {
-		return fmt.Errorf("DC: %w", err)
+	// Codeword and value bits go out in one batched write: the category code
+	// is at most 16 bits and the value at most 11, so both fit one word.
+	dcCode := dcTab.Lookup(sCat)
+	if dcCode.Len == 0 {
+		return fmt.Errorf("DC: huffman: symbol %#02x has no code", sCat)
 	}
-	if sCat > 0 {
-		v := diff
-		if v < 0 {
-			v += int32(1<<sCat) - 1
-		}
-		e.w.WriteBits(uint32(v), sCat)
+	v := diff
+	if v < 0 {
+		v += int32(1<<sCat) - 1
 	}
+	e.w.WriteBits(uint32(dcCode.Bits)<<sCat|uint32(v), dcCode.Len+sCat)
 
 	run := 0
 	for k := 1; k < 64; k++ {
@@ -191,13 +192,16 @@ func (e *ScanEncoder) encodeBlock(comp int, blk []int16) error {
 		if size > 10 {
 			return reject(ReasonACRange, "AC magnitude %d", v)
 		}
-		if err := acTab.Encode(e.w, byte(run<<4)|size); err != nil {
-			return fmt.Errorf("AC: %w", err)
+		sym := byte(run<<4) | size
+		acCode := acTab.Lookup(sym)
+		if acCode.Len == 0 {
+			return fmt.Errorf("AC: huffman: symbol %#02x has no code", sym)
 		}
 		if v < 0 {
 			v += int32(1<<size) - 1
 		}
-		e.w.WriteBits(uint32(v), size)
+		// Run/size code plus value bits in one batched write (<= 26 bits).
+		e.w.WriteBits(uint32(acCode.Bits)<<size|uint32(v), acCode.Len+size)
 		run = 0
 	}
 	if run > 0 {

@@ -88,6 +88,28 @@ func newScanDecoder(f *File) (*scanDecoder, error) {
 	return d, nil
 }
 
+// fastCode decodes one Huffman symbol and its trailing raw value bits from a
+// single 24-bit peek: a code of length <= 8 from the peek table plus up to 11
+// value bits (the symbol's low 4 bits for AC, the whole symbol for DC, as
+// selected by sizeMask). ok is false whenever the one-load path cannot apply
+// — lookahead crossing a stuffed 0xFF, a marker, the end of input, codes
+// longer than the peek table, or a size beyond maxSize — and the caller must
+// take the exact bit-by-bit path, whose error handling is authoritative.
+func (d *scanDecoder) fastCode(tab *huffman.Decoder, sizeMask, maxSize uint8) (sym uint8, raw uint32, ok bool) {
+	bits, ok := d.r.PeekBits(24)
+	if !ok {
+		return 0, 0, false
+	}
+	sym, n := tab.PeekSym(uint8(bits >> 16))
+	size := sym & sizeMask
+	if n == 0 || size > maxSize {
+		return 0, 0, false
+	}
+	raw = bits >> (24 - n - size) & (uint32(1)<<size - 1)
+	d.r.SkipBits(n + size)
+	return sym, raw, true
+}
+
 // decodeBlock entropy-decodes one 8x8 block into out (raster order within
 // the block).
 func (d *scanDecoder) decodeBlock(comp int, out []int16) error {
@@ -95,16 +117,20 @@ func (d *scanDecoder) decodeBlock(comp int, out []int16) error {
 	dcTab := d.dcDec[c.TD]
 	acTab := d.acDec[c.TA]
 
-	s, err := dcTab.Decode(d.r)
-	if err != nil {
-		return wrapEntropyErr(err)
-	}
-	if s > 11 {
-		return reject(ReasonACRange, "DC category %d", s)
-	}
-	raw, err := d.r.ReadBits(s)
-	if err != nil {
-		return wrapEntropyErr(err)
+	s, raw, ok := d.fastCode(dcTab, 0xFF, 11)
+	if !ok {
+		var err error
+		s, err = dcTab.Decode(d.r)
+		if err != nil {
+			return wrapEntropyErr(err)
+		}
+		if s > 11 {
+			return reject(ReasonACRange, "DC category %d", s)
+		}
+		raw, err = d.r.ReadBits(s)
+		if err != nil {
+			return wrapEntropyErr(err)
+		}
 	}
 	diff := extend(raw, s)
 	dc := int32(d.prevDC[comp]) + diff
@@ -116,9 +142,13 @@ func (d *scanDecoder) decodeBlock(comp int, out []int16) error {
 
 	k := 1
 	for k < 64 {
-		rs, err := acTab.Decode(d.r)
-		if err != nil {
-			return wrapEntropyErr(err)
+		rs, raw, fast := d.fastCode(acTab, 0x0F, 10)
+		if !fast {
+			var err error
+			rs, err = acTab.Decode(d.r)
+			if err != nil {
+				return wrapEntropyErr(err)
+			}
 		}
 		run, size := rs>>4, rs&15
 		if size == 0 {
@@ -135,9 +165,15 @@ func (d *scanDecoder) decodeBlock(comp int, out []int16) error {
 		if k > 63 {
 			return reject(ReasonACRange, "AC run overflows block")
 		}
-		raw, err := d.r.ReadBits(size)
-		if err != nil {
-			return wrapEntropyErr(err)
+		if !fast {
+			// The exact path defers the value-bit read until the symbol and
+			// run have been validated, matching the checks' original order;
+			// the fast path extracted raw from the peek already.
+			var err error
+			raw, err = d.r.ReadBits(size)
+			if err != nil {
+				return wrapEntropyErr(err)
+			}
 		}
 		out[zigzagTable[k]] = int16(extend(raw, size))
 		k++

@@ -106,8 +106,11 @@ type Stats struct {
 
 // emitter is the single code path shared by encoder and decoder: exactly
 // one of e or d is non-nil. Funneling every binary decision through one
-// function guarantees both directions derive identical contexts — the class
+// type guarantees both directions derive identical contexts — the class
 // of divergence behind the paper's §6.7 "single- vs multi-threaded" alarm.
+// codeVal and codeTree branch on the direction once per value rather than
+// once per bit, so the inner loops call the fused arithmetic-coder bodies
+// directly.
 type emitter struct {
 	e     *arith.Encoder
 	d     *arith.Decoder
@@ -115,17 +118,23 @@ type emitter struct {
 	cls   int
 }
 
+// ebit encodes one bit, accumulating Shannon information when stats
+// collection is on. Encode-side only.
+func (em *emitter) ebit(bin *arith.Bin, bit int) {
+	if em.stats != nil {
+		p0 := float64(bin.Prob()) / 4096
+		p := p0
+		if bit != 0 {
+			p = 1 - p0
+		}
+		em.stats.Bits[em.cls] += -log2(p)
+	}
+	em.e.Encode(bin, bit)
+}
+
 func (em *emitter) bit(bin *arith.Bin, bit int) int {
 	if em.e != nil {
-		if em.stats != nil {
-			p0 := float64(bin.Prob()) / 4096
-			p := p0
-			if bit != 0 {
-				p = 1 - p0
-			}
-			em.stats.Bits[em.cls] += -log2(p)
-		}
-		em.e.Encode(bin, bit)
+		em.ebit(bin, bit)
 		return bit
 	}
 	return em.d.Decode(bin)
@@ -136,6 +145,13 @@ func (em *emitter) bit(bin *arith.Bin, bit int) int {
 // exponent-1 residual bits below the implicit leading one. On decode the
 // input v is ignored and the decoded value returned.
 func (em *emitter) codeVal(mb *magBins, rb *resBins, v int32) int32 {
+	if em.e != nil {
+		return em.encodeVal(mb, rb, v)
+	}
+	return em.decodeVal(mb, rb)
+}
+
+func (em *emitter) encodeVal(mb *magBins, rb *resBins, v int32) int32 {
 	mag := v
 	neg := 0
 	if mag < 0 {
@@ -143,44 +159,47 @@ func (em *emitter) codeVal(mb *magBins, rb *resBins, v int32) int32 {
 		neg = 1
 	}
 	l := 0
-	if em.e != nil {
-		for m := mag; m != 0; m >>= 1 {
-			l++
-		}
-		for i := 0; i < l; i++ {
-			em.bit(&mb.exp[i], 1)
-		}
-		if l < maxExp {
-			em.bit(&mb.exp[l], 0)
-		}
-	} else {
-		for l < maxExp {
-			if em.bit(&mb.exp[l], 0) == 0 {
-				break
-			}
-			l++
-		}
-		if l == maxExp {
-			// Only a corrupt stream reaches the unary cap (the encoder's
-			// magnitudes are < 2^13). Clamp; the caller's round-trip or
-			// range checks reject the block.
-			l = maxExp - 1
-		}
+	for m := mag; m != 0; m >>= 1 {
+		l++
+	}
+	for i := 0; i < l; i++ {
+		em.ebit(&mb.exp[i], 1)
+	}
+	if l < maxExp {
+		em.ebit(&mb.exp[l], 0)
 	}
 	if l == 0 {
 		return 0
 	}
-	if em.e != nil {
-		em.bit(&mb.sign, neg)
-		for i := l - 2; i >= 0; i-- {
-			em.bit(&rb[l][i], int(mag>>uint(i))&1)
-		}
-		return v
+	em.ebit(&mb.sign, neg)
+	for i := l - 2; i >= 0; i-- {
+		em.ebit(&rb[l][i], int(mag>>uint(i))&1)
 	}
-	neg = em.bit(&mb.sign, 0)
+	return v
+}
+
+func (em *emitter) decodeVal(mb *magBins, rb *resBins) int32 {
+	d := em.d
+	l := 0
+	for l < maxExp {
+		if d.Decode(&mb.exp[l]) == 0 {
+			break
+		}
+		l++
+	}
+	if l == maxExp {
+		// Only a corrupt stream reaches the unary cap (the encoder's
+		// magnitudes are < 2^13). Clamp; the caller's round-trip or
+		// range checks reject the block.
+		l = maxExp - 1
+	}
+	if l == 0 {
+		return 0
+	}
+	neg := d.Decode(&mb.sign)
 	out := int32(1)
 	for i := l - 2; i >= 0; i-- {
-		out = out<<1 | int32(em.bit(&rb[l][i], 0))
+		out = out<<1 | int32(d.Decode(&rb[l][i]))
 	}
 	if neg == 1 {
 		return -out
@@ -189,13 +208,23 @@ func (em *emitter) codeVal(mb *magBins, rb *resBins, v int32) int32 {
 }
 
 // codeTree transports an n-bit integer MSB-first through a binary-tree bin
-// array of size 2^n (node 1 is the root).
+// array of size 2^n (node 1 is the root). Values are always < 2^nbits by
+// construction, so the encode direction returns v unchanged.
 func (em *emitter) codeTree(bins []arith.Bin, v, nbits int) int {
+	if em.e != nil {
+		node := 1
+		for i := nbits - 1; i >= 0; i-- {
+			bit := (v >> uint(i)) & 1
+			em.ebit(&bins[node], bit)
+			node = node<<1 | bit
+		}
+		return v
+	}
+	d := em.d
 	node := 1
 	out := 0
-	for i := nbits - 1; i >= 0; i-- {
-		bit := (v >> uint(i)) & 1
-		bit = em.bit(&bins[node], bit)
+	for i := 0; i < nbits; i++ {
+		bit := d.Decode(&bins[node])
 		out = out<<1 | bit
 		node = node<<1 | bit
 	}

@@ -47,6 +47,10 @@ type Codec struct {
 	// components and (via Reset) across conversions.
 	st segState
 
+	// sizeHint, when positive, pre-sizes the arithmetic encoder's output
+	// buffer before a segment encode (see SetSizeHint).
+	sizeHint int
+
 	// Stats is filled on the encode path when non-nil.
 	Stats *Stats
 }
@@ -67,8 +71,13 @@ var ErrInterrupted = errors.New("model: segment interrupted")
 // boundary, so segments decode independently.
 func NewCodec(comps []ComponentPlane, rowStart, rowEnd []int, flags Flags) *Codec {
 	c := &Codec{
-		flags:    flags,
-		comps:    comps,
+		flags: flags,
+		// Copy comps rather than alias the caller's slice: sibling segment
+		// codecs are built from one shared planes slice, and a pooled codec
+		// writes c.comps in Reset/Release — aliasing made those writes land
+		// in a backing array shared across codecs, a data race once two
+		// pooled siblings were reused concurrently.
+		comps:    append([]ComponentPlane(nil), comps...),
 		rowStart: append([]int(nil), rowStart...),
 		rowEnd:   append([]int(nil), rowEnd...),
 	}
@@ -94,8 +103,16 @@ func (c *Codec) Reset(comps []ComponentPlane, rowStart, rowEnd []int, flags Flag
 	for i := range comps {
 		*c.bins[i] = chanBins{}
 	}
+	c.sizeHint = 0
 	c.Stats = nil
 }
+
+// SetSizeHint records an output pre-size hint in bytes, typically the
+// original JPEG scan bytes covered by this codec's segment — an upper bound
+// on the arithmetic-coded stream, since Lepton compresses below the Huffman
+// coding it replaces. EncodeSegment grows the encoder once up front so
+// steady-state segment encodes never reallocate mid-stream.
+func (c *Codec) SetSizeHint(n int) { c.sizeHint = n }
 
 // Release drops the codec's references to coefficient planes so a pooled
 // codec does not pin multi-megabyte buffers between conversions. The bin
@@ -155,6 +172,9 @@ func (s *segState) nextRow() {
 // EncodeSegment writes all blocks of the segment to e, component by
 // component in raster order.
 func (c *Codec) EncodeSegment(e *arith.Encoder) {
+	if c.sizeHint > 0 {
+		e.Grow(c.sizeHint)
+	}
 	em := &emitter{e: e, stats: c.Stats}
 	// The shared code path returns errors only on the decode side.
 	_ = c.run(em, nil)
@@ -164,6 +184,9 @@ func (c *Codec) EncodeSegment(e *arith.Encoder) {
 // block row: when done closes, the loop stops and ErrInterrupted comes back.
 // A nil done channel never fires, making the checkpoint free.
 func (c *Codec) EncodeSegmentCtx(e *arith.Encoder, done <-chan struct{}) error {
+	if c.sizeHint > 0 {
+		e.Grow(c.sizeHint)
+	}
 	return c.run(&emitter{e: e, stats: c.Stats}, done)
 }
 

@@ -1,6 +1,7 @@
 package model
 
 import (
+	"bytes"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -363,4 +364,45 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// TestCodecDoesNotAliasCallerPlanes guards the NewCodec copy semantics:
+// sibling segment codecs are constructed from one shared planes slice, and a
+// codec writes its comps in Reset and Release. When NewCodec aliased the
+// caller's slice, those writes landed in a backing array shared across
+// sibling codecs — releasing (or resetting) one corrupted the others, and
+// two pooled siblings reused concurrently raced on the shared array.
+func TestCodecDoesNotAliasCallerPlanes(t *testing.T) {
+	var q [64]uint16
+	for i := range q {
+		q[i] = 1
+	}
+	coeff := make([]int16, 2*64)
+	rng := rand.New(rand.NewSource(51))
+	for i := range coeff {
+		coeff[i] = int16(rng.Intn(15) - 7)
+	}
+
+	// Reference stream from a codec with its own plane slice.
+	refPlanes := []ComponentPlane{{BlocksWide: 2, BlocksHigh: 1, Quant: &q, Coeff: coeff}}
+	ref := arith.NewEncoder()
+	NewCodec(refPlanes, []int{0}, []int{1}, DefaultFlags()).EncodeSegment(ref)
+	want := append([]byte(nil), ref.Flush()...)
+
+	// Two sibling codecs over one shared planes slice, as core's segment
+	// fan-out builds them.
+	planes := []ComponentPlane{{BlocksWide: 2, BlocksHigh: 1, Quant: &q, Coeff: coeff}}
+	c1 := NewCodec(planes, []int{0}, []int{1}, DefaultFlags())
+	c2 := NewCodec(planes, []int{0}, []int{1}, DefaultFlags())
+
+	// Releasing c1 zeroes its component references, and the caller's slice
+	// may be reused arbitrarily; neither may be visible to c2.
+	c1.Release()
+	planes[0] = ComponentPlane{}
+
+	e := arith.NewEncoder()
+	c2.EncodeSegment(e)
+	if !bytes.Equal(e.Flush(), want) {
+		t.Fatal("sibling Release or caller mutation corrupted this codec's planes: NewCodec aliased the shared slice")
+	}
 }

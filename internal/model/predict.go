@@ -30,6 +30,14 @@ func div(a, b int64) int64 {
 	return -((-a + b/2) / b)
 }
 
+// div2 is div(a, 2) without the divide: adding ±1 toward the sign and
+// truncating halves with identical round-half-away-from-zero results. The
+// gradient extrapolations call this twice per border pair, which made the
+// generic divide a measurable slice of both codec directions.
+func div2(a int64) int64 {
+	return (a + (a>>63 | 1)) / 2
+}
+
 // avg77 computes the 7x7 neighborhood-magnitude context of A.2.1: the
 // weighted average (13|A| + 13|L| + 6|AL|)/32 of the co-located coefficients
 // in the above, left, and above-left blocks.
@@ -118,13 +126,12 @@ type blockEdges struct {
 // acOnlyPixels computes the inverse DCT of a block's AC coefficients alone
 // (DC treated as zero), dequantized. Both the DC predictor and the edge
 // cache derive from this single transform — the block's full pixels are
-// these plus a constant DC shift.
+// these plus a constant DC shift. Dequantization and the transform are
+// fused, and only the border rows and columns the two consumers read are
+// computed (dct.InverseBorder); px must come in zeroed, which every
+// caller's fresh stack block guarantees.
 func acOnlyPixels(coef []int16, q *[64]uint16, px *dct.Block) {
-	var deq dct.Block
-	for i := 1; i < 64; i++ {
-		deq[i] = int32(coef[i]) * int32(q[i])
-	}
-	dct.Inverse(&deq, px)
+	dct.InverseBorder(coef, q, px)
 }
 
 // dcPixelShift is the uniform per-sample contribution of the quantized DC
@@ -187,7 +194,7 @@ func dcPrediction(px *dct.Block, q *[64]uint16, above, left *blockEdges, prevDC 
 			c0 := int64(px[x])
 			c1 := int64(px[8+x])
 			// Gradient continuation: a7 + (a7-a6)/2 == c0 + dc - (c1-c0)/2.
-			preds[n] = a7 + div(a7-a6, 2) - c0 + div(c1-c0, 2)
+			preds[n] = a7 + div2(a7-a6) - c0 + div2(c1-c0)
 			n++
 		}
 	}
@@ -197,7 +204,7 @@ func dcPrediction(px *dct.Block, q *[64]uint16, above, left *blockEdges, prevDC 
 			l7 := int64(left.right[8+y])
 			c0 := int64(px[y*8])
 			c1 := int64(px[y*8+1])
-			preds[n] = l7 + div(l7-l6, 2) - c0 + div(c1-c0, 2)
+			preds[n] = l7 + div2(l7-l6) - c0 + div2(c1-c0)
 			n++
 		}
 	}
