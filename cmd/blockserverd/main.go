@@ -14,12 +14,15 @@
 //	blockserverd -listen tcp:0.0.0.0:7731 -dedicated tcp:10.0.0.5:7731,tcp:10.0.0.6:7731
 //	blockserverd -listen tcp::7731 -peers tcp:peer1:7731,tcp:peer2:7731 -threshold 3
 //	blockserverd -listen tcp::7731 -request-timeout 30s -drain-timeout 10s
+//	blockserverd -listen tcp::7731 -debug-addr 127.0.0.1:7732
 package main
 
 import (
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -40,6 +43,9 @@ func main() {
 		"per-request deadline; conversions running longer are cancelled (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
 		"how long a graceful shutdown waits for in-flight requests before cancelling them")
+	debugAddr := flag.String("debug-addr", "",
+		"optional HTTP address serving /debug/vars with conversion counters,"+
+			" in-flight requests, and peak streamed-coefficient window bytes")
 	flag.Parse()
 
 	b := &server.Blockserver{
@@ -63,6 +69,20 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("blockserverd listening on %s (threshold %d)\n", addr, *threshold)
+
+	if *debugAddr != "" {
+		// Importing expvar registers /debug/vars on the default mux; the
+		// published func snapshots counters plus the row-window memory
+		// gauges on every scrape, making production memory behavior (the
+		// §5.1 streaming ceiling) observable without instrumentation.
+		expvar.Publish("blockserver", expvar.Func(func() any { return b.StatsSnapshot() }))
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "blockserverd: debug server:", err)
+			}
+		}()
+		fmt.Printf("debug vars on http://%s/debug/vars\n", *debugAddr)
+	}
 
 	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -25,6 +25,10 @@ func main() {
 	withErrors := flag.Bool("errors", false, "use the §6.2 anomaly mix instead of all-valid files")
 	minDim := flag.Int("min", 64, "minimum image dimension")
 	maxDim := flag.Int("max", 640, "maximum image dimension")
+	oversize := flag.Int("oversize", 0,
+		"additionally generate this many 2600x2000 4:4:4 images whose whole"+
+			" coefficient planes exceed the 24 MiB decode budget — they stream"+
+			" through the row-window pipeline (memory-bound testing)")
 	flag.Parse()
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
@@ -50,7 +54,16 @@ func main() {
 		write(*out, i, data)
 		total += int64(len(data))
 	}
-	fmt.Printf("wrote %d JPEGs (%.1f MB) to %s\n", *n, float64(total)/1e6, *out)
+	for i := 0; i < *oversize; i++ {
+		img := imagegen.Synthesize(rng.Int63(), 2600, 2000)
+		data, err := imagegen.EncodeJPEG(img, imagegen.Options{Quality: 85, PadBit: 1})
+		if err != nil {
+			fatal(err)
+		}
+		write(*out, *n+i, data)
+		total += int64(len(data))
+	}
+	fmt.Printf("wrote %d JPEGs (%.1f MB) to %s\n", *n+*oversize, float64(total)/1e6, *out)
 }
 
 func write(dir string, i int, data []byte) {

@@ -19,8 +19,9 @@ import (
 var updateGolden = flag.Bool("update-golden", false, "rewrite golden bitstream fixtures")
 
 // goldenCases pins the exact compressed bytes for a spread of deterministic
-// inputs: a multi-segment color image, a small single-segment image, and a
-// grayscale image. Any coder or model change that silently alters the stream
+// inputs: a multi-segment color image, a small single-segment image, a
+// grayscale image, and the optional progressive and CMYK paths production
+// kept disabled. Any coder or model change that silently alters the stream
 // format fails this test loudly.
 var goldenCases = []struct {
 	name string
@@ -30,28 +31,42 @@ var goldenCases = []struct {
 	{"color-multiseg", 7, 640, 480},
 	{"color-small", 3, 96, 64},
 	{"gray", 11, 200, 150},
+	{"progressive", 17, 240, 180},
+	{"cmyk", 19, 176, 144},
 }
 
 // TestGoldenBitstream asserts that compression output is byte-identical to
 // the checked-in fixtures generated before the table-driven entropy hot path
-// landed, proving the optimization preserved the format bit for bit.
+// (baseline cases) and the row-window streaming core (progressive/CMYK
+// cases) landed, proving the refactors preserved the format bit for bit.
 func TestGoldenBitstream(t *testing.T) {
 	for _, tc := range goldenCases {
 		t.Run(tc.name, func(t *testing.T) {
 			var data []byte
 			var err error
-			if tc.name == "gray" {
+			opt := &lepton.Options{}
+			switch tc.name {
+			case "gray":
 				img := imagegen.Synthesize(tc.seed, tc.w, tc.h)
 				data, err = imagegen.EncodeJPEG(img, imagegen.Options{
 					Quality: 85, Grayscale: true, PadBit: 1,
 				})
-			} else {
+			case "progressive":
+				data = progressiveSample(t, tc.seed, tc.w, tc.h)
+				opt.AllowProgressive = true
+			case "cmyk":
+				img := imagegen.Synthesize(tc.seed, tc.w, tc.h)
+				data, err = imagegen.EncodeJPEG(img, imagegen.Options{
+					Quality: 85, CMYK: true, PadBit: 1, RestartInterval: 4,
+				})
+				opt.AllowCMYK = true
+			default:
 				data, err = imagegen.Generate(tc.seed, tc.w, tc.h)
 			}
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, err := lepton.Compress(data, nil)
+			res, err := lepton.Compress(data, opt)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -152,12 +152,7 @@ func planesRaw(f *jpeg.File, coeff [][]int16) []model.ComponentPlane {
 	var out []model.ComponentPlane
 	for i := range f.Components {
 		c := &f.Components[i]
-		out = append(out, model.ComponentPlane{
-			BlocksWide: c.BlocksWide,
-			BlocksHigh: c.BlocksHigh,
-			Quant:      &f.Quant[c.TQ],
-			Coeff:      coeff[i],
-		})
+		out = append(out, model.Plane(c.BlocksWide, c.BlocksHigh, &f.Quant[c.TQ], coeff[i]))
 	}
 	return out
 }

@@ -42,6 +42,15 @@ func NewWriter() *Writer { return &Writer{stuff: true} }
 // NewRawWriter returns a Writer with byte stuffing disabled.
 func NewRawWriter() *Writer { return &Writer{} }
 
+// Reset clears the writer for reuse, keeping the output buffer's capacity
+// and the stuffing mode.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.cur, w.nbits = 0, 0
+	w.limit = 0
+	w.clipped = false
+}
+
 // Seed initializes the writer's partial-byte state from a Huffman handover
 // word: the first nbits bits of partial (counted from the MSB) have already
 // been decided by the previous segment. Seed must be called before any bits

@@ -184,9 +184,19 @@ func compressAll(ctx context.Context, data []byte, opt Options, emit func(chunk 
 	f, err := jpeg.Parse(data, core.DefaultMemEncodeBudget)
 	var s *jpeg.Scan
 	if err == nil {
-		if int64(f.CoefficientCount())*2 > core.DefaultMemDecodeBudget {
+		// Every stored chunk must be decodable within the streaming decode
+		// ceiling: chunks carry at most 8 thread segments, so bound the
+		// row windows at that count. The chunk *encoder*, unlike the
+		// whole-file path, still materializes the scan's coefficient
+		// planes (chunk boundaries need every row-start position), so its
+		// plane bytes must additionally fit the encode budget — Parse no
+		// longer bounds whole planes, only row windows.
+		switch {
+		case core.DecodeWindowBytes(f, 8) > core.DefaultMemDecodeBudget:
 			err = fmt.Errorf("over decode budget")
-		} else {
+		case int64(f.CoefficientCount())*2 > core.DefaultMemEncodeBudget:
+			err = fmt.Errorf("over encode budget")
+		default:
 			s, err = jpeg.DecodeScan(f)
 		}
 	}

@@ -69,15 +69,12 @@ func BuildErrorCorpus(seed int64, n int) [][]byte {
 			case jpeg.ReasonCMYK:
 				out = append(out, imagegen.CMYKStub())
 			case jpeg.ReasonMemDecode:
-				// An image whose coefficient planes exceed the 24 MiB
-				// decode budget (> ~4 MP at 4:4:4).
-				data, err := imagegen.EncodeJPEG(
-					imagegen.Synthesize(rng.Int63(), 2600, 2000),
-					imagegen.Options{Quality: 85, PadBit: 1})
-				if err != nil {
-					panic(err)
-				}
-				out = append(out, data)
+				// Since the row-window refactor, decode memory scales with
+				// image width × segments instead of pixel count — a merely
+				// large image now streams within budget, so the memory
+				// class is a maximal-width frame whose per-segment row
+				// windows alone exceed the 24 MiB ceiling.
+				out = append(out, imagegen.OversizeStub(rng.Int63()))
 			case jpeg.ReasonChromaSub:
 				out = append(out, imagegen.BigChromaStub())
 			case jpeg.ReasonRoundtrip:

@@ -24,20 +24,21 @@ import (
 // method falls back to fresh allocations, which is exactly the behavior of
 // the package-level Encode/Decode/DecodeTo one-shot functions.
 type Codec struct {
-	segCodecs sync.Pool // *model.Codec: bin tables + segment scratch
-	encoders  sync.Pool // *arith.Encoder: arithmetic-coder output buffers
-	planes    sync.Pool // *planeSlab: decode-side coefficient planes
-	scanBufs  sync.Pool // *jpeg.ScanBuffers: encode-side planes + positions
-	zlibWs    sync.Pool // *zlib.Writer: container header compressor
-	zlibRs    sync.Pool // io.ReadCloser (+zlib.Resetter): header decompressor
-	bufs      sync.Pool // *bytes.Buffer: marshal/unmarshal scratch
+	segCodecs  sync.Pool // *model.Codec: bin tables + segment scratch
+	encoders   sync.Pool // *arith.Encoder: arithmetic-coder output buffers
+	rows       sync.Pool // *rowSlab: streaming window/feed row buffers
+	scanBufs   sync.Pool // *jpeg.ScanBuffers: buffered-path planes + positions
+	streamBufs sync.Pool // *jpeg.StreamEncBuffers: decode-side scan bit queues
+	zlibWs     sync.Pool // *zlib.Writer: container header compressor
+	zlibRs     sync.Pool // io.ReadCloser (+zlib.Resetter): header decompressor
+	bufs       sync.Pool // *bytes.Buffer: marshal/unmarshal scratch
 }
 
 // NewCodec returns an empty codec; pools fill as it is used.
 func NewCodec() *Codec { return &Codec{} }
 
-// planeSlab is one pooled coefficient allocation covering all components.
-type planeSlab struct{ buf []int16 }
+// rowSlab is one pooled block-row buffer.
+type rowSlab struct{ buf []int16 }
 
 // --- pool accessors; every one tolerates a nil receiver ------------------
 
@@ -77,40 +78,40 @@ func (c *Codec) putEncoder(e *arith.Encoder) {
 	}
 }
 
-// getCoeffPlanes returns zeroed per-component coefficient planes backed by
-// one pooled slab. The slab must be returned with putCoeffPlanes only after
-// every reader and writer of the planes is done.
-func (c *Codec) getCoeffPlanes(f *jpeg.File) ([][]int16, *planeSlab) {
-	total := f.CoefficientCount()
-	var slab *planeSlab
+// getRowBuf returns an uncleared block-row buffer of n coefficients from
+// the pool (callers zero it as needed).
+func (c *Codec) getRowBuf(n int) []int16 {
 	if c != nil {
-		if v := c.planes.Get(); v != nil {
-			slab = v.(*planeSlab)
+		if v := c.rows.Get(); v != nil {
+			slab := v.(*rowSlab)
+			if cap(slab.buf) >= n {
+				return slab.buf[:n]
+			}
 		}
 	}
-	if slab == nil {
-		slab = &planeSlab{}
-	}
-	if cap(slab.buf) < total {
-		slab.buf = make([]int16, total)
-	} else {
-		slab.buf = slab.buf[:total]
-		clear(slab.buf)
-	}
-	out := make([][]int16, len(f.Components))
-	off := 0
-	for i := range f.Components {
-		comp := &f.Components[i]
-		n := comp.BlocksWide * comp.BlocksHigh * 64
-		out[i] = slab.buf[off : off+n : off+n]
-		off += n
-	}
-	return out, slab
+	return make([]int16, n)
 }
 
-func (c *Codec) putCoeffPlanes(slab *planeSlab) {
-	if c != nil && slab != nil {
-		c.planes.Put(slab)
+func (c *Codec) putRowBuf(buf []int16) {
+	if c != nil && buf != nil {
+		c.rows.Put(&rowSlab{buf: buf})
+	}
+}
+
+// getStreamBufs returns pooled bit-queue storage for a segment's streaming
+// scan re-encoder.
+func (c *Codec) getStreamBufs() *jpeg.StreamEncBuffers {
+	if c != nil {
+		if v := c.streamBufs.Get(); v != nil {
+			return v.(*jpeg.StreamEncBuffers)
+		}
+	}
+	return &jpeg.StreamEncBuffers{}
+}
+
+func (c *Codec) putStreamBufs(sb *jpeg.StreamEncBuffers) {
+	if c != nil && sb != nil {
+		c.streamBufs.Put(sb)
 	}
 }
 

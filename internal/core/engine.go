@@ -13,11 +13,16 @@ import (
 	"lepton/internal/model"
 )
 
-// Default memory budgets (paper §5.1, §6.2). The deployed system streams
-// row-by-row with a 24 MiB decode ceiling; this implementation holds whole
-// coefficient planes, so the budgets bound those allocations instead. The
-// mechanism — reject before allocating, classified as a memory exit code —
-// is what the §6.2 table exercises.
+// Default memory budgets (paper §5.1, §6.2). Like the deployed system,
+// this implementation streams row by row: per-request coefficient memory
+// is a sliding window of block rows per component per thread segment, so
+// MemDecodeBudget is a real streaming ceiling — it bounds the row windows
+// (which scale with image width × segment count), not the pixel count, and
+// a tall over-"plane-budget" image streams through instead of being
+// rejected. MemEncodeBudget additionally caps the rows the encode producer
+// may keep in flight ahead of the segment coders (the bounded ring). Only
+// files whose windows cannot fit are rejected before allocating, with the
+// memory exit code the §6.2 table exercises.
 const (
 	DefaultMemDecodeBudget = 24 << 20
 	DefaultMemEncodeBudget = 178 << 20
@@ -104,17 +109,12 @@ func segmentRanges(f *jpeg.File, nSeg, startRow, endRow int) []int {
 	return starts
 }
 
-// planesOf adapts a decoded scan to the model's view.
+// planesOf adapts a decoded scan to the model's whole-plane view.
 func planesOf(f *jpeg.File, coeff [][]int16) []model.ComponentPlane {
 	var planes []model.ComponentPlane
 	for i := range f.Components {
 		c := &f.Components[i]
-		planes = append(planes, model.ComponentPlane{
-			BlocksWide: c.BlocksWide,
-			BlocksHigh: c.BlocksHigh,
-			Quant:      &f.Quant[c.TQ],
-			Coeff:      coeff[i],
-		})
+		planes = append(planes, model.Plane(c.BlocksWide, c.BlocksHigh, &f.Quant[c.TQ], coeff[i]))
 	}
 	return planes
 }
@@ -180,21 +180,6 @@ func (c *Codec) EncodeCtx(ctx context.Context, data []byte, opt EncodeOptions) (
 		}
 		return nil, err
 	}
-	// The decoder will have to hold the same planes: enforce its budget at
-	// encode time so every stored file is decodable within budget (§6.2).
-	if int64(f.CoefficientCount())*2 > decBudget {
-		return nil, &jpeg.Error{Reason: jpeg.ReasonMemDecode,
-			Detail: fmt.Sprintf("decode would need %d coefficient bytes", f.CoefficientCount()*2)}
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	s, sb, err := c.decodeScan(f)
-	if err != nil {
-		return nil, err
-	}
-	defer c.putScanBufs(sb)
-
 	flags := model.DefaultFlags()
 	if opt.Flags != nil {
 		flags = *opt.Flags
@@ -207,6 +192,18 @@ func (c *Codec) EncodeCtx(ctx context.Context, data []byte, opt EncodeOptions) (
 		nSeg = SegmentCountFor(len(data))
 	}
 	total := f.TotalMCUs()
+	starts := segmentRanges(f, nSeg, 0, f.MCUsHigh)
+	// The decoder will hold one row window per segment: enforce its budget
+	// at encode time so every stored file is decodable within budget
+	// (§6.2). The bound scales with image width and segment count, never
+	// with height — a tall image streams through, it is not rejected.
+	if w := DecodeWindowBytes(f, len(starts)); w > decBudget {
+		return nil, &jpeg.Error{Reason: jpeg.ReasonMemDecode,
+			Detail: fmt.Sprintf("decode row windows need %d bytes > %d budget", w, decBudget)}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	res := &Result{HeaderOriginal: len(f.Header)}
 	cont := &Container{
@@ -214,11 +211,8 @@ func (c *Codec) EncodeCtx(ctx context.Context, data []byte, opt EncodeOptions) (
 		OutputSize: uint32(len(data)),
 		JPEGHeader: f.Header,
 		Trailer:    f.Trailer,
-		Tail:       s.Tail,
-		PadBit:     s.PadBit,
 		EmitHeader: true,
 		EmitTail:   true,
-		RSTCount:   uint32(s.RSTCount),
 		MCUStart:   0,
 		MCUEnd:     uint32(total),
 		ModelFlags: flagsByte(flags.EdgePrediction, flags.DCGradient),
@@ -226,17 +220,43 @@ func (c *Codec) EncodeCtx(ctx context.Context, data []byte, opt EncodeOptions) (
 
 	var stats [model.NumClasses]float64
 	var release func()
-	var segErr error
-	cont.Segments, cont.Streams, stats, release, segErr = c.EncodeSegmentsCtx(ctx, f, s, 0, total, nSeg, flags, opt.CollectStats)
-	if segErr != nil {
-		release()
-		return nil, segErr
+	if opt.CollectStats {
+		// The Figure-4 statistics attribute the *original* scan's Huffman
+		// bits per class, which needs the whole coefficient planes: stats
+		// runs use the buffered pipeline, so (unlike the streamed path)
+		// their plane bytes must fit the encode budget up front.
+		if pb := int64(f.CoefficientCount()) * 2; pb > encBudget {
+			return nil, &jpeg.Error{Reason: jpeg.ReasonMemEncode,
+				Detail: fmt.Sprintf("stats pipeline needs %d coefficient bytes > %d budget", pb, encBudget)}
+		}
+		s, sb, err := c.decodeScan(f)
+		if err != nil {
+			return nil, err
+		}
+		defer c.putScanBufs(sb)
+		cont.Tail, cont.PadBit, cont.RSTCount = s.Tail, s.PadBit, uint32(s.RSTCount)
+		var segErr error
+		cont.Segments, cont.Streams, stats, release, segErr = c.EncodeSegmentsCtx(ctx, f, s, 0, total, nSeg, flags, true)
+		if segErr != nil {
+			release()
+			return nil, segErr
+		}
+		res.OriginalClassBits = originalClassBits(f, s)
+	} else {
+		// Streamed pipeline: the sequential scan decode overlaps the
+		// parallel segment encodes, row by row, under the encode budget's
+		// retained-row ceiling.
+		var info *jpeg.StreamScanInfo
+		var segErr error
+		cont.Segments, cont.Streams, info, release, segErr = c.encodeSegmentsStreamed(ctx, f, starts, total, flags, encBudget)
+		if segErr != nil {
+			release()
+			return nil, segErr
+		}
+		cont.Tail, cont.PadBit, cont.RSTCount = info.Tail, info.PadBit, uint32(info.RSTCount)
 	}
 	res.Segments = len(cont.Segments)
 	res.ClassBits = stats
-	if opt.CollectStats {
-		res.OriginalClassBits = originalClassBits(f, s)
-	}
 
 	comp, err := cont.marshal(c)
 	release()
@@ -394,6 +414,151 @@ func (c *Codec) EncodeSegmentsCtx(ctx context.Context, f *jpeg.File, s *jpeg.Sca
 	return segs, streams, stats, release, nil
 }
 
+// encodeSegmentsStreamed is the whole-file encode pipeline: the sequential
+// Huffman scan decode runs in the calling goroutine and feeds block rows
+// through bounded per-segment windows into the parallel segment encoders,
+// so scan decode overlaps model encode instead of completing first, and no
+// whole coefficient plane is ever materialized. The first component's rows
+// stream through a two-row window; later components' rows are retained
+// until the segment's planar traversal reaches them, with the total
+// retained bytes capped by the encode budget (raised to the structural
+// minimum when the budget is smaller — the conversion streams rather than
+// failing). Handover words are recorded only at segment starts.
+//
+// On success the returned streams alias pooled encoder buffers: marshal
+// first, then call release. release is non-nil on every path.
+func (cd *Codec) encodeSegmentsStreamed(ctx context.Context, f *jpeg.File, starts []int, total int, flags model.Flags, encBudget int64) (segs []Segment, streams [][]byte, info *jpeg.StreamScanInfo, release func(), err error) {
+	nSeg := len(starts)
+	ncomp := len(f.Components)
+	done := ctx.Done()
+
+	limit := encBudget
+	if min := encodeMinGateBytes(f, starts, total); limit < min {
+		limit = min
+	}
+	gate := newMemGate(limit)
+	defer gate.close()
+
+	recs := make([]*rowRecycler, ncomp)
+	rowB := make([]int64, ncomp)
+	for ci := range recs {
+		rowB[ci] = rowBytes(f, ci)
+		recs[ci] = &rowRecycler{n: f.Components[ci].BlocksWide * 64, cd: cd}
+	}
+
+	feeds := make([][]*feedRows, nSeg)
+	segRowEnd := make([]int, nSeg)
+	codecs := make([]*model.Codec, nSeg)
+	encs := make([]*arith.Encoder, nSeg)
+	outs := make([][]byte, nSeg)
+	var wg sync.WaitGroup
+	for i := range starts {
+		start := starts[i]
+		end := total
+		if i+1 < nSeg {
+			end = starts[i+1]
+		}
+		segRowEnd[i] = (end + f.MCUsWide - 1) / f.MCUsWide
+		rs, re := rowRangesFor(f, start, end)
+		fs := make([]*feedRows, ncomp)
+		planes := make([]model.ComponentPlane, ncomp)
+		for ci := range fs {
+			fs[ci] = newFeedRows(rs[ci], recs[ci], gate, rowB[ci])
+			comp := &f.Components[ci]
+			planes[ci] = model.ComponentPlane{BlocksWide: comp.BlocksWide,
+				BlocksHigh: comp.BlocksHigh, Quant: &f.Quant[comp.TQ], Rows: fs[ci]}
+		}
+		feeds[i] = fs
+		codec := cd.getSegCodec(planes, rs, re, flags)
+		if total > 0 {
+			codec.SetSizeHint(len(f.ScanData) * (end - start) / total)
+		}
+		codecs[i] = codec
+		e := cd.getEncoder()
+		encs[i] = e
+		wg.Add(1)
+		go func(codec *model.Codec, e *arith.Encoder, fs []*feedRows, i int) {
+			defer wg.Done()
+			err := codec.EncodeSegmentCtx(e, done)
+			// Recycle whatever the windows still hold (the model keeps its
+			// last two rows; an interrupt leaves more) so the gate frees up.
+			for _, fr := range fs {
+				fr.drain()
+			}
+			if err == nil {
+				outs[i] = e.Flush()
+			}
+		}(codec, e, fs, i)
+	}
+
+	abortAll := func() {
+		gate.abort()
+		for _, fs := range feeds {
+			for _, fr := range fs {
+				fr.abort()
+			}
+		}
+	}
+	// Wake blocked producers and consumers when the context fires; the
+	// per-row checkpoints alone cannot rouse a goroutine parked on the
+	// gate or an empty feed.
+	stop := make(chan struct{})
+	if done != nil {
+		go func() {
+			select {
+			case <-done:
+				abortAll()
+			case <-stop:
+			}
+		}()
+	}
+
+	router := &encodeRouter{
+		f: f, gate: gate, recs: recs, feeds: feeds,
+		segRowEnd: segRowEnd, segOf: make([]int, ncomp), rowB: rowB, ctx: ctx,
+	}
+	posOut := make([]jpeg.MCUPos, len(starts))
+	info, perr := jpeg.DecodeScanStream(f, router, starts, posOut)
+	if perr != nil {
+		abortAll()
+	}
+	wg.Wait()
+	close(stop)
+	for _, rc := range recs {
+		rc.drainTo(cd)
+	}
+	release = func() {
+		for i := range codecs {
+			cd.putSegCodec(codecs[i])
+			cd.putEncoder(encs[i])
+		}
+	}
+	if perr != nil {
+		if sink := jpeg.SinkErr(perr); sink != nil {
+			// The sink refused a row: that is this conversion's context
+			// error, not scan corruption.
+			perr = sink
+		}
+		return nil, nil, nil, release, perr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, nil, release, err
+	}
+	for i, start := range starts {
+		var h Handover
+		if start > 0 {
+			h = handoverFromPos(posOut[i])
+		}
+		segs = append(segs, Segment{
+			StartMCU: uint32(start),
+			Handover: h,
+			ArithLen: uint32(len(outs[i])),
+		})
+		streams = append(streams, outs[i])
+	}
+	return segs, streams, info, release, nil
+}
+
 // Decode reconstructs the original bytes from a Lepton container.
 // memBudget bounds coefficient memory (0 = default).
 func Decode(comp []byte, memBudget int64) ([]byte, error) {
@@ -463,32 +628,43 @@ func (cd *Codec) DecodeToCtx(ctx context.Context, w io.Writer, comp []byte, memB
 	if err != nil {
 		return fmt.Errorf("core: stored header: %w", err)
 	}
-	if int64(f.CoefficientCount())*2 > memBudget {
+	// The streaming decoder holds one (V+1)-row coefficient window per
+	// component per segment — that is what the §5.1 ceiling bounds. Tall
+	// over-"budget" images stream through; only absurd width × segment
+	// products are rejected.
+	if w := DecodeWindowBytes(f, len(c.Segments)); w > memBudget {
 		return &jpeg.Error{Reason: jpeg.ReasonMemDecode,
-			Detail: fmt.Sprintf("%d coefficient bytes exceed budget", f.CoefficientCount()*2)}
+			Detail: fmt.Sprintf("decode row windows need %d bytes > %d budget", w, memBudget)}
 	}
 	total := f.TotalMCUs()
 	if c.MCUEnd > uint32(total) || c.MCUStart > c.MCUEnd {
 		return badContainer("MCU range %d..%d of %d", c.MCUStart, c.MCUEnd, total)
 	}
-	coeff, slab := cd.getCoeffPlanes(f)
-	planes := planesOf(f, coeff)
+	// Every block costs at least two bits in the regenerated scan (a DC
+	// code and an EOB), so a container claiming more blocks than its
+	// recorded output size could hold is corrupt. Without this check a
+	// crafted header could demand minutes of decode work for a tiny
+	// payload — the streaming windows bound memory, this bounds CPU. One
+	// MCU row of slack: a chunk's row-aligned range may legitimately spill
+	// up to a row past its byte range (the spill is clipped here and
+	// carried in the next chunk's prepend).
+	blocks := int64(c.MCUEnd-c.MCUStart) * int64(f.BlocksPerMCU())
+	rowBlocks := int64(f.MCUsWide) * int64(f.BlocksPerMCU())
+	if blocks > int64(c.OutputSize)*4+rowBlocks {
+		return badContainer("%d blocks cannot fit in %d output bytes", blocks, c.OutputSize)
+	}
 
-	// Every segment runs its whole pipeline — arithmetic decode of
-	// coefficients, then Huffman re-encode seeded from its handover word —
-	// in its own goroutine. Output is streamed in segment order as each
-	// completes, so the time-to-first-byte is governed by segment 0 alone,
-	// not by the slowest segment (§3.4's streaming requirement).
-	scan := &jpeg.Scan{File: f, Coeff: coeff, PadBit: c.PadBit, RSTCount: int(c.RSTCount), Tail: c.Tail}
+	// Every segment runs its whole pipeline fused in its own goroutine:
+	// each block row is arithmetic-decoded into a sliding ring window and
+	// immediately Huffman re-encoded (via the planar row queues of
+	// jpeg.StreamScanEncoder), so per-segment coefficient memory is a few
+	// rows, not the segment's plane. Output is streamed in segment order
+	// as each completes, so the time-to-first-byte is governed by segment
+	// 0 alone, not by the slowest segment (§3.4's streaming requirement).
 	flags := model.Flags{
 		EdgePrediction: c.ModelFlags&1 != 0,
 		DCGradient:     c.ModelFlags&2 != 0,
 	}
-	type segResult struct {
-		bytes []byte
-		err   error
-	}
-	codecs := make([]*model.Codec, len(c.Segments))
 	cancelled := ctx.Done()
 	done := make([]chan segResult, len(c.Segments))
 	for i := range c.Segments {
@@ -499,43 +675,7 @@ func (cd *Codec) DecodeToCtx(ctx context.Context, w io.Writer, comp []byte, memB
 			if i+1 < len(c.Segments) {
 				end = int(c.Segments[i+1].StartMCU)
 			}
-			rs, re := rowRangesFor(f, start, end)
-			codec := cd.getSegCodec(planes, rs, re, flags)
-			codecs[i] = codec
-			d := arith.NewDecoder(c.Streams[i])
-			if err := codec.DecodeSegmentCtx(d, cancelled); err != nil {
-				if errors.Is(err, model.ErrInterrupted) {
-					done[i] <- segResult{err: ctx.Err()}
-					return
-				}
-				done[i] <- segResult{err: fmt.Errorf("core: segment decode: %w", err)}
-				return
-			}
-			if err := d.Err(); err != nil {
-				done[i] <- segResult{err: fmt.Errorf("core: segment decode: %w", err)}
-				return
-			}
-			if err := ctx.Err(); err != nil {
-				done[i] <- segResult{err: err}
-				return
-			}
-			e, err := jpeg.NewScanEncoder(f, c.PadBit, int(c.RSTCount))
-			if err != nil {
-				done[i] <- segResult{err: err}
-				return
-			}
-			e.Seed(c.Segments[i].Handover.toPos(0))
-			if err := e.EncodeMCURange(scan, start, end); err != nil {
-				done[i] <- segResult{err: fmt.Errorf("core: segment encode: %w", err)}
-				return
-			}
-			if end == total {
-				// Only the true end of the scan gets padding and the
-				// verbatim tail; a chunk ending mid-scan leaves its final
-				// partial byte to the next chunk's prepend data.
-				e.Finish(c.Tail)
-			}
-			done[i] <- segResult{bytes: e.Bytes()}
+			done[i] <- cd.decodeSegmentStreamed(ctx, cancelled, f, c, i, start, end, total, flags)
 		}(i)
 	}
 
@@ -573,11 +713,6 @@ func (cd *Codec) DecodeToCtx(ctx context.Context, w io.Writer, comp []byte, memB
 			firstErr = err
 		}
 	}
-	// All segment goroutines have finished: pooled state can be recycled.
-	for _, mc := range codecs {
-		cd.putSegCodec(mc)
-	}
-	cd.putCoeffPlanes(slab)
 	if firstErr != nil {
 		return firstErr
 	}
@@ -590,6 +725,96 @@ func (cd *Codec) DecodeToCtx(ctx context.Context, w io.Writer, comp []byte, memB
 		return badContainer("produced %d bytes, expected %d", written, c.OutputSize)
 	}
 	return nil
+}
+
+// segResult is one decoded segment's regenerated scan bytes (or error).
+type segResult struct {
+	bytes []byte
+	err   error
+}
+
+// decodeSegmentStreamed runs one thread segment's fused pipeline: the
+// arithmetic decode writes block rows into a ring window sized to the
+// model's two-row context (plus the MCU row the scan re-encoder groups),
+// and the OnRow hook hands every completed MCU row group straight to the
+// streaming scan encoder, which recycles nothing coefficient-shaped —
+// what it retains per segment is Huffman bits, roughly output-sized.
+func (cd *Codec) decodeSegmentStreamed(ctx context.Context, cancelled <-chan struct{}, f *jpeg.File, c *Container, i, start, end, total int, flags model.Flags) segResult {
+	rs, re := rowRangesFor(f, start, end)
+	ncomp := len(f.Components)
+
+	// Carve every component's ring out of one pooled slab.
+	winBytes := DecodeWindowBytes(f, 1)
+	slab := cd.getRowBuf(int(winBytes / 2))
+	defer cd.putRowBuf(slab)
+	grabCoeffBytes(winBytes)
+	defer dropCoeffBytes(winBytes)
+	rings := make([]*ringRows, ncomp)
+	planes := make([]model.ComponentPlane, ncomp)
+	off := 0
+	for ci := 0; ci < ncomp; ci++ {
+		comp := &f.Components[ci]
+		n := comp.BlocksWide * 64
+		bufs := make([][]int16, windowRowsFor(vEff(f, ci)))
+		for k := range bufs {
+			bufs[k] = slab[off : off+n : off+n]
+			off += n
+		}
+		rings[ci] = newRingRows(bufs)
+		planes[ci] = model.ComponentPlane{BlocksWide: comp.BlocksWide,
+			BlocksHigh: comp.BlocksHigh, Quant: &f.Quant[comp.TQ], Rows: rings[ci]}
+	}
+
+	codec := cd.getSegCodec(planes, rs, re, flags)
+	defer cd.putSegCodec(codec)
+	sbufs := cd.getStreamBufs()
+	se, err := jpeg.NewStreamScanEncoder(f, c.PadBit, int(c.RSTCount), start, end,
+		c.Segments[i].Handover.toPos(0), sbufs)
+	if err != nil {
+		cd.putStreamBufs(sbufs)
+		return segResult{err: err}
+	}
+	// Recycle the queue storage on every path, including cancelled or
+	// corrupt segments — the bytes Finish returns alias the sequential
+	// writer, never the queues, so release is always safe here.
+	defer func() {
+		se.ReleaseBuffers(sbufs)
+		cd.putStreamBufs(sbufs)
+	}()
+	group := make([][]int16, 0, 4)
+	codec.OnRow = func(ci, row int) error {
+		v := vEff(f, ci)
+		if (row+1)%v != 0 {
+			return nil // MCU row group not complete yet
+		}
+		group = group[:0]
+		for r := row - v + 1; r <= row; r++ {
+			group = append(group, rings[ci].peek(r))
+		}
+		return se.ConsumeGroup(ci, row/v, group)
+	}
+
+	d := arith.NewDecoder(c.Streams[i])
+	if err := codec.DecodeSegmentCtx(d, cancelled); err != nil {
+		if errors.Is(err, model.ErrInterrupted) {
+			return segResult{err: ctx.Err()}
+		}
+		return segResult{err: fmt.Errorf("core: segment decode: %w", err)}
+	}
+	if err := d.Err(); err != nil {
+		return segResult{err: fmt.Errorf("core: segment decode: %w", err)}
+	}
+	if err := ctx.Err(); err != nil {
+		return segResult{err: err}
+	}
+	// Only the true end of the scan gets padding and the verbatim tail; a
+	// chunk ending mid-scan leaves its final partial byte to the next
+	// chunk's prepend data.
+	b, err := se.Finish(c.Tail, end == total)
+	if err != nil {
+		return segResult{err: fmt.Errorf("core: segment encode: %w", err)}
+	}
+	return segResult{bytes: b}
 }
 
 // originalClassBits attributes the original scan's Huffman bits to

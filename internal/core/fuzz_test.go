@@ -1,0 +1,102 @@
+package core
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"lepton/internal/imagegen"
+)
+
+// fuzzSeedContainers builds a spread of valid containers — whole-file
+// baseline variants across color layouts and restart intervals, plus a raw
+// container — whose mutations give the fuzzer a head start on the
+// container grammar.
+func fuzzSeedContainers(f *testing.F) [][]byte {
+	f.Helper()
+	var out [][]byte
+	add := func(img []byte, err error) {
+		if err != nil {
+			f.Fatal(err)
+		}
+		res, err := Encode(img, EncodeOptions{})
+		if err != nil {
+			f.Fatal(err)
+		}
+		out = append(out, res.Compressed)
+	}
+	sy := imagegen.Synthesize(3, 120, 88)
+	add(imagegen.EncodeJPEG(sy, imagegen.Options{Quality: 85, PadBit: 1}))
+	add(imagegen.EncodeJPEG(sy, imagegen.Options{Quality: 85, Grayscale: true, PadBit: 1}))
+	add(imagegen.EncodeJPEG(sy, imagegen.Options{Quality: 75, SubsampleChroma: true, RestartInterval: 3, PadBit: 0}))
+	raw := &Container{Mode: ModeRaw, Raw: []byte("not a jpeg"), OutputSize: 10}
+	rb, err := raw.Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	out = append(out, rb)
+	return out
+}
+
+// FuzzDecode feeds arbitrary bytes to the container parser and streaming
+// decoder. The invariants: never panic, never hang, fail cleanly on
+// corrupt segments (the row-window decoder must not over-read a window),
+// and — when a container does decode — the buffered and streamed decode
+// paths must agree byte for byte.
+func FuzzDecode(f *testing.F) {
+	seeds := fuzzSeedContainers(f)
+	for _, s := range seeds {
+		f.Add(s)
+		// Corrupt-segment variants: flip a byte inside the arithmetic
+		// streams and truncate mid-body.
+		if len(s) > 64 {
+			c := append([]byte(nil), s...)
+			c[len(c)-17] ^= 0x5A
+			f.Add(c)
+			f.Add(s[:3*len(s)/4])
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Decode(data, 0)
+		var buf bytes.Buffer
+		err2 := DecodeTo(&buf, data, 0)
+		if (err == nil) != (err2 == nil) {
+			// DecodeTo may have written a partial prefix before failing;
+			// both paths must still agree on success vs failure.
+			t.Fatalf("Decode err=%v but DecodeTo err=%v", err, err2)
+		}
+		if err == nil && !bytes.Equal(got, buf.Bytes()) {
+			t.Fatal("Decode and DecodeTo disagree on reconstructed bytes")
+		}
+		if inUse, _ := CoeffMemStats(); inUse != 0 {
+			t.Fatalf("decode leaked %d coefficient bytes", inUse)
+		}
+	})
+}
+
+// FuzzDecodeToWriterErrors decodes a valid container into a writer that
+// fails partway: the pipeline must return the write error without panic or
+// goroutine leak.
+func FuzzDecodeToWriterErrors(f *testing.F) {
+	seeds := fuzzSeedContainers(f)
+	for _, s := range seeds {
+		f.Add(s, 10)
+	}
+	f.Fuzz(func(t *testing.T, data []byte, failAt int) {
+		w := &failingWriter{failAt: failAt}
+		_ = DecodeTo(w, data, 0)
+	})
+}
+
+type failingWriter struct {
+	n      int
+	failAt int
+}
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	if w.failAt >= 0 && w.n > w.failAt {
+		return 0, io.ErrClosedPipe
+	}
+	return len(p), nil
+}

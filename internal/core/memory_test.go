@@ -1,0 +1,166 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"lepton/internal/imagegen"
+	"lepton/internal/jpeg"
+)
+
+// bigSynthetic returns a 4:4:4 JPEG whose whole coefficient planes exceed
+// the 24 MiB decode budget — the class of file the pre-streaming engine
+// rejected up front (cmd/corpusgen generates the same shape at the command
+// line for ad-hoc runs).
+func bigSynthetic(t testing.TB) []byte {
+	t.Helper()
+	img := imagegen.Synthesize(5, 2600, 2000)
+	data, err := imagegen.EncodeJPEG(img, imagegen.Options{Quality: 85, PadBit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestOverBudgetImageStreams is the regression test for the row-window
+// refactor's headline: an image whose coefficient planes exceed the 24 MiB
+// decode budget now streams through both directions instead of being
+// rejected with a memory exit.
+func TestOverBudgetImageStreams(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-megapixel conversion")
+	}
+	data := bigSynthetic(t)
+	f, err := jpeg.Parse(data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planeBytes := int64(f.CoefficientCount()) * 2; planeBytes <= DefaultMemDecodeBudget {
+		t.Fatalf("test image too small to exercise the old wall: planes %d <= budget %d",
+			planeBytes, DefaultMemDecodeBudget)
+	}
+	res, err := Encode(data, EncodeOptions{})
+	if err != nil {
+		t.Fatalf("over-plane-budget image no longer encodes: %v", err)
+	}
+	back, err := Decode(res.Compressed, 0)
+	if err != nil {
+		t.Fatalf("over-plane-budget image no longer decodes: %v", err)
+	}
+	if !bytes.Equal(back, data) {
+		t.Fatal("streamed round trip differs from input")
+	}
+}
+
+// TestDecodePeakCoeffBytesUnderWindowBound asserts the streaming decoder's
+// peak coefficient memory stays within the advertised row-window bound —
+// the §5.1 ceiling made checkable.
+func TestDecodePeakCoeffBytesUnderWindowBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-megapixel conversion")
+	}
+	data := bigSynthetic(t)
+	res, err := Encode(data, EncodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := jpeg.Parse(data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := DecodeWindowBytes(f, res.Segments)
+	ResetCoeffMemPeak()
+	if _, err := Decode(res.Compressed, 0); err != nil {
+		t.Fatal(err)
+	}
+	if inUse, _ := CoeffMemStats(); inUse != 0 {
+		t.Fatalf("coefficient accounting leaked: %d bytes still in use", inUse)
+	}
+	_, peak := CoeffMemStats()
+	if peak > bound {
+		t.Fatalf("decode peak coefficient bytes %d exceed window bound %d", peak, bound)
+	}
+	planeBytes := int64(f.CoefficientCount()) * 2
+	if peak*5 > planeBytes {
+		t.Fatalf("window bound not materially below plane memory: peak %d vs planes %d (<5x)", peak, planeBytes)
+	}
+	t.Logf("decode peak coefficient bytes: %d (bound %d, whole planes %d, %.0fx reduction)",
+		peak, bound, planeBytes, float64(planeBytes)/float64(peak))
+}
+
+// TestEncodePeakCoeffBytesUnderGate asserts the encode producer/consumer
+// pipeline keeps retained coefficient rows under the memory gate's ceiling.
+func TestEncodePeakCoeffBytesUnderGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-megapixel conversion")
+	}
+	data := bigSynthetic(t)
+	f, err := jpeg.Parse(data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	starts := segmentRanges(f, SegmentCountFor(len(data)), 0, f.MCUsHigh)
+	ceiling := encodeMinGateBytes(f, starts, f.TotalMCUs())
+	if DefaultMemEncodeBudget > ceiling {
+		ceiling = DefaultMemEncodeBudget
+	}
+	ResetCoeffMemPeak()
+	if _, err := Encode(data, EncodeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if inUse, _ := CoeffMemStats(); inUse != 0 {
+		t.Fatalf("coefficient accounting leaked: %d bytes still in use", inUse)
+	}
+	_, peak := CoeffMemStats()
+	if peak > ceiling {
+		t.Fatalf("encode peak coefficient bytes %d exceed gate ceiling %d", peak, ceiling)
+	}
+	t.Logf("encode peak coefficient bytes: %d (ceiling %d, whole planes %d)",
+		peak, ceiling, int64(f.CoefficientCount())*2)
+}
+
+// TestTightEncodeGateStillStreams forces the encode budget below the
+// structural minimum: the gate must raise itself to the deadlock-free floor
+// and complete (byte-identically), not hang or reject.
+func TestTightEncodeGateStillStreams(t *testing.T) {
+	data := genJPEG(t, 77, 512, 384)
+	want, err := Encode(data, EncodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Small enough that the gate must sit below the structural minimum,
+	// large enough to pass the parser's row-window floor.
+	got, err := Encode(data, EncodeOptions{MemEncodeBudget: 64 << 10, MemDecodeBudget: DefaultMemDecodeBudget})
+	if err != nil {
+		t.Fatalf("tight encode gate rejected instead of streaming: %v", err)
+	}
+	if !bytes.Equal(got.Compressed, want.Compressed) {
+		t.Fatal("tight-gate output differs from default output")
+	}
+}
+
+// BenchmarkDecodeMemory reports per-decode allocations (run with -benchmem:
+// B/op is the Figure-3 regression series for the streaming decoder) plus
+// the peak streamed coefficient bytes as a custom metric.
+func BenchmarkDecodeMemory(b *testing.B) {
+	img := imagegen.Synthesize(5, 2048, 1536)
+	data, err := imagegen.EncodeJPEG(img, imagegen.Options{Quality: 85, PadBit: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := Encode(data, EncodeOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	ResetCoeffMemPeak()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(res.Compressed, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	_, peak := CoeffMemStats()
+	b.ReportMetric(float64(peak), "peak-coeff-B")
+}

@@ -38,6 +38,41 @@ func CMYKStub() []byte {
 	return b
 }
 
+// OversizeStub builds a structurally valid baseline JPEG whose decode
+// would exceed the memory ceiling even streamed: the frame is as wide as
+// the format allows (the row window scales with width × segment count) and
+// the file is padded past the encoder's 8-segment size cutoff with trailer
+// bytes, as real camera files with appended data blobs are. The scan
+// itself is empty — admission control rejects on the header geometry
+// before ever reading a coefficient, exactly like production (§6.2).
+func OversizeStub(seed int64) []byte {
+	var b []byte
+	b = append(b, 0xFF, 0xD8) // SOI
+	// DQT table 0, all ones.
+	b = append(b, 0xFF, 0xDB, 0x00, 0x43, 0x00)
+	for i := 0; i < 64; i++ {
+		b = append(b, 1)
+	}
+	// SOF0: 8-bit, 65504x65504, three 4:4:4 components on table 0.
+	b = append(b, 0xFF, 0xC0, 0x00, 0x11, 8, 0xFF, 0xE0, 0xFF, 0xE0, 3,
+		1, 0x11, 0, 2, 0x11, 0, 3, 0x11, 0)
+	// DHT: one 1-bit code, symbol 0, for DC table 0 and AC table 0.
+	b = append(b, 0xFF, 0xC4, 0x00, 0x14, 0x00, 1)
+	b = append(b, make([]byte, 15)...)
+	b = append(b, 0x00)
+	b = append(b, 0xFF, 0xC4, 0x00, 0x14, 0x10, 1)
+	b = append(b, make([]byte, 15)...)
+	b = append(b, 0x00)
+	// SOS over all three components, then an empty scan terminated by EOI.
+	b = append(b, 0xFF, 0xDA, 0x00, 0x0C, 3, 1, 0x00, 2, 0x00, 3, 0x00, 0, 63, 0)
+	b = append(b, 0xFF, 0xD9)
+	// Trailer blob pushing the file size over the 8-thread-segment cutoff.
+	rng := rand.New(rand.NewSource(seed))
+	junk := make([]byte, 1600<<10)
+	rng.Read(junk)
+	return append(b, junk...)
+}
+
 // NotImage produces bytes that begin with the JPEG start-of-image marker but
 // contain no JPEG structure — the "chunk sampled by SOI magic" false
 // positives in the paper's benchmark set.

@@ -157,11 +157,16 @@ func category(v int32) uint8 {
 
 func (e *ScanEncoder) encodeBlock(comp int, blk []int16) error {
 	c := &e.f.Components[comp]
-	dcTab := e.dcEnc[c.TD]
-	acTab := e.acEnc[c.TA]
+	return encodeBlockTo(e.w, e.dcEnc[c.TD], e.acEnc[c.TA], &e.prevDC[comp], blk)
+}
 
-	diff := int32(blk[0]) - int32(e.prevDC[comp])
-	e.prevDC[comp] = blk[0]
+// encodeBlockTo Huffman-codes one block into w: the DC delta against
+// *prevDC (which it updates) followed by the AC run/size symbols. It is the
+// single block coder behind both the sequential ScanEncoder and the
+// streaming per-component bit queues, so the two paths cannot drift.
+func encodeBlockTo(w *bitio.Writer, dcTab, acTab *huffman.Encoder, prevDC *int16, blk []int16) error {
+	diff := int32(blk[0]) - int32(*prevDC)
+	*prevDC = blk[0]
 	sCat := category(diff)
 	// Codeword and value bits go out in one batched write: the category code
 	// is at most 16 bits and the value at most 11, so both fit one word.
@@ -173,7 +178,7 @@ func (e *ScanEncoder) encodeBlock(comp int, blk []int16) error {
 	if v < 0 {
 		v += int32(1<<sCat) - 1
 	}
-	e.w.WriteBits(uint32(dcCode.Bits)<<sCat|uint32(v), dcCode.Len+sCat)
+	w.WriteBits(uint32(dcCode.Bits)<<sCat|uint32(v), dcCode.Len+sCat)
 
 	run := 0
 	for k := 1; k < 64; k++ {
@@ -183,7 +188,7 @@ func (e *ScanEncoder) encodeBlock(comp int, blk []int16) error {
 			continue
 		}
 		for run >= 16 {
-			if err := acTab.Encode(e.w, 0xF0); err != nil { // ZRL
+			if err := acTab.Encode(w, 0xF0); err != nil { // ZRL
 				return fmt.Errorf("ZRL: %w", err)
 			}
 			run -= 16
@@ -201,11 +206,11 @@ func (e *ScanEncoder) encodeBlock(comp int, blk []int16) error {
 			v += int32(1<<size) - 1
 		}
 		// Run/size code plus value bits in one batched write (<= 26 bits).
-		e.w.WriteBits(uint32(acCode.Bits)<<size|uint32(v), acCode.Len+size)
+		w.WriteBits(uint32(acCode.Bits)<<size|uint32(v), acCode.Len+size)
 		run = 0
 	}
 	if run > 0 {
-		if err := acTab.Encode(e.w, 0x00); err != nil { // EOB
+		if err := acTab.Encode(w, 0x00); err != nil { // EOB
 			return fmt.Errorf("EOB: %w", err)
 		}
 	}

@@ -313,12 +313,22 @@ func (f *File) parseSOF(data []byte, pos int, memLimit int64, allowCMYK bool) (i
 		}
 	}
 	if memLimit > 0 {
-		var coeffBytes int64
+		// The streaming pipelines hold a sliding window of block rows per
+		// component — (V+1 rows) × width — never whole planes, so the
+		// budget bounds that working set. It scales with image width only;
+		// a tall image streams through row by row (§5.1). Callers layer
+		// per-segment multiples on top (see core.DecodeWindowBytes); this
+		// is the single-segment floor no decode can go below.
+		var winBytes int64
 		for _, c := range f.Components {
-			coeffBytes += int64(c.BlocksWide) * int64(c.BlocksHigh) * 64 * 2
+			v := c.V
+			if len(f.Components) == 1 {
+				v = 1
+			}
+			winBytes += int64(v+1) * int64(c.BlocksWide) * 64 * 2
 		}
-		if coeffBytes > memLimit {
-			return 0, reject(ReasonMemDecode, "coefficients need %d bytes > %d budget", coeffBytes, memLimit)
+		if winBytes > memLimit {
+			return 0, reject(ReasonMemDecode, "row windows need %d bytes > %d budget", winBytes, memLimit)
 		}
 	}
 	return l, nil

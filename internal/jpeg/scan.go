@@ -246,124 +246,72 @@ type ScanBuffers struct {
 // recording per-MCU handover state.
 func DecodeScan(f *File) (*Scan, error) { return DecodeScanInto(f, nil) }
 
-// DecodeScanInto is DecodeScan drawing coefficient and position storage from
-// buf, growing it as needed; the returned Scan aliases buf, so buf must not
-// be reused until the Scan is dead. A nil buf allocates fresh storage.
-func DecodeScanInto(f *File, buf *ScanBuffers) (*Scan, error) {
-	d, err := newScanDecoder(f)
-	if err != nil {
-		return nil, err
-	}
-	s := &Scan{File: f}
-	total := f.TotalMCUs()
-	if buf != nil {
-		need := f.CoefficientCount()
-		if cap(buf.Coeff) < need {
-			buf.Coeff = make([]int16, need)
-		} else {
-			// The entropy decoder writes only nonzero coefficients; planes
-			// must start zeroed.
-			buf.Coeff = buf.Coeff[:need]
-			clear(buf.Coeff)
-		}
-		if cap(buf.Pos) < total {
-			buf.Pos = make([]MCUPos, total)
-		} else {
-			// Every entry is assigned below; no clear needed.
-			buf.Pos = buf.Pos[:total]
-		}
-		off := 0
-		for _, c := range f.Components {
-			n := c.BlocksWide * c.BlocksHigh * 64
-			s.Coeff = append(s.Coeff, buf.Coeff[off:off+n:off+n])
-			off += n
-		}
-		s.Positions = buf.Pos
-	} else {
-		for _, c := range f.Components {
-			s.Coeff = append(s.Coeff, make([]int16, c.BlocksWide*c.BlocksHigh*64))
-		}
-		s.Positions = make([]MCUPos, total)
-	}
-	ri := f.RestartInterval
-	rstSeen := 0
-	rstMissing := false
-	for mcu := 0; mcu < total; mcu++ {
-		if ri > 0 && mcu > 0 && mcu%ri == 0 && !rstMissing {
-			ok, err := d.tryRestart(byte(rstSeen % 8))
-			if err != nil {
-				return nil, err
-			}
-			if ok {
-				rstSeen++
-				d.prevDC = [MaxComponents]int16{}
-			} else {
-				// Cease expecting restart markers: the original file's tail
-				// was likely zero-filled past the last marker (§A.3).
-				rstMissing = true
-			}
-		}
-		byteOff, bitOff := d.r.Pos()
-		s.Positions[mcu] = MCUPos{
-			ByteOff: int64(byteOff),
-			BitOff:  bitOff,
-			Partial: d.r.PartialByte(),
-			RSTSeen: int32(rstSeen),
-			PrevDC:  d.prevDC,
-		}
-		if err := d.decodeMCU(s, mcu); err != nil {
-			return nil, err
-		}
-	}
-	// Final byte alignment: remaining bits of the last byte are padding.
-	pads, npads, err := d.r.AlignSkipPad()
-	if err != nil {
-		if errors.Is(err, bitio.ErrTruncated) {
-			// The last byte of the scan was also the last byte of data; no
-			// padding present.
-			npads = 0
-		} else if !errors.Is(err, bitio.ErrMarker) {
-			return nil, wrapEntropyErr(err)
-		}
-	}
-	if err := d.notePad(pads[:npads]); err != nil {
-		return nil, err
-	}
-	s.PadBit = 1
-	if d.padSeen {
-		s.PadBit = d.padBit
-	}
-	s.PadSeen = d.padSeen
-	s.RSTCount = rstSeen
-	s.Tail = append([]byte(nil), d.r.Remaining()...)
-	return s, nil
+// slabSink adapts whole coefficient planes to the streaming decoder's
+// RowSink: row buffers are handed out as consecutive slices of the planes
+// (rows arrive strictly in order per component) and EmitRow has nothing
+// left to do.
+type slabSink struct {
+	planes  [][]int16
+	rowLen  []int
+	nextRow []int
 }
 
-func (d *scanDecoder) decodeMCU(s *Scan, mcu int) error {
-	f := d.f
-	if len(f.Components) == 1 {
-		c := &f.Components[0]
-		row := mcu / c.BlocksWide
-		col := mcu % c.BlocksWide
-		b := (row*c.BlocksWide + col) * 64
-		return d.decodeBlock(0, s.Coeff[0][b:b+64])
+func (s *slabSink) GetRowBuf(ci int) []int16 {
+	r := s.nextRow[ci]
+	s.nextRow[ci] = r + 1
+	w := s.rowLen[ci]
+	return s.planes[ci][r*w : (r+1)*w : (r+1)*w]
+}
+
+func (s *slabSink) EmitRow(ci, row int, coeff []int16) error { return nil }
+
+// DecodeScanInto is DecodeScan drawing coefficient and position storage from
+// buf, growing it as needed; the returned Scan aliases buf, so buf must not
+// be reused until the Scan is dead. A nil buf allocates fresh storage. It
+// is DecodeScanStream over slab-backed rows with every position recorded —
+// the buffered and streaming paths share one MCU walk.
+func DecodeScanInto(f *File, buf *ScanBuffers) (*Scan, error) {
+	s := &Scan{File: f}
+	total := f.TotalMCUs()
+	need := f.CoefficientCount()
+	if buf == nil {
+		buf = &ScanBuffers{}
 	}
-	mcuRow := mcu / f.MCUsWide
-	mcuCol := mcu % f.MCUsWide
-	for ci := range f.Components {
-		c := &f.Components[ci]
-		for v := 0; v < c.V; v++ {
-			for h := 0; h < c.H; h++ {
-				br := mcuRow*c.V + v
-				bc := mcuCol*c.H + h
-				b := (br*c.BlocksWide + bc) * 64
-				if err := d.decodeBlock(ci, s.Coeff[ci][b:b+64]); err != nil {
-					return err
-				}
-			}
-		}
+	if cap(buf.Coeff) < need {
+		buf.Coeff = make([]int16, need)
+	} else {
+		// The entropy decoder writes only nonzero coefficients; planes
+		// must start zeroed.
+		buf.Coeff = buf.Coeff[:need]
+		clear(buf.Coeff)
 	}
-	return nil
+	if cap(buf.Pos) < total {
+		buf.Pos = make([]MCUPos, total)
+	} else {
+		// Every entry is assigned by the walk; no clear needed.
+		buf.Pos = buf.Pos[:total]
+	}
+	sink := &slabSink{nextRow: make([]int, len(f.Components))}
+	off := 0
+	for _, c := range f.Components {
+		n := c.BlocksWide * c.BlocksHigh * 64
+		s.Coeff = append(s.Coeff, buf.Coeff[off:off+n:off+n])
+		off += n
+	}
+	sink.planes = s.Coeff
+	for i := range f.Components {
+		sink.rowLen = append(sink.rowLen, f.Components[i].BlocksWide*64)
+	}
+	s.Positions = buf.Pos
+	info, err := DecodeScanStream(f, sink, nil, s.Positions)
+	if err != nil {
+		return nil, err
+	}
+	s.PadBit = info.PadBit
+	s.PadSeen = info.PadSeen
+	s.RSTCount = info.RSTCount
+	s.Tail = info.Tail
+	return s, nil
 }
 
 // BlockAt returns the coefficient slice for block (row, col) of component c.

@@ -23,14 +23,52 @@ type Flags struct {
 // DefaultFlags enables everything, matching the deployed system.
 func DefaultFlags() Flags { return Flags{EdgePrediction: true, DCGradient: true} }
 
+// RowWindow is the codec's view of one component's coefficient storage: a
+// source (encode) or sink (decode) of block rows. The codec touches at most
+// two rows at a time — the row it is coding and the row above it — so an
+// implementation only has to keep that window alive; it is free to recycle
+// anything older. Row(r) returns the BlocksWide*64 coefficients of block
+// row r (raster order across blocks, raster order within each block), or
+// nil to abort the segment (the codec returns ErrInterrupted). The codec
+// calls Row exactly once per row, in ascending order within each
+// component's segment range; the slice for row r must stay valid until
+// Row(r+2) is requested.
+type RowWindow interface {
+	Row(r int) []int16
+}
+
+// SlabRows is the whole-plane RowWindow: every row is a slice into one
+// backing slab, so nothing is ever recycled. Stride is BlocksWide*64.
+type SlabRows struct {
+	Coeff  []int16
+	Stride int
+}
+
+func (s SlabRows) Row(r int) []int16 { return s.Coeff[r*s.Stride : (r+1)*s.Stride] }
+
 // ComponentPlane describes one color component's coefficient plane.
 type ComponentPlane struct {
 	BlocksWide, BlocksHigh int
 	Quant                  *[64]uint16
-	// Coeff is the full plane, raster block order, raster order within the
-	// block; the codec reads (encode) or writes (decode) only the block
-	// rows of its segment.
-	Coeff []int16
+	// Rows provides the block-row storage. Whole-plane callers use
+	// SlabRows (see Plane); streaming pipelines hand the codec a sliding
+	// window that retains only the rows the model predictors read.
+	Rows RowWindow
+}
+
+// Plane builds a whole-plane ComponentPlane over a coefficient slab in
+// raster block order, 64 coefficients per block.
+func Plane(bw, bh int, q *[64]uint16, coeff []int16) ComponentPlane {
+	return ComponentPlane{BlocksWide: bw, BlocksHigh: bh, Quant: q, Rows: SlabRows{Coeff: coeff, Stride: bw * 64}}
+}
+
+// Slab returns the whole-plane backing slab when the plane was built over
+// one (see Plane), or nil for streaming row windows.
+func (p ComponentPlane) Slab() []int16 {
+	if s, ok := p.Rows.(SlabRows); ok {
+		return s.Coeff
+	}
+	return nil
 }
 
 // Codec codes the blocks of one thread segment. Each segment gets fresh
@@ -50,6 +88,13 @@ type Codec struct {
 	// sizeHint, when positive, pre-sizes the arithmetic encoder's output
 	// buffer before a segment encode (see SetSizeHint).
 	sizeHint int
+
+	// OnRow, when non-nil, is called after every completed block row with
+	// the component index and absolute block row. Streaming pipelines hook
+	// it to consume finished rows (decode: hand the row to the scan
+	// re-encoder; its error aborts the segment) before the window is
+	// allowed to recycle them.
+	OnRow func(ci, row int) error
 
 	// Stats is filled on the encode path when non-nil.
 	Stats *Stats
@@ -104,6 +149,7 @@ func (c *Codec) Reset(comps []ComponentPlane, rowStart, rowEnd []int, flags Flag
 		*c.bins[i] = chanBins{}
 	}
 	c.sizeHint = 0
+	c.OnRow = nil
 	c.Stats = nil
 }
 
@@ -122,6 +168,7 @@ func (c *Codec) Release() {
 		c.comps[i] = ComponentPlane{}
 	}
 	c.comps = c.comps[:0]
+	c.OnRow = nil
 	c.Stats = nil
 }
 
@@ -207,6 +254,7 @@ func (c *Codec) run(em *emitter, done <-chan struct{}) error {
 		cp := &c.comps[ci]
 		st := &c.st
 		st.reset(cp.BlocksWide)
+		var aboveRow []int16
 		for row := c.rowStart[ci]; row < c.rowEnd[ci]; row++ {
 			if done != nil {
 				select {
@@ -215,37 +263,47 @@ func (c *Codec) run(em *emitter, done <-chan struct{}) error {
 				default:
 				}
 			}
+			curRow := cp.Rows.Row(row)
+			if curRow == nil {
+				// A streaming window aborts the segment by refusing the
+				// row (producer failed or the conversion was cancelled).
+				return ErrInterrupted
+			}
 			for col := 0; col < cp.BlocksWide; col++ {
-				if err := c.codeBlock(em, ci, row, col, st); err != nil {
+				if err := c.codeBlock(em, ci, col, st, curRow, aboveRow); err != nil {
+					return err
+				}
+			}
+			if c.OnRow != nil {
+				if err := c.OnRow(ci, row); err != nil {
 					return err
 				}
 			}
 			st.nextRow()
+			aboveRow = curRow
 		}
 	}
 	return nil
 }
 
 // codeBlock transports one block through the model in either direction.
-func (c *Codec) codeBlock(em *emitter, ci, row, col int, st *segState) error {
+// curRow holds the block row being coded, aboveRow the previous block row
+// of the same component (nil on the segment's first row).
+func (c *Codec) codeBlock(em *emitter, ci, col int, st *segState, curRow, aboveRow []int16) error {
 	cp := &c.comps[ci]
 	ch := c.bins[ci]
 	q := cp.Quant
-	base := (row*cp.BlocksWide + col) * 64
-	cur := cp.Coeff[base : base+64]
+	cur := curRow[col*64 : col*64+64]
 
 	var above, left, aboveLeft []int16
 	if st.hasAbove {
-		ab := ((row-1)*cp.BlocksWide + col) * 64
-		above = cp.Coeff[ab : ab+64]
+		above = aboveRow[col*64 : col*64+64]
 		if col > 0 {
-			al := ((row-1)*cp.BlocksWide + col - 1) * 64
-			aboveLeft = cp.Coeff[al : al+64]
+			aboveLeft = aboveRow[(col-1)*64 : col*64]
 		}
 	}
 	if col > 0 {
-		lb := (row*cp.BlocksWide + col - 1) * 64
-		left = cp.Coeff[lb : lb+64]
+		left = curRow[(col-1)*64 : col*64]
 	}
 
 	// --- Nonzero count of the 7x7 class (A.2.1). ---

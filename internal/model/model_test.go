@@ -156,7 +156,7 @@ func makePlanes(rng *rand.Rand, comps int, bw, bh int) []ComponentPlane {
 			coeff[b*64] = int16(rng.Intn(400) - 200)
 		}
 		qc := q
-		planes = append(planes, ComponentPlane{BlocksWide: bw, BlocksHigh: bh, Quant: &qc, Coeff: coeff})
+		planes = append(planes, Plane(bw, bh, &qc, coeff))
 	}
 	return planes
 }
@@ -165,7 +165,7 @@ func clonePlanes(planes []ComponentPlane) []ComponentPlane {
 	out := make([]ComponentPlane, len(planes))
 	for i, p := range planes {
 		out[i] = p
-		out[i].Coeff = make([]int16, len(p.Coeff))
+		out[i].Rows = SlabRows{Coeff: make([]int16, len(p.Slab())), Stride: p.BlocksWide * 64}
 	}
 	return out
 }
@@ -192,10 +192,10 @@ func TestSegmentRoundTrip(t *testing.T) {
 			t.Fatalf("flags %+v: decode: %v", flags, err)
 		}
 		for ci := range planes {
-			for j := range planes[ci].Coeff {
-				if planes[ci].Coeff[j] != out[ci].Coeff[j] {
+			for j := range planes[ci].Slab() {
+				if planes[ci].Slab()[j] != out[ci].Slab()[j] {
 					t.Fatalf("flags %+v: comp %d coeff %d: %d != %d",
-						flags, ci, j, out[ci].Coeff[j], planes[ci].Coeff[j])
+						flags, ci, j, out[ci].Slab()[j], planes[ci].Slab()[j])
 				}
 			}
 		}
@@ -220,8 +220,8 @@ func TestSegmentIndependence(t *testing.T) {
 	if err := dec.DecodeSegment(arith.NewDecoder(streams[1])); err != nil {
 		t.Fatal(err)
 	}
-	for j := 4 * 8 * 64; j < len(planes[0].Coeff); j++ {
-		if planes[0].Coeff[j] != out[0].Coeff[j] {
+	for j := 4 * 8 * 64; j < len(planes[0].Slab()); j++ {
+		if planes[0].Slab()[j] != out[0].Slab()[j] {
 			t.Fatalf("coeff %d mismatch decoding segment alone", j)
 		}
 	}
@@ -384,14 +384,14 @@ func TestCodecDoesNotAliasCallerPlanes(t *testing.T) {
 	}
 
 	// Reference stream from a codec with its own plane slice.
-	refPlanes := []ComponentPlane{{BlocksWide: 2, BlocksHigh: 1, Quant: &q, Coeff: coeff}}
+	refPlanes := []ComponentPlane{Plane(2, 1, &q, coeff)}
 	ref := arith.NewEncoder()
 	NewCodec(refPlanes, []int{0}, []int{1}, DefaultFlags()).EncodeSegment(ref)
 	want := append([]byte(nil), ref.Flush()...)
 
 	// Two sibling codecs over one shared planes slice, as core's segment
 	// fan-out builds them.
-	planes := []ComponentPlane{{BlocksWide: 2, BlocksHigh: 1, Quant: &q, Coeff: coeff}}
+	planes := []ComponentPlane{Plane(2, 1, &q, coeff)}
 	c1 := NewCodec(planes, []int{0}, []int{1}, DefaultFlags())
 	c2 := NewCodec(planes, []int{0}, []int{1}, DefaultFlags())
 

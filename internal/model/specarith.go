@@ -44,43 +44,48 @@ func (m *SpecArith) run(em *emitter, comps []ComponentPlane) error {
 		if cc > 2 {
 			cc = 2
 		}
-		blocks := cp.BlocksWide * cp.BlocksHigh
 		var prevDC, prevDelta int32
-		for b := 0; b < blocks; b++ {
-			blk := cp.Coeff[b*64 : b*64+64]
-			// DC as a delta to the previous block, like baseline JPEG.
-			ctx := ilog2(prevDelta, 6)
-			delta := em.codeVal(&m.dc[cc][ctx], &m.resDC, int32(blk[0])-prevDC)
-			dc := prevDC + delta
-			if dc > 32767 || dc < -32768 {
-				return ErrCorrupt
+		for row := 0; row < cp.BlocksHigh; row++ {
+			rowCoeff := cp.Rows.Row(row)
+			if rowCoeff == nil {
+				return ErrInterrupted
 			}
-			blk[0] = int16(dc)
-			prevDC = dc
-			prevDelta = delta
-			// AC positions in zigzag order with a nonzero flag each.
-			prevNZ := 0
-			for k := 1; k < 64; k++ {
-				pos := zigzagAll(k)
-				band := ilog159(int32(k))
-				flag := 0
-				if em.e != nil && blk[pos] != 0 {
-					flag = 1
-				}
-				flag = em.bit(&m.nzflag[cc][band][prevNZ], flag)
-				if flag == 0 {
-					blk[pos] = 0
-					prevNZ = 0
-					continue
-				}
-				v := em.codeVal(&m.ac[cc][band], &m.resAC, int32(blk[pos]))
-				if v == 0 {
-					// A flagged-nonzero coefficient decoded as zero means
-					// the stream is corrupt.
+			for col := 0; col < cp.BlocksWide; col++ {
+				blk := rowCoeff[col*64 : col*64+64]
+				// DC as a delta to the previous block, like baseline JPEG.
+				ctx := ilog2(prevDelta, 6)
+				delta := em.codeVal(&m.dc[cc][ctx], &m.resDC, int32(blk[0])-prevDC)
+				dc := prevDC + delta
+				if dc > 32767 || dc < -32768 {
 					return ErrCorrupt
 				}
-				blk[pos] = int16(v)
-				prevNZ = 1
+				blk[0] = int16(dc)
+				prevDC = dc
+				prevDelta = delta
+				// AC positions in zigzag order with a nonzero flag each.
+				prevNZ := 0
+				for k := 1; k < 64; k++ {
+					pos := zigzagAll(k)
+					band := ilog159(int32(k))
+					flag := 0
+					if em.e != nil && blk[pos] != 0 {
+						flag = 1
+					}
+					flag = em.bit(&m.nzflag[cc][band][prevNZ], flag)
+					if flag == 0 {
+						blk[pos] = 0
+						prevNZ = 0
+						continue
+					}
+					v := em.codeVal(&m.ac[cc][band], &m.resAC, int32(blk[pos]))
+					if v == 0 {
+						// A flagged-nonzero coefficient decoded as zero means
+						// the stream is corrupt.
+						return ErrCorrupt
+					}
+					blk[pos] = int16(v)
+					prevNZ = 1
+				}
 			}
 		}
 	}

@@ -23,10 +23,10 @@ func TestSpecArithRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	for ci := range planes {
-		for j := range planes[ci].Coeff {
-			if planes[ci].Coeff[j] != out[ci].Coeff[j] {
+		for j := range planes[ci].Slab() {
+			if planes[ci].Slab()[j] != out[ci].Slab()[j] {
 				t.Fatalf("comp %d coeff %d: %d != %d", ci, j,
-					out[ci].Coeff[j], planes[ci].Coeff[j])
+					out[ci].Slab()[j], planes[ci].Slab()[j])
 			}
 		}
 	}
@@ -53,10 +53,7 @@ func TestSpecArithWorseThanLepton(t *testing.T) {
 	var rs, re []int
 	for i := range f.Components {
 		c := &f.Components[i]
-		planes = append(planes, ComponentPlane{
-			BlocksWide: c.BlocksWide, BlocksHigh: c.BlocksHigh,
-			Quant: &f.Quant[c.TQ], Coeff: s.Coeff[i],
-		})
+		planes = append(planes, Plane(c.BlocksWide, c.BlocksHigh, &f.Quant[c.TQ], s.Coeff[i]))
 		rs = append(rs, 0)
 		re = append(re, c.BlocksHigh)
 	}

@@ -127,6 +127,24 @@ type Stats struct {
 	Cancelled atomic.Int64
 }
 
+// StatsSnapshot returns a point-in-time view of the server's counters plus
+// the process-wide streamed-coefficient memory gauges (current and peak
+// row-window bytes — the §5.1 ceiling as actually observed), in a form
+// ready for expvar/JSON export; see cmd/blockserverd's -debug-addr.
+func (b *Blockserver) StatsSnapshot() map[string]int64 {
+	inUse, peak := core.CoeffMemStats()
+	return map[string]int64{
+		"compresses":                b.Stats.Compresses.Load(),
+		"decompresses":              b.Stats.Decompresses.Load(),
+		"outsourced":                b.Stats.Outsourced.Load(),
+		"errors":                    b.Stats.Errors.Load(),
+		"cancelled":                 b.Stats.Cancelled.Load(),
+		"in_flight":                 int64(b.InFlight()),
+		"coeff_window_bytes_in_use": inUse,
+		"coeff_window_bytes_peak":   peak,
+	}
+}
+
 // Blockserver serves Lepton conversions on a listener. It mirrors the
 // production setup: a 16-core box where a few concurrent Lepton jobs
 // saturate the machine, so conversions run through a bounded shared worker

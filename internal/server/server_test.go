@@ -58,6 +58,16 @@ func TestUnixSocketCompressDecompress(t *testing.T) {
 	if c, d := b.Stats.Compresses.Load(), b.Stats.Decompresses.Load(); c != 1 || d != 1 {
 		t.Fatalf("stats: compresses=%d decompresses=%d", c, d)
 	}
+	snap := b.StatsSnapshot()
+	if snap["compresses"] != 1 || snap["decompresses"] != 1 || snap["in_flight"] != 0 {
+		t.Fatalf("snapshot: %v", snap)
+	}
+	if snap["coeff_window_bytes_peak"] <= 0 {
+		t.Fatalf("snapshot did not observe streamed coefficient windows: %v", snap)
+	}
+	if _, ok := snap["cancelled"]; !ok {
+		t.Fatalf("snapshot missing cancelled counter: %v", snap)
+	}
 }
 
 func TestTCPCompress(t *testing.T) {

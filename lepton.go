@@ -18,9 +18,16 @@
 //	orig, err := lepton.Decompress(res.Compressed)
 //	// orig is byte-identical to jpegBytes
 //
+// Conversions stream row by row, as the deployed system did (§5.1): no
+// whole coefficient plane is ever materialized, per-request coefficient
+// memory is a sliding window of block rows per thread segment, and the
+// memory budgets in Options are streaming ceilings rather than up-front
+// size rejections — a 100-megapixel JPEG converts within the default
+// 24 MiB decode budget.
+//
 // Services converting many files should hold a Codec, which pools the
-// model tables, coefficient planes, and scratch that dominate per-call
-// memory, as the deployed blockservers did:
+// model tables, row buffers, and scratch that dominate per-call memory,
+// as the deployed blockservers did:
 //
 //	codec := lepton.NewCodec()
 //	for _, f := range files {
@@ -118,8 +125,13 @@ type Options struct {
 	// predictors (§4.3 ablations).
 	DisableEdgePrediction bool
 	DisableDCGradient     bool
-	// MemDecodeBudget / MemEncodeBudget bound coefficient memory in bytes;
-	// 0 selects the deployed limits (24 MiB / 178 MiB).
+	// MemDecodeBudget / MemEncodeBudget bound streamed coefficient memory
+	// in bytes; 0 selects the deployed limits (24 MiB / 178 MiB). The
+	// decode budget bounds the per-segment row windows (scaling with
+	// image width and thread count, not pixel count); the encode budget
+	// additionally caps the decoded rows held in flight ahead of the
+	// segment coders. Images whose windows cannot fit are rejected with
+	// ReasonMemDecode; everything else streams.
 	MemDecodeBudget int64
 	MemEncodeBudget int64
 	// AllowProgressive enables compression of spectral-selection
@@ -172,9 +184,9 @@ type Result struct {
 }
 
 // Codec is a reusable compression pipeline. It owns pools for the model
-// statistic-bin tables, coefficient planes, and per-segment scratch that
-// dominate a conversion's allocations, so a long-lived codec serving many
-// files reuses that memory instead of re-allocating it per call — the
+// statistic-bin tables, coefficient row buffers, and per-segment scratch
+// that dominate a conversion's allocations, so a long-lived codec serving
+// many files reuses that memory instead of re-allocating it per call — the
 // shape of the paper's blockserver deployment, where per-request memory
 // was the binding constraint (§6.2). Output is byte-identical to the
 // one-shot package functions. A Codec is safe for concurrent use.
@@ -184,6 +196,17 @@ type Codec struct {
 
 // NewCodec returns a reusable codec with empty pools.
 func NewCodec() *Codec { return &Codec{core: core.NewCodec()} }
+
+// CoeffMemStats reports the process-wide streamed coefficient-row memory:
+// bytes currently held by in-flight conversions and the high-water mark —
+// the working set the §5.1 row-window ceiling bounds, as actually
+// observed. Monitoring loops (see blockserverd's -debug-addr) read it to
+// watch production memory behavior; tests assert against it.
+func CoeffMemStats() (inUse, peak int64) { return core.CoeffMemStats() }
+
+// ResetCoeffMemPeak clears the coefficient-memory high-water mark, e.g. at
+// a monitoring interval boundary.
+func ResetCoeffMemPeak() { core.ResetCoeffMemPeak() }
 
 // defaultCodec backs the package-level convenience functions, so even
 // casual callers get steady-state pooling.
