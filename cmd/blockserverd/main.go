@@ -3,6 +3,13 @@
 // outsource work to peers or a dedicated cluster when oversubscribed
 // (paper §5.5).
 //
+// A fleet is N of these processes, each started with -store (so the
+// store-backed chunk operations are enabled) and -peers listing the other
+// members (so oversubscribed conversions outsource by power-of-two load
+// probes). Clients route across the members with lepton.DialFleet and
+// place replicated chunks with lepton.NewFleetStore; see the README's
+// "Running a fleet" section and examples/fleet.
+//
 // SIGINT/SIGTERM trigger a graceful drain: the listener closes, requests
 // already in flight finish, and stragglers are force-cancelled when the
 // drain timeout expires — the rollout/rollback discipline of §5.7. A
@@ -13,6 +20,7 @@
 //	blockserverd -listen unix:/tmp/lepton.sock
 //	blockserverd -listen tcp:0.0.0.0:7731 -dedicated tcp:10.0.0.5:7731,tcp:10.0.0.6:7731
 //	blockserverd -listen tcp::7731 -peers tcp:peer1:7731,tcp:peer2:7731 -threshold 3
+//	blockserverd -listen tcp::7731 -store -peers tcp:peer1:7731,tcp:peer2:7731
 //	blockserverd -listen tcp::7731 -request-timeout 30s -drain-timeout 10s
 //	blockserverd -listen tcp::7731 -debug-addr 127.0.0.1:7732
 package main
@@ -30,6 +38,7 @@ import (
 	"time"
 
 	"lepton/internal/server"
+	"lepton/internal/store"
 )
 
 func main() {
@@ -46,6 +55,14 @@ func main() {
 	debugAddr := flag.String("debug-addr", "",
 		"optional HTTP address serving /debug/vars with conversion counters,"+
 			" in-flight requests, and peak streamed-coefficient window bytes")
+	withStore := flag.Bool("store", false,
+		"enable the store-backed chunk operations (OpPutChunk*/OpGetChunk*), making"+
+			" this node a member of a distributed fleet store")
+	chunkSize := flag.Int("store-chunk-size", 0,
+		"chunk size in bytes for server-side uploads; 0 = 4 MiB")
+	shutoff := flag.String("store-shutoff", "",
+		"shutoff-switch path: if this file exists the store bypasses Lepton and"+
+			" deflates instead (§5.7 kill switch; production used /dev/shm)")
 	flag.Parse()
 
 	b := &server.Blockserver{
@@ -55,6 +72,12 @@ func main() {
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "blockserverd: "+format+"\n", args...)
 		},
+	}
+	if *withStore {
+		st := store.New()
+		st.ChunkSize = *chunkSize
+		st.ShutoffPath = *shutoff
+		b.Store = st
 	}
 	switch {
 	case *dedicated != "":

@@ -2,9 +2,16 @@
 // baseline JPEGs across a range of sizes and encoding parameters, plus the
 // §6.2 anomaly classes (progressive, CMYK, non-image, truncated, ...).
 //
+// With -fuzz-seeds it instead regenerates the checked-in seed corpora for
+// the fuzz targets (FuzzDecode in internal/core, FuzzStorePut in
+// internal/store): valid containers across color layouts plus corrupted
+// and truncated variants, written in Go's corpus-file format under each
+// package's testdata/fuzz/ directory.
+//
 // Usage:
 //
 //	corpusgen -n 200 -out ./corpus [-seed 1] [-errors]
+//	corpusgen -fuzz-seeds .     # from the repo root
 package main
 
 import (
@@ -13,8 +20,10 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strconv"
 
 	"lepton/internal/cluster"
+	"lepton/internal/core"
 	"lepton/internal/imagegen"
 )
 
@@ -29,8 +38,15 @@ func main() {
 		"additionally generate this many 2600x2000 4:4:4 images whose whole"+
 			" coefficient planes exceed the 24 MiB decode budget — they stream"+
 			" through the row-window pipeline (memory-bound testing)")
+	fuzzSeeds := flag.String("fuzz-seeds", "",
+		"regenerate the checked-in fuzz seed corpora under <dir>/internal/"+
+			"{core,store}/testdata/fuzz/ and exit (pass the repo root)")
 	flag.Parse()
 
+	if *fuzzSeeds != "" {
+		writeFuzzSeeds(*fuzzSeeds)
+		return
+	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
 	}
@@ -76,4 +92,91 @@ func write(dir string, i int, data []byte) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "corpusgen:", err)
 	os.Exit(1)
+}
+
+// --- fuzz seed corpora ----------------------------------------------------
+
+// mustEncode compresses one generated JPEG into a container.
+func mustEncode(img []byte, err error) []byte {
+	if err != nil {
+		fatal(err)
+	}
+	res, err := core.Encode(img, core.EncodeOptions{})
+	if err != nil {
+		fatal(err)
+	}
+	return res.Compressed
+}
+
+// withVariants appends a byte-flip corruption and a truncation of every
+// sufficiently large seed — the container-grammar head start the fuzzers
+// want, mirroring the in-test seed builders.
+func withVariants(seeds [][]byte, flipFromEnd int, frac int) [][]byte {
+	n := len(seeds)
+	for i := 0; i < n; i++ {
+		s := seeds[i]
+		if len(s) > 64 {
+			c := append([]byte(nil), s...)
+			c[len(c)-flipFromEnd] ^= 0x5A
+			seeds = append(seeds, c, s[:len(s)*frac/(frac+1)])
+		}
+	}
+	return seeds
+}
+
+// writeFuzzSeeds regenerates the committed corpora for FuzzDecode
+// (internal/core) and FuzzStorePut (internal/store). Deterministic: the
+// same binary always writes the same files.
+func writeFuzzSeeds(root string) {
+	// FuzzDecode: the whole-file decoder's grammar.
+	sy := imagegen.Synthesize(3, 120, 88)
+	decodeSeeds := [][]byte{
+		mustEncode(imagegen.EncodeJPEG(sy, imagegen.Options{Quality: 85, PadBit: 1})),
+		mustEncode(imagegen.EncodeJPEG(sy, imagegen.Options{Quality: 85, Grayscale: true, PadBit: 1})),
+		mustEncode(imagegen.EncodeJPEG(sy, imagegen.Options{Quality: 75, SubsampleChroma: true, RestartInterval: 3, PadBit: 0})),
+		rawContainer("not a jpeg", 10),
+	}
+	decodeSeeds = withVariants(decodeSeeds, 17, 3)
+	writeCorpus(filepath.Join(root, "internal", "core", "testdata", "fuzz", "FuzzDecode"), decodeSeeds)
+
+	// FuzzStorePut: chunk containers through store admission.
+	sy2 := imagegen.Synthesize(5, 112, 80)
+	storeSeeds := [][]byte{
+		mustEncode(imagegen.EncodeJPEG(sy2, imagegen.Options{Quality: 85, PadBit: 1})),
+		mustEncode(imagegen.EncodeJPEG(sy2, imagegen.Options{Quality: 75, Grayscale: true, PadBit: 0})),
+		mustEncode(imagegen.EncodeJPEG(sy2, imagegen.Options{Quality: 70, SubsampleChroma: true, RestartInterval: 2, PadBit: 1})),
+		rawContainer("raw chunk payload", 17),
+	}
+	storeSeeds = withVariants(storeSeeds, 9, 1)
+	writeCorpus(filepath.Join(root, "internal", "store", "testdata", "fuzz", "FuzzStorePut"), storeSeeds)
+}
+
+func rawContainer(payload string, size uint32) []byte {
+	c := &core.Container{Mode: core.ModeRaw, Raw: []byte(payload), OutputSize: size}
+	b, err := c.Marshal()
+	if err != nil {
+		fatal(err)
+	}
+	return b
+}
+
+// writeCorpus writes seeds in Go's corpus-file format ("go test fuzz v1"
+// plus one quoted []byte per fuzz argument), replacing the directory so a
+// reshaped generation cannot leave stale seed files behind for CI to keep
+// replaying.
+func writeCorpus(dir string, seeds [][]byte) {
+	if err := os.RemoveAll(dir); err != nil {
+		fatal(err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal(err)
+	}
+	for i, s := range seeds {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(s)) + ")\n"
+		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("wrote %d fuzz seeds to %s\n", len(seeds), dir)
 }

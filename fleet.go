@@ -1,0 +1,207 @@
+package lepton
+
+import (
+	"context"
+	"time"
+
+	"lepton/internal/server"
+	"lepton/internal/store"
+)
+
+// Fleet is a client-side router over a set of live blockservers — the
+// multi-node deployment of paper §5.5 as an API. It keeps pools of
+// persistent connections per node, picks targets by the power of two
+// random choices using real load probes (both candidates probed
+// concurrently under one shared context), retries transport failures on a
+// different node with the failed one excluded, optionally hedges a second
+// request after a latency threshold (first response wins, the loser is
+// cancelled through its context), and runs a health loop that evicts
+// unreachable nodes and re-admits them once probes succeed again.
+//
+//	fleet, err := lepton.DialFleet([]string{
+//		"tcp:10.0.0.5:7731", "tcp:10.0.0.6:7731", "tcp:10.0.0.7:7731",
+//	}, nil)
+//	comp, err := fleet.Compress(ctx, jpegBytes)
+//	orig, err := fleet.Decompress(ctx, comp)
+//
+// Application-level rejections (a corrupt payload, say) are returned
+// immediately without retries: the server rejected the request
+// deterministically, so another node would too. A Fleet is safe for
+// concurrent use; Close releases the health loop and every pooled
+// connection.
+type Fleet struct {
+	f *server.Fleet
+}
+
+// FleetOptions tunes routing. The zero value (or nil) selects the
+// defaults: 250ms probe rounds, 2s dials, 500ms health probes, hedging
+// off, one attempt per node.
+type FleetOptions struct {
+	// ProbeTimeout bounds one power-of-two probe round; both candidate
+	// probes share it.
+	ProbeTimeout time.Duration
+	// DialTimeout bounds establishing a new connection to a node.
+	DialTimeout time.Duration
+	// HedgeAfter, when positive, launches a second copy of a request on a
+	// different node if the first has not answered within this duration.
+	HedgeAfter time.Duration
+	// HealthInterval is the eviction/re-admission probe period; negative
+	// disables the loop. Disabling it makes eviction sticky until the
+	// node answers a probe or serves a request, which routed traffic only
+	// causes once no healthy node remains — leave the loop on unless you
+	// drive recovery yourself.
+	HealthInterval time.Duration
+	// MaxIdlePerNode caps pooled idle connections per node.
+	MaxIdlePerNode int
+	// MaxAttempts bounds how many nodes one request may try; 0 means one
+	// attempt per node.
+	MaxAttempts int
+	// Seed fixes the candidate-selection rng for reproducible runs; 0
+	// seeds from the clock.
+	Seed int64
+	// Logf, when set, receives routing diagnostics (evictions,
+	// readmissions, retries).
+	Logf func(format string, args ...any)
+}
+
+// DialFleet builds a router over addrs ("tcp:<host:port>" or
+// "unix:<path>") and starts its health loop. opts may be nil. Callers own
+// Close.
+func DialFleet(addrs []string, opts *FleetOptions) (*Fleet, error) {
+	var so *server.FleetOptions
+	if opts != nil {
+		so = &server.FleetOptions{
+			ProbeTimeout:   opts.ProbeTimeout,
+			DialTimeout:    opts.DialTimeout,
+			HedgeAfter:     opts.HedgeAfter,
+			HealthInterval: opts.HealthInterval,
+			MaxIdlePerNode: opts.MaxIdlePerNode,
+			MaxAttempts:    opts.MaxAttempts,
+			Seed:           opts.Seed,
+			Logf:           opts.Logf,
+		}
+	}
+	f, err := server.NewFleet(addrs, so)
+	if err != nil {
+		return nil, err
+	}
+	return &Fleet{f: f}, nil
+}
+
+// Compress routes one whole-file compression to the least-loaded probed
+// node and returns the Lepton container (or a raw-mode fallback container
+// for unsupported inputs, matching the single-server contract).
+func (fl *Fleet) Compress(ctx context.Context, data []byte) ([]byte, error) {
+	return fl.f.Compress(ctx, data)
+}
+
+// Decompress routes one container reconstruction through the fleet.
+func (fl *Fleet) Decompress(ctx context.Context, comp []byte) ([]byte, error) {
+	return fl.f.Decompress(ctx, comp)
+}
+
+// Nodes returns every configured node address, up or down.
+func (fl *Fleet) Nodes() []string { return fl.f.Nodes() }
+
+// NodeDown reports whether addr is currently evicted.
+func (fl *Fleet) NodeDown(addr string) bool { return fl.f.NodeDown(addr) }
+
+// StatsSnapshot returns the router's counters (requests, retries, hedges
+// and hedge wins, evictions, readmissions, probe and dial failures) plus
+// the current up/down node split, ready for expvar/JSON export.
+func (fl *Fleet) StatsSnapshot() map[string]int64 { return fl.f.StatsSnapshot() }
+
+// Close stops the health loop and closes every pooled connection.
+func (fl *Fleet) Close() error { return fl.f.Close() }
+
+// FleetStoreOptions configures a FleetStore. The zero value (or nil) is
+// replication 2 (capped at the node count), 4-MiB chunks, and pooled codec
+// state shared with the package-level conversion functions.
+type FleetStoreOptions struct {
+	// Replication is R, the number of distinct nodes each chunk is placed
+	// on.
+	Replication int
+	// ChunkSize for splitting files; 0 means ChunkSize (4 MiB).
+	ChunkSize int
+	// Codec supplies the pooled local conversion pipeline (the codec runs
+	// client side, §7); nil shares the package's default codec.
+	Codec *Codec
+}
+
+// FleetStore is the distributed counterpart of Store: content-addressed
+// chunks placed on R fleet nodes by consistent hashing, compressed client
+// side (only compressed bytes cross the network — the §7 bandwidth
+// saving), verified against their content hash on every read, and
+// read-repaired onto replicas found missing or corrupt. Placement depends
+// only on the configured node list, so every client of the same fleet
+// computes the same replicas and a node's death moves no data.
+//
+// A FleetStore is safe for concurrent use. All operations take a context.
+type FleetStore struct {
+	r *store.Remote
+}
+
+// FleetStoreCounters is a snapshot of a FleetStore's operational
+// statistics.
+type FleetStoreCounters = store.RemoteCounters
+
+// NewFleetStore builds a distributed store over an existing Fleet's nodes.
+// opts may be nil.
+func NewFleetStore(fl *Fleet, opts *FleetStoreOptions) (*FleetStore, error) {
+	repl := 0
+	if opts != nil {
+		repl = opts.Replication
+	}
+	r, err := store.NewRemote(fl.f, repl)
+	if err != nil {
+		return nil, err
+	}
+	codec := defaultCodec
+	if opts != nil {
+		r.ChunkSize = opts.ChunkSize
+		if opts.Codec != nil {
+			codec = opts.Codec
+		}
+	}
+	r.Codec = codec.core
+	return &FleetStore{r: r}, nil
+}
+
+// PutFile chunks and compresses a file locally (with the §5.7 round-trip
+// verification; inputs Lepton cannot hold fall back to raw chunks) and
+// places every chunk on its R replicas. It succeeds when each chunk
+// reached at least one replica; unreachable replicas are healed later by
+// read-repair.
+func (st *FleetStore) PutFile(ctx context.Context, data []byte) (FileRef, error) {
+	return st.r.PutFile(ctx, data)
+}
+
+// GetFile reassembles a file from its reference, reading each chunk from
+// the first healthy replica.
+func (st *FleetStore) GetFile(ctx context.Context, ref FileRef) ([]byte, error) {
+	return st.r.GetFile(ctx, ref)
+}
+
+// Put places one already-compressed chunk on its replicas and returns its
+// content address.
+func (st *FleetStore) Put(ctx context.Context, compressed []byte) (ChunkHash, error) {
+	return st.r.Put(ctx, compressed)
+}
+
+// Get fetches and decompresses one chunk.
+func (st *FleetStore) Get(ctx context.Context, h ChunkHash) ([]byte, error) {
+	return st.r.Get(ctx, h)
+}
+
+// GetCompressed fetches one chunk's stored compressed bytes without
+// decoding them.
+func (st *FleetStore) GetCompressed(ctx context.Context, h ChunkHash) ([]byte, error) {
+	return st.r.GetCompressed(ctx, h)
+}
+
+// Placement returns the replica addresses that should hold h, in read
+// order.
+func (st *FleetStore) Placement(h ChunkHash) []string { return st.r.Placement(h) }
+
+// Counters returns a snapshot of operational statistics.
+func (st *FleetStore) Counters() FleetStoreCounters { return st.r.Counters() }

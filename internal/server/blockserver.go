@@ -25,6 +25,28 @@ type Outsourcer interface {
 	Target() (addr string, ok bool)
 }
 
+// ctxOutsourcer is the context-aware selection an Outsourcer may optionally
+// implement (PeerPool does): the serve path passes the request context so a
+// cancelled request stops probing immediately.
+type ctxOutsourcer interface {
+	TargetCtx(ctx context.Context) (addr string, ok bool)
+}
+
+// probeFailureCounter is optionally implemented by an Outsourcer whose
+// selection involves load probes; StatsSnapshot surfaces the count.
+type probeFailureCounter interface {
+	ProbeFailures() int64
+}
+
+// outsourceTarget selects a target through the configured Outsourcer,
+// preferring its context-aware form.
+func (b *Blockserver) outsourceTarget(ctx context.Context) (string, bool) {
+	if co, ok := b.Outsource.(ctxOutsourcer); ok {
+		return co.TargetCtx(ctx)
+	}
+	return b.Outsource.Target()
+}
+
 // DedicatedPool outsources to a dedicated Lepton cluster — the paper's
 // best-performing strategy at peak (§5.5.1): a random member is picked.
 type DedicatedPool struct {
@@ -56,6 +78,8 @@ type PeerPool struct {
 	ProbeTimeout time.Duration
 	rng          *rand.Rand
 	mu           sync.Mutex
+
+	probeFailures atomic.Int64
 }
 
 // NewPeerPool builds a peer pool with a deterministic selector.
@@ -63,10 +87,18 @@ func NewPeerPool(addrs []string, seed int64) *PeerPool {
 	return &PeerPool{Addrs: addrs, ProbeTimeout: time.Second, rng: rand.New(rand.NewSource(seed))}
 }
 
-// Target probes two random peers concurrently and returns the less loaded.
-// Probing in parallel keeps the selection latency at one probe RTT instead
-// of two — it sits on the critical path of every outsourced conversion.
+// Target selects a peer without an external context; see TargetCtx.
 func (p *PeerPool) Target() (string, bool) {
+	return p.TargetCtx(context.Background())
+}
+
+// TargetCtx probes two random peers concurrently under one shared context
+// (bounded by ProbeTimeout) and returns the less loaded. The shared context
+// keeps the selection latency at a single probe round even when a peer is
+// dead — the whole selection, not each probe, pays at most one timeout —
+// and it sits on the critical path of every outsourced conversion, so the
+// caller's request context cancels the probes too.
+func (p *PeerPool) TargetCtx(ctx context.Context) (string, bool) {
 	if len(p.Addrs) == 0 {
 		return "", false
 	}
@@ -74,44 +106,54 @@ func (p *PeerPool) Target() (string, bool) {
 	a := p.Addrs[p.rng.Intn(len(p.Addrs))]
 	b := p.Addrs[p.rng.Intn(len(p.Addrs))]
 	p.mu.Unlock()
+	timeout := p.ProbeTimeout
+	if timeout <= 0 {
+		timeout = time.Second
+	}
+	pctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
 	if a == b {
+		// Same peer drawn twice: one probe decides — a dead peer must not
+		// be selected just because the rng collapsed the pair.
+		if _, err := probeLoad(pctx, a); err != nil {
+			if ctx.Err() == nil {
+				// Not our own cancellation: a real verdict on the peer.
+				p.probeFailures.Add(1)
+			}
+			return "", false
+		}
 		return a, true
 	}
-	type probe struct {
-		load uint32
-		err  error
-	}
-	ra := make(chan probe, 1)
-	rb := make(chan probe, 1)
-	go func() {
-		l, err := probeLoad(a, p.ProbeTimeout)
-		ra <- probe{l, err}
-	}()
-	go func() {
-		l, err := probeLoad(b, p.ProbeTimeout)
-		rb <- probe{l, err}
-	}()
-	pa, pb := <-ra, <-rb
-	la, erra := pa.load, pa.err
-	lb, errb := pb.load, pb.err
-	switch {
-	case erra != nil && errb != nil:
+	pair := [2]string{a, b}
+	win, errs := probePair(pctx, func(ctx context.Context, k int) (uint32, error) {
+		return probeLoad(ctx, pair[k])
+	})
+	if ctx.Err() != nil {
+		// The request was cancelled mid-probe; no verdict on the peers.
 		return "", false
-	case erra != nil:
-		return b, true
-	case errb != nil:
-		return a, true
-	case lb < la:
-		return b, true
-	default:
-		return a, true
 	}
+	for _, err := range errs {
+		if err != nil {
+			p.probeFailures.Add(1)
+		}
+	}
+	if win < 0 {
+		return "", false
+	}
+	return pair[win], true
 }
 
-func probeLoad(addr string, timeout time.Duration) (uint32, error) {
-	resp, err := Do(addr, OpLoad, nil, timeout)
-	if err != nil || len(resp) < 4 {
+// ProbeFailures reports how many load probes have failed; a Blockserver
+// exposes it as "probe_failures" in StatsSnapshot.
+func (p *PeerPool) ProbeFailures() int64 { return p.probeFailures.Load() }
+
+func probeLoad(ctx context.Context, addr string) (uint32, error) {
+	resp, err := DoCtx(ctx, addr, OpLoad, nil)
+	if err != nil {
 		return 0, err
+	}
+	if len(resp) < 4 {
+		return 0, fmt.Errorf("server: short load response (%d bytes)", len(resp))
 	}
 	return binary.LittleEndian.Uint32(resp), nil
 }
@@ -133,7 +175,7 @@ type Stats struct {
 // ready for expvar/JSON export; see cmd/blockserverd's -debug-addr.
 func (b *Blockserver) StatsSnapshot() map[string]int64 {
 	inUse, peak := core.CoeffMemStats()
-	return map[string]int64{
+	snap := map[string]int64{
 		"compresses":                b.Stats.Compresses.Load(),
 		"decompresses":              b.Stats.Decompresses.Load(),
 		"outsourced":                b.Stats.Outsourced.Load(),
@@ -143,6 +185,10 @@ func (b *Blockserver) StatsSnapshot() map[string]int64 {
 		"coeff_window_bytes_in_use": inUse,
 		"coeff_window_bytes_peak":   peak,
 	}
+	if pf, ok := b.Outsource.(probeFailureCounter); ok {
+		snap["probe_failures"] = pf.ProbeFailures()
+	}
+	return snap
 }
 
 // Blockserver serves Lepton conversions on a listener. It mirrors the
@@ -531,14 +577,16 @@ func (b *Blockserver) withRequestCtx(sc *srvConn, fn func(ctx context.Context) b
 	return ok && !peerGone.Load()
 }
 
-// respondErr reports a conversion failure, counting a context abort
-// separately from a codec error.
+// respondErr reports a conversion failure in-band. A context abort — the
+// per-request timeout, a drain force-cancel, a cancelled queue wait — is a
+// node-local condition, answered with StatusRetry so routed clients try
+// another node; everything else is a deterministic StatusError.
 func (b *Blockserver) respondErr(conn net.Conn, err error) bool {
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		b.Stats.Cancelled.Add(1)
-	} else {
-		b.Stats.Errors.Add(1)
+		return WriteResponse(conn, StatusRetry, []byte(err.Error())) == nil
 	}
+	b.Stats.Errors.Add(1)
 	return WriteResponse(conn, StatusError, []byte(err.Error())) == nil
 }
 
@@ -585,7 +633,7 @@ func (b *Blockserver) serveCompress(ctx context.Context, conn net.Conn, payload 
 	// many cheap requests can be randomly assigned too many Lepton
 	// conversions at once.
 	if b.Outsource != nil && int(b.inFlight.Load()) >= b.OutsourceThreshold {
-		if addr, ok := b.Outsource.Target(); ok {
+		if addr, ok := b.outsourceTarget(ctx); ok {
 			octx, ocancel := context.WithTimeout(ctx, 30*time.Second)
 			resp, err := DoCtx(octx, addr, OpCompress, payload)
 			ocancel()
@@ -691,7 +739,14 @@ func (b *Blockserver) handleStoreOp(ctx context.Context, conn net.Conn, op byte,
 		h := ref.Chunks[0]
 		return WriteResponse(conn, StatusOK, h[:]) == nil
 	case OpPutChunkCompressed:
-		// Client-side codec (§7): only verification runs here.
+		// Client-side codec (§7): "only" verification runs here — but that
+		// is a full decode, so it takes a worker-pool slot like any other
+		// conversion; otherwise fleet-store puts would bypass MaxConcurrent
+		// and stay invisible to the load probes routing them.
+		if err := b.acquire(ctx); err != nil {
+			return fail(err)
+		}
+		defer b.release()
 		h, err := b.Store.PutCompressedChunkCtx(ctx, payload)
 		if err != nil {
 			return fail(err)
@@ -719,7 +774,11 @@ func (b *Blockserver) handleStoreOp(ctx context.Context, conn net.Conn, op byte,
 		}
 		cb, ok := b.Store.GetCompressedChunk(h)
 		if !ok {
-			return fail(fmt.Errorf("unknown chunk"))
+			// A miss is answered with its own status byte so replicated
+			// readers can key read-repair on it without parsing error
+			// prose; it still counts as an error for this node's stats.
+			b.Stats.Errors.Add(1)
+			return WriteResponse(conn, StatusNotFound, []byte("unknown chunk")) == nil
 		}
 		return WriteResponse(conn, StatusOK, cb) == nil
 	}

@@ -24,6 +24,24 @@ type Client struct {
 	conn net.Conn
 }
 
+// RemoteError is a failure the server reported in-band: the exchange
+// completed and the connection remains usable. Transient distinguishes a
+// node-local decline (StatusRetry: per-request timeout, drain
+// force-cancel — the same request may succeed on another node, and the
+// Fleet retries it there) from a deterministic rejection (StatusError: any
+// node would reject the payload identically, so retrying is futile).
+// NotFound (StatusNotFound) marks a store read for a chunk the node does
+// not hold — deterministic for that node, but the read-repairable signal
+// for replicated readers. Transport failures (dial errors, broken
+// framing, deadlines) are returned as ordinary errors instead.
+type RemoteError struct {
+	Msg       string
+	Transient bool
+	NotFound  bool
+}
+
+func (e *RemoteError) Error() string { return "server: remote error: " + e.Msg }
+
 // Dial connects to addr ("unix:<path>" or "tcp:<host:port>").
 func Dial(addr string, timeout time.Duration) (*Client, error) {
 	ctx := context.Background()
@@ -67,6 +85,11 @@ func (c *Client) Do(op byte, payload []byte, timeout time.Duration) ([]byte, err
 // DoCtx performs one exchange under a context: cancellation interrupts the
 // blocked I/O, tears the connection down, and returns ctx.Err().
 func (c *Client) DoCtx(ctx context.Context, op byte, payload []byte) ([]byte, error) {
+	if err := checkPayloadSize(payload); err != nil {
+		// Refusing client-side beats burning the upload: the server's only
+		// answer to an over-limit body is tearing the connection down.
+		return nil, err
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.conn == nil {
@@ -92,7 +115,7 @@ func (c *Client) DoCtx(ctx context.Context, op byte, payload []byte) ([]byte, er
 		return nil, ctxOr(ctx, err)
 	}
 	if status != StatusOK {
-		return nil, fmt.Errorf("server: remote error: %s", resp)
+		return nil, &RemoteError{Msg: string(resp), Transient: status == StatusRetry, NotFound: status == StatusNotFound}
 	}
 	return resp, nil
 }

@@ -38,14 +38,35 @@ const (
 	OpGetChunkCompressed = byte('H') // body: hash -> returns stored compressed bytes
 )
 
-// Response status codes.
+// Response status codes. StatusError marks a deterministic rejection (the
+// same payload would be rejected by any node); StatusRetry marks a
+// node-local decline — a per-request timeout, a drain force-cancel, a
+// cancelled queue wait — where the identical request may well succeed on
+// another node, so routed clients retry those elsewhere; StatusNotFound
+// marks a store read for a chunk this node does not hold, the signal
+// replicated readers key read-repair on (a status byte, not error prose,
+// so mixed-version fleets mid-rollout cannot misclassify it).
 const (
-	StatusOK    = byte(0)
-	StatusError = byte(1)
+	StatusOK       = byte(0)
+	StatusError    = byte(1)
+	StatusRetry    = byte(2)
+	StatusNotFound = byte(3)
 )
 
 // maxPayload bounds a request body (a chunk plus slack).
 const maxPayload = 8 << 20
+
+// checkPayloadSize rejects a request body the server would refuse for
+// size before any bytes go on the wire. The server's refusal is a
+// connection teardown (ReadRequest cannot answer in-band without draining
+// the oversized body), which routed clients would misread as a node
+// failure — one over-limit JPEG must not evict the fleet node by node.
+func checkPayloadSize(payload []byte) error {
+	if len(payload) > maxPayload {
+		return fmt.Errorf("server: request of %d bytes exceeds the %d-byte protocol limit", len(payload), maxPayload)
+	}
+	return nil
+}
 
 // WriteFrame sends op+payload, leaving the write side open so further
 // requests can follow on the same connection.
@@ -113,6 +134,17 @@ func WriteResponseHeader(conn net.Conn, status byte, n uint32) error {
 	return err
 }
 
+// StreamBodyError marks a response that died after its header arrived:
+// the peer was alive enough to frame a response, so the failure is
+// request-scoped — a mid-stream decode abort (the server's only way to
+// signal a shortfall on an already-framed response is tearing the
+// connection down) or a payload that fails the same way everywhere.
+// Routed clients retry elsewhere but do not evict the node for it.
+type StreamBodyError struct{ Err error }
+
+func (e *StreamBodyError) Error() string { return "server: response died mid-body: " + e.Err.Error() }
+func (e *StreamBodyError) Unwrap() error { return e.Err }
+
 // ReadResponse reads a response.
 func ReadResponse(conn net.Conn) (status byte, payload []byte, err error) {
 	var hdr [5]byte
@@ -125,7 +157,7 @@ func ReadResponse(conn net.Conn) (status byte, payload []byte, err error) {
 	}
 	payload = make([]byte, n)
 	if _, err := io.ReadFull(conn, payload); err != nil {
-		return 0, nil, err
+		return 0, nil, &StreamBodyError{Err: err}
 	}
 	return hdr[0], payload, nil
 }
@@ -146,6 +178,9 @@ func Do(addr string, op byte, payload []byte, timeout time.Duration) ([]byte, er
 // write, and response read are all abandoned when ctx is cancelled or its
 // deadline passes, and the error is ctx.Err().
 func DoCtx(ctx context.Context, addr string, op byte, payload []byte) ([]byte, error) {
+	if err := checkPayloadSize(payload); err != nil {
+		return nil, err
+	}
 	network, address, err := splitAddr(addr)
 	if err != nil {
 		return nil, err
@@ -169,7 +204,7 @@ func DoCtx(ctx context.Context, addr string, op byte, payload []byte) ([]byte, e
 		return nil, ctxOr(ctx, err)
 	}
 	if status != StatusOK {
-		return nil, fmt.Errorf("server: remote error: %s", resp)
+		return nil, &RemoteError{Msg: string(resp), Transient: status == StatusRetry, NotFound: status == StatusNotFound}
 	}
 	return resp, nil
 }
