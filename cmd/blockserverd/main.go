@@ -46,8 +46,11 @@ func main() {
 	dedicated := flag.String("dedicated", "", "comma-separated dedicated outsourcing targets")
 	peers := flag.String("peers", "", "comma-separated peer blockservers for to-self outsourcing")
 	threshold := flag.Int("threshold", 3, "outsource when more conversions than this are in flight")
-	maxConcurrent := flag.Int("max-concurrent", server.DefaultMaxConcurrent,
-		"bound on conversions running at once (the shared worker pool); extra requests queue")
+	shards := flag.Int("shards", 0,
+		"worker shards, each with a private codec pinned to a connection set;"+
+			" 0 = one per core (GOMAXPROCS)")
+	maxConcurrent := flag.Int("max-concurrent", 0,
+		"deprecated alias for -shards; 0 defers to -shards")
 	requestTimeout := flag.Duration("request-timeout", 0,
 		"per-request deadline; conversions running longer are cancelled (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
@@ -67,6 +70,7 @@ func main() {
 
 	b := &server.Blockserver{
 		OutsourceThreshold: *threshold,
+		Shards:             *shards,
 		MaxConcurrent:      *maxConcurrent,
 		RequestTimeout:     *requestTimeout,
 		Logf: func(format string, args ...any) {

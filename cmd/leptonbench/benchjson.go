@@ -1,0 +1,137 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"testing"
+
+	"lepton/internal/baseline"
+	"lepton/internal/core"
+	"lepton/internal/cpufeat"
+	"lepton/internal/imagegen"
+)
+
+// The BENCH_<n>.json artifact (ROADMAP "Raw speed"): a machine-readable
+// record of the single-node Figure 1/2 hot-path benchmarks, checked in per
+// PR so the performance trajectory is tracked instead of anecdotal. The
+// corpus and codecs match bench_test.go's BenchmarkFigure2Compress /
+// BenchmarkFigure1Decompress, so `go test -bench` output and artifacts
+// stay comparable.
+
+type benchRecord struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// PeakCoeffB is the process-wide high-water mark of streamed
+	// coefficient row-window bytes (the §5.1 memory ceiling) observed up
+	// to the end of this benchmark.
+	PeakCoeffB int64 `json:"peak_coeff_b"`
+}
+
+type benchArtifact struct {
+	GitSHA     string        `json:"git_sha"`
+	GoVersion  string        `json:"go_version"`
+	GOARCH     string        `json:"goarch"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	AVX2       bool          `json:"avx2"`
+	Benchmarks []benchRecord `json:"benchmarks"`
+}
+
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	sha := strings.TrimSpace(string(out))
+	if st, err := exec.Command("git", "status", "--porcelain").Output(); err == nil && len(st) > 0 {
+		sha += "-dirty"
+	}
+	return sha
+}
+
+// benchCorpus mirrors bench_test.go's loadCorpus: eight deterministic
+// images, ~40-400 KiB.
+func benchJSONCorpus() [][]byte {
+	var corpus [][]byte
+	for seed := int64(1); seed <= 8; seed++ {
+		data, err := imagegen.Generate(seed, 256+int(seed)*96, 192+int(seed)*72)
+		if err != nil {
+			panic(err)
+		}
+		corpus = append(corpus, data)
+	}
+	return corpus
+}
+
+func record(name string, r testing.BenchmarkResult) benchRecord {
+	_, peak := core.CoeffMemStats()
+	return benchRecord{
+		Name:        name,
+		NsPerOp:     float64(r.NsPerOp()),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		PeakCoeffB:  peak,
+	}
+}
+
+// writeBenchJSON measures the Figure 1/2 codec hot paths and writes the
+// artifact to path (conventionally BENCH_<pr>.json at the repo root).
+func writeBenchJSON(path string) {
+	corpus := benchJSONCorpus()
+	art := benchArtifact{
+		GitSHA:     gitSHA(),
+		GoVersion:  runtime.Version(),
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		AVX2:       cpufeat.X86.HasAVX2,
+	}
+	for _, c := range []baseline.Codec{baseline.LeptonPooled{}, baseline.Lepton{}} {
+		c := c
+		comp := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, d := range corpus {
+					if _, err := c.Compress(d); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		art.Benchmarks = append(art.Benchmarks, record("Figure2Compress/"+c.Name(), comp))
+
+		var comps [][]byte
+		for _, d := range corpus {
+			cd, err := c.Compress(d)
+			if err != nil {
+				panic(err)
+			}
+			comps = append(comps, cd)
+		}
+		dec := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, cd := range comps {
+					if _, err := c.Decompress(cd); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		art.Benchmarks = append(art.Benchmarks, record("Figure1Decompress/"+c.Name(), dec))
+	}
+	out, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "leptonbench: bench-json:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks, git %s)\n", path, len(art.Benchmarks), art.GitSHA)
+}

@@ -44,6 +44,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "corpus seed")
 	quick := flag.Bool("quick", false, "smaller deployments sims")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	benchJSON := flag.String("bench-json", "",
+		"measure the Figure 1/2 codec hot paths and write a machine-readable"+
+			" artifact (conventionally BENCH_<pr>.json) to this path")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -87,6 +90,10 @@ func main() {
 	run(*cost, costTable)
 	run(*outsource, outsourceOverhead)
 	run(*extensions, extensionsTable)
+	if *benchJSON != "" {
+		writeBenchJSON(*benchJSON)
+		ran = true
+	}
 	if !ran {
 		flag.Usage()
 		os.Exit(2)

@@ -1,0 +1,31 @@
+package baseline_test
+
+import (
+	"testing"
+
+	"lepton/internal/baseline"
+	"lepton/internal/imagegen"
+	"lepton/internal/jpeg"
+)
+
+// TestOversizeRejected: the plane-materializing comparators must reject a
+// structurally valid max-dimension JPEG (whose full coefficient planes
+// would be ~25 GB) with the typed memory reason instead of attempting the
+// allocation. Regression test for the guard the streaming core codec's
+// row-window admission control does not cover.
+func TestOversizeRejected(t *testing.T) {
+	stub := imagegen.OversizeStub(42)
+	for _, c := range []baseline.Codec{baseline.Rescan{}, baseline.SpecArith{}} {
+		_, err := c.Compress(stub)
+		if err == nil {
+			t.Fatalf("%s: compress of oversize stub succeeded", c.Name())
+		}
+		if r := jpeg.ReasonOf(err); r != jpeg.ReasonMemDecode {
+			t.Errorf("%s: reason = %v, want ReasonMemDecode (err: %v)", c.Name(), r, err)
+		}
+	}
+	// Rescan's decompress path parses attacker-shaped JPEG bytes too.
+	if _, err := (baseline.Rescan{}).Decompress(stub); jpeg.ReasonOf(err) != jpeg.ReasonMemDecode {
+		t.Errorf("rescan decompress: reason = %v, want ReasonMemDecode", jpeg.ReasonOf(err))
+	}
+}

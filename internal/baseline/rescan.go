@@ -2,12 +2,34 @@ package baseline
 
 import (
 	"errors"
+	"fmt"
 
 	"lepton/internal/core"
 	"lepton/internal/dct"
 	"lepton/internal/huffman"
 	"lepton/internal/jpeg"
 )
+
+// guardPlanes rejects geometries whose full coefficient planes would not
+// fit the encode-side memory budget. The streaming core codec never
+// materializes whole planes (§5.1), so jpeg.Parse's admission control only
+// bounds a sliding row window — but the bench-only comparators in this
+// package do materialize planes (Rescan's frequency tally and SpecArith's
+// model both walk them in full), so a crafted max-dimension header
+// (65504×65504 ≈ 25 GB of planes) must be rejected up front with the same
+// typed reason production admission control uses (§6.2).
+func guardPlanes(f *jpeg.File) error {
+	var total int64
+	for i := range f.Components {
+		c := &f.Components[i]
+		total += int64(c.BlocksWide) * int64(c.BlocksHigh) * 64 * 2
+	}
+	if total > core.DefaultMemEncodeBudget {
+		return &jpeg.Error{Reason: jpeg.ReasonMemDecode,
+			Detail: fmt.Sprintf("coefficient planes need %d bytes > %d budget", total, int64(core.DefaultMemEncodeBudget))}
+	}
+	return nil
+}
 
 // Rescan is the JPEGrescan/MozJPEG-style comparator: it re-optimizes the
 // Huffman tables for the actual symbol statistics of the scan and rewrites
@@ -26,6 +48,9 @@ func (Rescan) FilePreserving() bool { return false }
 func (Rescan) Compress(data []byte) ([]byte, error) {
 	f, err := jpeg.Parse(data, core.DefaultMemEncodeBudget)
 	if err != nil {
+		return nil, err
+	}
+	if err := guardPlanes(f); err != nil {
 		return nil, err
 	}
 	s, err := jpeg.DecodeScan(f)
@@ -99,6 +124,9 @@ func (Rescan) Compress(data []byte) ([]byte, error) {
 func (Rescan) Decompress(comp []byte) ([]byte, error) {
 	f, err := jpeg.Parse(comp, core.DefaultMemEncodeBudget)
 	if err != nil {
+		return nil, err
+	}
+	if err := guardPlanes(f); err != nil {
 		return nil, err
 	}
 	s, err := jpeg.DecodeScan(f)

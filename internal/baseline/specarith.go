@@ -30,6 +30,9 @@ func (SpecArith) Compress(data []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := guardPlanes(f); err != nil {
+		return nil, err
+	}
 	s, err := jpeg.DecodeScan(f)
 	if err != nil {
 		return nil, err
@@ -122,6 +125,9 @@ func (SpecArith) Decompress(comp []byte) ([]byte, error) {
 
 	f, err := jpeg.ParseHeader(hdr)
 	if err != nil {
+		return nil, err
+	}
+	if err := guardPlanes(f); err != nil {
 		return nil, err
 	}
 	coeff := make([][]int16, len(f.Components))

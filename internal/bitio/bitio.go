@@ -155,13 +155,15 @@ func (w *Writer) AppendRaw(b []byte) {
 	if w.nbits != 0 {
 		panic("bitio: AppendRaw on unaligned writer")
 	}
-	for _, c := range b {
-		if w.limit > 0 && len(w.buf) >= w.limit {
-			w.clipped = true
-			return
+	if w.limit > 0 && len(w.buf)+len(b) > w.limit {
+		// Keep exactly the bytes that fit, as the per-byte loop did.
+		if n := w.limit - len(w.buf); n > 0 {
+			w.buf = append(w.buf, b[:n]...)
 		}
-		w.buf = append(w.buf, c)
+		w.clipped = true
+		return
 	}
+	w.buf = append(w.buf, b...)
 }
 
 // Bytes returns the completed output bytes. The partial byte, if any, is not
@@ -184,13 +186,21 @@ type Reader struct {
 	data []byte
 	pos  int   // index of the byte containing the next unread bit
 	bit  uint8 // next bit within data[pos] (0 = MSB)
+	// ffAt is the 0xFF watermark: the index of the next 0xFF byte at or
+	// after pos, or len(data) when none remains. It turns PeekBits'
+	// four-byte window scan into a single compare (pos+4 <= ffAt means the
+	// window is clean). A value below pos is stale — pos moved past it —
+	// and refill rescans from pos with the bulk indexFF kernel; each
+	// rescan ends where the next one starts, so the total scan work stays
+	// O(len(data)) across the whole stream.
+	ffAt int
 	// marker handling
 	atMarker bool
 	marker   byte
 }
 
 // NewReader returns a Reader over the entropy-coded segment in data.
-func NewReader(data []byte) *Reader { return &Reader{data: data} }
+func NewReader(data []byte) *Reader { return &Reader{data: data, ffAt: -1} }
 
 // Pos returns the raw-stream position of the next unread bit: the byte index
 // (including stuffing bytes) and the bit offset within that byte. This is the
@@ -250,15 +260,28 @@ func (r *Reader) ReadBit() (uint8, error) {
 // path, which is the single source of truth for those cases. After a
 // successful peek, SkipBits(m) is valid for any m <= n.
 func (r *Reader) PeekBits(n uint8) (v uint32, ok bool) {
-	if r.atMarker || r.pos+4 > len(r.data) {
-		return 0, false
+	if r.pos+4 > r.ffAt {
+		if !r.refill() {
+			return 0, false
+		}
 	}
 	d := r.data[r.pos : r.pos+4 : r.pos+4]
-	if d[0] == 0xFF || d[1] == 0xFF || d[2] == 0xFF || d[3] == 0xFF {
-		return 0, false
-	}
 	w := uint32(d[0])<<24 | uint32(d[1])<<16 | uint32(d[2])<<8 | uint32(d[3])
 	return w << r.bit >> (32 - n), true
+}
+
+// refill is PeekBits' slow path: it re-establishes the 0xFF watermark when
+// the reader has moved past it and reports whether the four-byte window at
+// pos is clean. ffAt <= len(data) always holds, so a true return also
+// guarantees the window is in bounds.
+func (r *Reader) refill() bool {
+	if r.atMarker || r.pos+4 > len(r.data) {
+		return false
+	}
+	if r.ffAt < r.pos {
+		r.ffAt = r.pos + indexFF(r.data[r.pos:])
+	}
+	return r.pos+4 <= r.ffAt
 }
 
 // SkipBits consumes n bits previously returned by a successful PeekBits.

@@ -1,0 +1,13 @@
+package bitio
+
+import "bytes"
+
+// indexFFGo is the portable bulk 0xFF scan: the index of the first 0xFF
+// byte in b, or len(b) when none occurs. The Reader's watermark wants the
+// "none" case as len(b), not -1, so the stdlib result is normalized.
+func indexFFGo(b []byte) int {
+	if i := bytes.IndexByte(b, 0xFF); i >= 0 {
+		return i
+	}
+	return len(b)
+}

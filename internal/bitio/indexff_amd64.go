@@ -1,0 +1,22 @@
+//go:build amd64 && !noasm
+
+package bitio
+
+import "lepton/internal/cpufeat"
+
+var useAVX2 = cpufeat.X86.HasAVX2
+
+// indexFF returns the index of the first 0xFF byte in b, or len(b) when
+// none occurs. On AVX2 hosts the 32-bytes-per-compare kernel in
+// indexff_amd64.s does the scan.
+func indexFF(b []byte) int {
+	if useAVX2 {
+		return indexFFAVX2(b)
+	}
+	return indexFFGo(b)
+}
+
+// Implemented in indexff_amd64.s.
+//
+//go:noescape
+func indexFFAVX2(b []byte) int

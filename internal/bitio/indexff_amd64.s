@@ -1,0 +1,51 @@
+//go:build amd64 && !noasm
+
+#include "textflag.h"
+
+// func indexFFAVX2(b []byte) int
+//
+// Scans 32 bytes per iteration with VPCMPEQB against an all-ones vector
+// (0xFF in every lane) and a movemask; the scalar tail handles the final
+// sub-vector bytes. Returns len(b) when no 0xFF occurs.
+TEXT ·indexFFAVX2(SB), NOSPLIT, $0-32
+	MOVQ b_base+0(FP), SI
+	MOVQ b_len+8(FP), CX
+	MOVQ $0, AX               // current index
+	VPCMPEQB Y1, Y1, Y1       // all ones: a vector of 0xFF bytes
+
+loop32:
+	LEAQ 32(AX), DX
+	CMPQ DX, CX
+	JGT tail
+	VMOVDQU (SI)(AX*1), Y0
+	VPCMPEQB Y1, Y0, Y0
+	VPMOVMSKB Y0, BX
+	TESTL BX, BX
+	JNE found
+	MOVQ DX, AX
+	JMP loop32
+
+found:
+	BSFL BX, BX               // BX is nonzero here, so BSF is defined
+	ADDQ BX, AX
+	MOVQ AX, ret+24(FP)
+	VZEROUPPER
+	RET
+
+tail:
+	CMPQ AX, CX
+	JGE none
+	MOVBLZX (SI)(AX*1), BX
+	CMPL BX, $0xFF
+	JEQ hit
+	INCQ AX
+	JMP tail
+hit:
+	MOVQ AX, ret+24(FP)
+	VZEROUPPER
+	RET
+
+none:
+	MOVQ CX, ret+24(FP)
+	VZEROUPPER
+	RET

@@ -1,0 +1,7 @@
+//go:build !amd64 || noasm
+
+package bitio
+
+// indexFF returns the index of the first 0xFF byte in b, or len(b) when
+// none occurs.
+func indexFF(b []byte) int { return indexFFGo(b) }

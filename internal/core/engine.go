@@ -23,6 +23,19 @@ import (
 // may keep in flight ahead of the segment coders (the bounded ring). Only
 // files whose windows cannot fit are rejected before allocating, with the
 // memory exit code the §6.2 table exercises.
+//
+// Deployment shape (§5.1): production ran one Lepton process per core,
+// each handling one conversion at a time, so every process kept a warm,
+// private working set and never contended on shared allocator state. The
+// in-process analogue is internal/server's sharded worker pool: one
+// worker per GOMAXPROCS core, each owning a private Codec whose pooled
+// buffers are reused across that shard's requests only. Connections hash
+// to a home shard (affinity keeps the buffers cache-warm); idle shards
+// steal queued work so a slow request does not strand its neighbors. The
+// block-level hot paths under this engine (border IDCT, occupancy masks,
+// 0xFF scans) dispatch to AVX2 kernels where the CPU has them — see
+// internal/dct and internal/bitio, portable twins enforced bit-identical
+// by differential fuzzing.
 const (
 	DefaultMemDecodeBudget = 24 << 20
 	DefaultMemEncodeBudget = 178 << 20

@@ -1,0 +1,18 @@
+// Package cpufeat detects the CPU features the hand-written assembly
+// kernels in this repository dispatch on. The repo deliberately has zero
+// module dependencies, so the CPUID/XGETBV probing is done here instead of
+// pulling in golang.org/x/sys/cpu.
+//
+// On amd64 without the noasm build tag, init fills X86 from CPUID; on every
+// other platform (and under -tags noasm) the fields stay false and callers
+// take their portable pure-Go paths.
+package cpufeat
+
+// X86 reports the vector features of the running amd64 CPU. All fields are
+// false on other architectures and under the noasm build tag.
+var X86 struct {
+	// HasAVX2 is true when the CPU supports AVX2 *and* the OS has enabled
+	// saving the YMM state (OSXSAVE + XCR0 bits 1-2), which is the gate the
+	// AVX2 kernels in internal/dct and internal/bitio require.
+	HasAVX2 bool
+}

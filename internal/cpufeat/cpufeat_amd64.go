@@ -1,0 +1,32 @@
+//go:build amd64 && !noasm
+
+package cpufeat
+
+// cpuid executes the CPUID instruction with the given leaf and subleaf.
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0 (the OS-enabled state mask).
+func xgetbv() (eax, edx uint32)
+
+func init() {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const (
+		osxsave = 1 << 27
+		avx     = 1 << 28
+	)
+	if ecx1&osxsave == 0 || ecx1&avx == 0 {
+		return
+	}
+	// XCR0 bits 1 (SSE state) and 2 (AVX state) must both be OS-enabled or
+	// executing a VEX.256 instruction faults.
+	xcr0, _ := xgetbv()
+	if xcr0&6 != 6 {
+		return
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	X86.HasAVX2 = ebx7&(1<<5) != 0
+}

@@ -132,7 +132,8 @@ func Inverse(src, dst *Block) {
 	}
 }
 
-// InverseBorder computes the inverse transform of a block's dequantized AC
+// inverseBorderGo is the portable implementation of InverseBorder (see the
+// build-tagged wrappers): the inverse transform of a block's dequantized AC
 // coefficients (coef[i]*q[i], index 0 treated as zero), restricted to the
 // frame samples consumed by Lepton's DC predictor and edge caches: every
 // sample of rows 0, 1, 6, 7 and columns 0, 1, 6, 7. The 16 interior samples
@@ -141,7 +142,13 @@ func Inverse(src, dst *Block) {
 // sparse common case touches only the nonzero coefficients; computed
 // samples are bit-identical to dequantizing into a block and running
 // Inverse, so encoder and decoder stay in exact agreement (paper §5.2).
-func InverseBorder(coef []int16, q *[64]uint16, dst *Block) {
+//
+// The AVX2 kernel in dct_amd64.s computes the same samples densely (the
+// sparse skips here only ever drop exact-zero contributions, and the +half
+// biased shift maps a zero sum to zero, so dense and sparse evaluation are
+// bit-identical); the dispatch wrapper routes dense blocks to it and keeps
+// near-empty blocks here, where skipping wins.
+func inverseBorderGo(coef []int16, q *[64]uint16, dst *Block) {
 	const half = 1 << (BasisScaleBits - 1)
 	var acc [64]int64
 	var occ [8]bool // columns with any nonzero coefficient

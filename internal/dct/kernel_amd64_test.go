@@ -1,0 +1,103 @@
+//go:build amd64 && !noasm
+
+package dct
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestInverseBorderAVX2Direct bypasses the sparsity dispatch and runs the
+// assembly kernel on every density, including the near-empty blocks the
+// wrapper would route to the scalar path — the kernel must be bit-identical
+// everywhere, not just where dispatch happens to send work today.
+func TestInverseBorderAVX2Direct(t *testing.T) {
+	if !useAVX2 {
+		t.Skip("no AVX2 on this host")
+	}
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 5000; iter++ {
+		coef := randCoef(rng, iter%65)
+		q := randQuant(rng)
+		var got, want Block
+		inverseBorderAVX2(&coef[0], q, &got)
+		inverseBorderGo(coef, q, &want)
+		if got != want {
+			t.Fatalf("iter %d: asm kernel diverges\ncoef=%v\nq=%v\ngot=%v\nwant=%v", iter, coef, q, got, want)
+		}
+	}
+}
+
+// TestInverseBorderAVX2Extremes pins the overflow corners: saturated
+// coefficients against saturated quantizers drive column sums past 2^45
+// and the int32 intermediate conversion into wraparound; the kernel's
+// 64-bit lanes and low-dword extracts must wrap exactly like the Go code.
+func TestInverseBorderAVX2Extremes(t *testing.T) {
+	if !useAVX2 {
+		t.Skip("no AVX2 on this host")
+	}
+	var q [64]uint16
+	for i := range q {
+		q[i] = 65535
+	}
+	cases := [][]int16{
+		func() []int16 {
+			c := make([]int16, 64)
+			for i := range c {
+				c[i] = 32767
+			}
+			return c
+		}(),
+		func() []int16 {
+			c := make([]int16, 64)
+			for i := range c {
+				c[i] = -32768
+			}
+			return c
+		}(),
+		func() []int16 {
+			c := make([]int16, 64)
+			for i := range c {
+				if i%2 == 0 {
+					c[i] = 32767
+				} else {
+					c[i] = -32768
+				}
+			}
+			return c
+		}(),
+	}
+	for i, coef := range cases {
+		var got, want Block
+		inverseBorderAVX2(&coef[0], &q, &got)
+		inverseBorderGo(coef, &q, &want)
+		if got != want {
+			t.Fatalf("extreme case %d: asm kernel diverges\ngot=%v\nwant=%v", i, got, want)
+		}
+	}
+}
+
+func BenchmarkInverseBorderGo(b *testing.B) {
+	benchInverseBorder(b, func(coef []int16, q *[64]uint16, dst *Block) { inverseBorderGo(coef, q, dst) })
+}
+
+func BenchmarkInverseBorderAVX2(b *testing.B) {
+	if !useAVX2 {
+		b.Skip("no AVX2 on this host")
+	}
+	benchInverseBorder(b, func(coef []int16, q *[64]uint16, dst *Block) { inverseBorderAVX2(&coef[0], q, dst) })
+}
+
+func benchInverseBorder(b *testing.B, fn func([]int16, *[64]uint16, *Block)) {
+	rng := rand.New(rand.NewSource(6))
+	q := ScaleQuant(&StdLuminanceQuant, 75)
+	for _, n := range []int{1, 2, 4, 8, 16, 32} {
+		coef := randCoef(rng, n)
+		b.Run(string(rune('0'+n/10))+string(rune('0'+n%10))+"nz", func(b *testing.B) {
+			var dst Block
+			for i := 0; i < b.N; i++ {
+				fn(coef, &q, &dst)
+			}
+		})
+	}
+}

@@ -2,8 +2,10 @@ package jpeg
 
 import (
 	"fmt"
+	"math/bits"
 
 	"lepton/internal/bitio"
+	"lepton/internal/dct"
 	"lepton/internal/huffman"
 )
 
@@ -180,19 +182,26 @@ func encodeBlockTo(w *bitio.Writer, dcTab, acTab *huffman.Encoder, prevDC *int16
 	}
 	w.WriteBits(uint32(dcCode.Bits)<<sCat|uint32(v), dcCode.Len+sCat)
 
-	run := 0
-	for k := 1; k < 64; k++ {
-		v := int32(blk[zigzagTable[k]])
-		if v == 0 {
-			run++
-			continue
-		}
+	// Occupancy-driven AC loop: a vectorized scan finds the nonzero
+	// coefficients, the zigzag bit permute orders them, and the loop visits
+	// only set bits — a sparse block costs its population count, not 63
+	// table-indexed loads. Zero runs fall out of the gaps between
+	// consecutive set bits, emitting the identical ZRL/EOB sequence the
+	// position walk produced. (zigzagTable matches dct.Zigzag; a test pins
+	// the two tables together since the mask permute relies on it.)
+	zmask := dct.ZigzagMask(dct.NonzeroMask(blk)) >> 1 // bit k-1 = zigzag position k
+	prev := 0
+	for m := zmask; m != 0; m &= m - 1 {
+		k := bits.TrailingZeros64(m) + 1
+		run := k - prev - 1
+		prev = k
 		for run >= 16 {
 			if err := acTab.Encode(w, 0xF0); err != nil { // ZRL
 				return fmt.Errorf("ZRL: %w", err)
 			}
 			run -= 16
 		}
+		v := int32(blk[zigzagTable[k]])
 		size := category(v)
 		if size > 10 {
 			return reject(ReasonACRange, "AC magnitude %d", v)
@@ -207,9 +216,8 @@ func encodeBlockTo(w *bitio.Writer, dcTab, acTab *huffman.Encoder, prevDC *int16
 		}
 		// Run/size code plus value bits in one batched write (<= 26 bits).
 		w.WriteBits(uint32(acCode.Bits)<<size|uint32(v), acCode.Len+size)
-		run = 0
 	}
-	if run > 0 {
+	if prev != 63 {
 		if err := acTab.Encode(w, 0x00); err != nil { // EOB
 			return fmt.Errorf("EOB: %w", err)
 		}

@@ -1,0 +1,20 @@
+package jpeg
+
+import (
+	"testing"
+
+	"lepton/internal/dct"
+)
+
+// TestZigzagTableMatchesDCT pins this package's wire-format zigzag table to
+// dct.Zigzag: encodeBlockTo's occupancy-mask iteration permutes raster
+// masks with dct.ZigzagMask (built from dct.Unzigzag) but indexes
+// coefficients through zigzagTable, which is only sound while the two
+// tables are the same permutation.
+func TestZigzagTableMatchesDCT(t *testing.T) {
+	for k := 0; k < 64; k++ {
+		if zigzagTable[k] != dct.Zigzag[k] {
+			t.Fatalf("zigzagTable[%d] = %d, dct.Zigzag[%d] = %d", k, zigzagTable[k], k, dct.Zigzag[k])
+		}
+	}
+}

@@ -2,6 +2,7 @@ package model
 
 import (
 	"errors"
+	"math/bits"
 
 	"lepton/internal/arith"
 	"lepton/internal/dct"
@@ -317,8 +318,13 @@ func (c *Codec) codeBlock(em *emitter, ci, col int, st *segState, curRow, aboveR
 	ctxN := ilog159((nzA + nzL) / 2)
 	em.cls = Class77
 	n77 := 0
+	var nzMask uint64
 	if em.e != nil {
-		n77 = countNonzero49(cur)
+		// One vectorized occupancy scan answers the 7x7 count here and both
+		// edge counts below (encode only touches cur with idempotent writes,
+		// so the mask stays valid for the whole block).
+		nzMask = dct.NonzeroMask(cur)
+		n77 = bits.OnesCount64(nzMask & mask49)
 	}
 	n77 = em.codeTree(ch.nz77[ctxN][:], n77, 6)
 	if n77 > 49 {
@@ -350,7 +356,7 @@ func (c *Codec) codeBlock(em *emitter, ci, col int, st *segState, curRow, aboveR
 		em.cls = ClassEdge
 		nEdge := 0
 		if em.e != nil {
-			nEdge = countNonzeroEdge(cur, orient)
+			nEdge = bits.OnesCount64(nzMask & edgeMask[orient])
 		}
 		nEdge = em.codeTree(ch.nzEdge[orient][ctxE][:], nEdge, 3)
 		em.cls = ClassEdge
@@ -423,26 +429,13 @@ func (c *Codec) codeBlock(em *emitter, ci, col int, st *segState, curRow, aboveR
 	return nil
 }
 
-func countNonzero49(blk []int16) int {
-	n := 0
-	for _, pos := range zigzag49 {
-		if blk[pos] != 0 {
-			n++
-		}
-	}
-	return n
-}
+// The per-class nonzero counts are popcounts over dct.NonzeroMask's
+// raster-order occupancy bits:
+//
+//	mask49      the 7x7 interior (u >= 1 and v >= 1): every row byte 1..7
+//	            with its u=0 bit cleared;
+//	edgeMask[0] the top row u = 1..7;
+//	edgeMask[1] the left column v = 1..7 (bits 8, 16, ..., 56).
+const mask49 = 0xFEFEFEFEFEFEFE00
 
-func countNonzeroEdge(blk []int16, orient int) int {
-	n := 0
-	for i := 1; i < 8; i++ {
-		pos := i
-		if orient == 1 {
-			pos = i * 8
-		}
-		if blk[pos] != 0 {
-			n++
-		}
-	}
-	return n
-}
+var edgeMask = [2]uint64{0x00000000000000FE, 0x0101010101010100}

@@ -67,6 +67,12 @@ func avg77(above, left, aboveLeft []int16, pos uint8) int32 {
 	return int32(acc >> 5)
 }
 
+// basis00 is dct.Basis[0][0] as an untyped constant so the divisions in the
+// Lakhani predictors strength-reduce to multiplies at the inlined div call
+// sites (a real IDIV per edge coefficient was a measurable slice of both
+// codec directions). TestBasis00Pinned keeps it honest against the table.
+const basis00 = 2896
+
 // lakhaniCol predicts the left-column coefficient F[v*8+0] (the "1x7" class)
 // from the left block's full coefficients and the current block's already
 // known 7x7 coefficients, assuming pixel continuity across the vertical
@@ -86,7 +92,7 @@ func lakhaniCol(left, cur []int16, q *[64]uint16, v int) int32 {
 	}
 	// acc is scaled by 2^BasisScaleBits; dividing by B[0][0] (same scale)
 	// cancels the scaling. Then re-quantize.
-	pred := div(acc, int64(dct.Basis[0][0]))
+	pred := div(acc, basis00)
 	return clampCoef(div(pred, int64(q[v*8])))
 }
 
@@ -100,7 +106,7 @@ func lakhaniRow(above, cur []int16, q *[64]uint16, u int) int32 {
 	for v := 1; v < 8; v++ {
 		acc -= int64(dct.Basis[v][0]) * int64(cur[v*8+u]) * int64(q[v*8+u])
 	}
-	pred := div(acc, int64(dct.Basis[0][0]))
+	pred := div(acc, basis00)
 	return clampCoef(div(pred, int64(q[u])))
 }
 
@@ -219,7 +225,14 @@ func dcPrediction(px *dct.Block, q *[64]uint16, above, left *blockEdges, prevDC 
 			maxP = preds[i]
 		}
 	}
-	avgPix := div(sum, int64(n))
+	// n is 8 (one neighbor) or 16 (both); constant divisors let the inlined
+	// div strength-reduce instead of issuing an IDIV per block.
+	var avgPix int64
+	if n == 16 {
+		avgPix = div(sum, 16)
+	} else {
+		avgPix = div(sum, 8)
+	}
 	// A DC step of 1 shifts every sample by q0/8 (orthonormal basis), so
 	// the quantized DC is avgPix*8/q0.
 	predDC := clampCoef(div(avgPix*8, int64(q[0])))

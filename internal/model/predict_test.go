@@ -1,0 +1,16 @@
+package model
+
+import (
+	"testing"
+
+	"lepton/internal/dct"
+)
+
+// TestBasis00Pinned keeps the basis00 constant in lockstep with the DCT
+// table it mirrors; the Lakhani predictors divide by it as a compile-time
+// constant for strength reduction.
+func TestBasis00Pinned(t *testing.T) {
+	if int64(dct.Basis[0][0]) != basis00 {
+		t.Fatalf("basis00 = %d, dct.Basis[0][0] = %d", basis00, dct.Basis[0][0])
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"net"
 	"os"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -167,6 +168,11 @@ type Stats struct {
 	// Cancelled counts conversions aborted mid-flight by a per-request
 	// context: peer disconnect, RequestTimeout, or a forced drain.
 	Cancelled atomic.Int64
+	// Writevs counts the vectored write batches issued by streamed
+	// decompress responses — each is one writev syscall on TCP and Unix
+	// sockets, covering up to vecMaxIOV decoder segments that previously
+	// took a write call apiece.
+	Writevs atomic.Int64
 }
 
 // StatsSnapshot returns a point-in-time view of the server's counters plus
@@ -182,25 +188,44 @@ func (b *Blockserver) StatsSnapshot() map[string]int64 {
 		"errors":                    b.Stats.Errors.Load(),
 		"cancelled":                 b.Stats.Cancelled.Load(),
 		"in_flight":                 int64(b.InFlight()),
+		"writevs":                   b.Stats.Writevs.Load(),
 		"coeff_window_bytes_in_use": inUse,
 		"coeff_window_bytes_peak":   peak,
 	}
 	if pf, ok := b.Outsource.(probeFailureCounter); ok {
 		snap["probe_failures"] = pf.ProbeFailures()
 	}
+	b.connMu.Lock()
+	p := b.pool
+	b.connMu.Unlock()
+	if p != nil {
+		p.mu.Lock()
+		snap["shards"] = int64(len(p.shards))
+		for i := range p.shards {
+			s := &p.shards[i]
+			snap[fmt.Sprintf("shard%d_depth", i)] = int64(s.depth())
+			snap[fmt.Sprintf("shard%d_done", i)] = s.jobs
+			snap[fmt.Sprintf("shard%d_steals", i)] = s.steals
+		}
+		p.mu.Unlock()
+	}
 	return snap
 }
 
 // Blockserver serves Lepton conversions on a listener. It mirrors the
 // production setup: a 16-core box where a few concurrent Lepton jobs
-// saturate the machine, so conversions run through a bounded shared worker
-// pool (MaxConcurrent) and jobs arriving beyond OutsourceThreshold are
-// forwarded elsewhere when an Outsourcer is configured (§5.5).
+// saturate the machine, so conversions run on a fixed set of per-core
+// worker shards (Shards, default GOMAXPROCS) and jobs arriving beyond
+// OutsourceThreshold are forwarded elsewhere when an Outsourcer is
+// configured (§5.5).
 //
 // Connections are persistent: each serves a request loop until the client
-// closes or a streaming failure forces a teardown, and all connections
-// share one pooled core.Codec so steady-state conversions reuse model
-// tables and coefficient planes instead of re-allocating them per request.
+// closes or a streaming failure forces a teardown. Every connection is
+// pinned to a shard whose worker owns a private core.Codec, so a
+// connection's steady-state conversions reuse model tables, coefficient
+// planes, and scratch buffers that stay resident on one core; idle workers
+// steal from busy shards, so the pinning never strands throughput (see
+// shards.go).
 //
 // Every conversion runs under a context derived from its connection: a
 // peer that disconnects mid-request, or a RequestTimeout that expires,
@@ -214,11 +239,15 @@ type Blockserver struct {
 	// OutsourceThreshold is the concurrent-conversion limit; the paper used
 	// "more than three conversions at a time".
 	OutsourceThreshold int
-	// MaxConcurrent bounds conversions running at once across all
-	// connections (the worker pool); 0 means DefaultMaxConcurrent.
-	// Requests beyond the bound queue; InFlight counts queued and running
-	// conversions alike so load probes and the outsourcing trigger see the
-	// backlog.
+	// Shards is the number of worker shards — the bound on conversions
+	// running at once. 0 defers to MaxConcurrent, then to GOMAXPROCS.
+	// Requests beyond the bound queue on their connection's shard; InFlight
+	// counts queued and running conversions alike so load probes and the
+	// outsourcing trigger see the backlog.
+	Shards int
+	// MaxConcurrent is the pre-sharding name for the same bound, kept so
+	// existing configurations keep their worker count; Shards wins when
+	// both are set. 0 (with Shards 0) means one shard per core.
 	MaxConcurrent int
 	// WriteTimeout bounds how long one response may take to reach the
 	// client; 0 means DefaultWriteTimeout. Because conversions hold a
@@ -244,7 +273,8 @@ type Blockserver struct {
 	Stats Stats
 
 	inFlight atomic.Int32
-	sem      chan struct{}
+	pool     *shardPool
+	connSeq  atomic.Uint32 // round-robin shard affinity for new connections
 	wg       sync.WaitGroup
 	closed   atomic.Bool
 	draining atomic.Bool
@@ -260,7 +290,10 @@ type Blockserver struct {
 
 // DefaultMaxConcurrent matches the paper's observation that a handful of
 // conversions saturate a blockserver; beyond this they queue (or are
-// outsourced when a pool is configured).
+// outsourced when a pool is configured). Since the worker-pool sharding it
+// is only a conventional value for explicit configuration (blockserverd's
+// -max-concurrent flag default); an unconfigured Blockserver runs one
+// shard per core.
 const DefaultMaxConcurrent = 4
 
 // DefaultWriteTimeout is generous against slow networks while still
@@ -279,6 +312,43 @@ type srvConn struct {
 	pend    []byte
 	eof     bool
 	serving atomic.Bool
+
+	// affinity is the connection's preferred worker shard, assigned
+	// round-robin at accept.
+	affinity int
+	// job is the reusable dispatch record (one request in flight per
+	// connection), so steady-state shard dispatch allocates nothing.
+	job shardJob
+	// rbuf is the connection's reusable request-payload buffer: readRequest
+	// decodes every request in place instead of allocating per request. The
+	// payload handed to a job aliases it and dies at the response.
+	rbuf []byte
+	// fw is the reusable vectored frame writer for streamed decompress
+	// responses. Only the worker running this connection's job touches it.
+	fw vecFrameWriter
+}
+
+// readRequest reads one framed request into the connection's reusable
+// buffer. The returned payload aliases sc.rbuf and is only valid until the
+// next readRequest: every consumer either finishes with it before the
+// response completes (the codec paths) or copies it (the store puts).
+func (sc *srvConn) readRequest() (op byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(sc, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[1:]))
+	if n > maxPayload {
+		return 0, nil, fmt.Errorf("server: request of %d bytes exceeds limit", n)
+	}
+	if cap(sc.rbuf) < n {
+		sc.rbuf = make([]byte, n)
+	}
+	payload = sc.rbuf[:n]
+	if _, err := io.ReadFull(sc, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], payload, nil
 }
 
 // Read hands back watchdog read-ahead first, then the connection; a clean
@@ -309,13 +379,18 @@ func (b *Blockserver) init() {
 			// Store-backed conversions share the server's pools.
 			b.Store.Codec = b.Codec
 		}
-		if b.sem == nil {
-			n := b.MaxConcurrent
-			if n <= 0 {
-				n = DefaultMaxConcurrent
-			}
-			b.sem = make(chan struct{}, n)
+		n := b.Shards
+		if n <= 0 {
+			n = b.MaxConcurrent
 		}
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		// Published under connMu so StatsSnapshot can read the pool
+		// concurrently with a lazy init from another goroutine's Serve.
+		b.connMu.Lock()
+		b.pool = newShardPool(n)
+		b.connMu.Unlock()
 	})
 }
 
@@ -359,26 +434,6 @@ func (b *Blockserver) Serve(ln net.Listener) error {
 	}
 }
 
-// acquire admits one conversion into the shared worker pool, or fails when
-// ctx is cancelled while queued. InFlight is incremented before the
-// semaphore so queued work is visible to load probes and the outsourcing
-// trigger.
-func (b *Blockserver) acquire(ctx context.Context) error {
-	b.inFlight.Add(1)
-	select {
-	case b.sem <- struct{}{}:
-		return nil
-	case <-ctx.Done():
-		b.inFlight.Add(-1)
-		return ctx.Err()
-	}
-}
-
-func (b *Blockserver) release() {
-	<-b.sem
-	b.inFlight.Add(-1)
-}
-
 // Close stops the server immediately: the listener closes, every
 // connection is torn down, and in-flight conversions are cancelled at
 // their next checkpoint. Prefer Shutdown for a graceful drain.
@@ -388,6 +443,7 @@ func (b *Blockserver) Close() error {
 	b.cancelAll()
 	b.closeConns(true)
 	b.wg.Wait()
+	b.pool.close()
 	return err
 }
 
@@ -427,11 +483,13 @@ func (b *Blockserver) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		b.pool.close()
 		return nil
 	case <-ctx.Done():
 		b.cancelAll()
 		b.closeConns(true)
 		<-done
+		b.pool.close()
 		return ctx.Err()
 	}
 }
@@ -487,6 +545,7 @@ func (b *Blockserver) logf(format string, args ...any) {
 // mid-stream failure makes the framing unrecoverable, or a drain begins.
 func (b *Blockserver) handle(conn net.Conn) {
 	sc := &srvConn{conn: conn}
+	sc.affinity = int(b.connSeq.Add(1)-1) % len(b.pool.shards)
 	b.track(sc)
 	defer b.untrack(sc)
 	defer conn.Close()
@@ -494,7 +553,7 @@ func (b *Blockserver) handle(conn net.Conn) {
 		if b.draining.Load() {
 			return
 		}
-		op, payload, err := ReadRequest(sc)
+		op, payload, err := sc.readRequest()
 		if err != nil {
 			// EOF here is the normal end of a persistent connection.
 			if !errors.Is(err, io.EOF) && !b.draining.Load() {
@@ -612,15 +671,15 @@ func (b *Blockserver) serveOne(sc *srvConn, op byte, payload []byte) bool {
 		return WriteResponse(conn, StatusOK, resp[:]) == nil
 	case OpCompress:
 		return b.withRequestCtx(sc, func(ctx context.Context) bool {
-			return b.serveCompress(ctx, conn, payload)
+			return b.serveCompress(ctx, sc, payload)
 		})
 	case OpDecompress:
 		return b.withRequestCtx(sc, func(ctx context.Context) bool {
-			return b.serveDecompress(ctx, conn, payload)
+			return b.serveDecompress(ctx, sc, payload)
 		})
 	case OpPutChunkRaw, OpPutChunkCompressed, OpGetChunkRaw, OpGetChunkCompressed:
 		return b.withRequestCtx(sc, func(ctx context.Context) bool {
-			return b.handleStoreOp(ctx, conn, op, payload)
+			return b.handleStoreOp(ctx, sc, op, payload)
 		})
 	default:
 		b.Stats.Errors.Add(1)
@@ -628,10 +687,12 @@ func (b *Blockserver) serveOne(sc *srvConn, op byte, payload []byte) bool {
 	}
 }
 
-func (b *Blockserver) serveCompress(ctx context.Context, conn net.Conn, payload []byte) bool {
+func (b *Blockserver) serveCompress(ctx context.Context, sc *srvConn, payload []byte) bool {
+	conn := sc.conn
 	// Outsource when oversubscribed (§5.5): a blockserver handling
 	// many cheap requests can be randomly assigned too many Lepton
-	// conversions at once.
+	// conversions at once. The remote round trip runs here on the
+	// connection goroutine, never on a shard worker.
 	if b.Outsource != nil && int(b.inFlight.Load()) >= b.OutsourceThreshold {
 		if addr, ok := b.outsourceTarget(ctx); ok {
 			octx, ocancel := context.WithTimeout(ctx, 30*time.Second)
@@ -647,12 +708,17 @@ func (b *Blockserver) serveCompress(ctx context.Context, conn net.Conn, payload 
 			b.logf("outsource to %s failed: %v; handling locally", addr, err)
 		}
 	}
-	if err := b.acquire(ctx); err != nil {
+	ok, err := b.runOnShard(ctx, sc, jobCompress, payload)
+	if err != nil {
 		return b.respondErr(conn, err)
 	}
-	defer b.release()
+	return ok
+}
+
+// compressLocal runs on a shard worker with the shard's private codec.
+func (b *Blockserver) compressLocal(ctx context.Context, cd *core.Codec, conn net.Conn, payload []byte) bool {
 	b.Stats.Compresses.Add(1)
-	res, err := b.Codec.EncodeCtx(ctx, payload, withVerify(b.EncodeOptions))
+	res, err := cd.EncodeCtx(ctx, payload, withVerify(b.EncodeOptions))
 	if err != nil {
 		if ctx.Err() != nil {
 			return b.respondErr(conn, ctx.Err())
@@ -670,50 +736,67 @@ func (b *Blockserver) serveCompress(ctx context.Context, conn net.Conn, payload 
 	return WriteResponse(conn, StatusOK, res.Compressed) == nil
 }
 
-func (b *Blockserver) serveDecompress(ctx context.Context, conn net.Conn, payload []byte) bool {
-	if err := b.acquire(ctx); err != nil {
-		return b.respondErr(conn, err)
+func (b *Blockserver) serveDecompress(ctx context.Context, sc *srvConn, payload []byte) bool {
+	ok, err := b.runOnShard(ctx, sc, jobDecompress, payload)
+	if err != nil {
+		return b.respondErr(sc.conn, err)
 	}
-	defer b.release()
+	return ok
+}
+
+// decompressLocal runs on a shard worker with the shard's private codec.
+//
+// The container header records the exact output size, so the response can
+// be framed up front and the reconstruction streamed into the connection
+// segment by segment (§3.4) instead of being buffered whole. Output goes
+// through the connection's vectored frame writer, which batches the frame
+// header and the decoder's segments into a handful of writev calls; the
+// queued slices alias codec-pooled buffers, which is safe precisely
+// because the codec is shard-private — nothing can recycle those pools
+// until this worker finishes this job, and the final flush happens before
+// it does. As long as nothing has hit the wire yet, any failure — all of
+// pre-stream validation, and mid-stream aborts whose output is still
+// queued — can still be answered in-band on an intact connection; after
+// the first flush, the header has promised size bytes and a shortfall can
+// only be signaled by tearing the connection down.
+func (b *Blockserver) decompressLocal(ctx context.Context, cd *core.Codec, sc *srvConn, payload []byte) bool {
+	conn := sc.conn
 	b.Stats.Decompresses.Add(1)
-	// The container header records the exact output size, so the
-	// response can be framed up front and the reconstruction streamed
-	// into the connection segment by segment (§3.4) instead of being
-	// buffered whole. The frame header is written lazily, on the
-	// decoder's first output byte: DecodeTo validates everything —
-	// container structure, stored JPEG header, budgets, sizes —
-	// before producing output, so malformed containers come back as
-	// ordinary StatusError responses; once payload bytes flow, only
-	// genuine mid-stream corruption (or a cancelled context) can force
-	// a teardown.
 	size, err := core.ContainerOutputSize(payload)
 	if err != nil {
 		b.Stats.Errors.Add(1)
 		return WriteResponse(conn, StatusError, []byte(err.Error())) == nil
 	}
-	lw := &lazyFrameWriter{conn: conn, size: size}
-	if err := b.Codec.DecodeToCtx(ctx, lw, payload, 0); err != nil {
-		if !lw.started {
+	w := &sc.fw
+	w.reset(conn, size, &b.Stats.Writevs)
+	if err := cd.DecodeToCtx(ctx, w, payload, 0); err != nil {
+		if !w.wrote {
+			w.discard()
 			return b.respondErr(conn, err)
 		}
-		// The header promised size bytes; a shortfall can only be
-		// signaled by tearing the connection down.
 		if ctx.Err() != nil {
 			b.Stats.Cancelled.Add(1)
 		} else {
 			b.Stats.Errors.Add(1)
 		}
+		w.discard()
 		b.logf("decompress stream failed: %v", err)
 		return false
 	}
-	if !lw.started {
+	if !w.wrote && w.pending == 0 {
 		// Zero-length output (empty raw chunk): frame it now.
 		return WriteResponseHeader(conn, StatusOK, size) == nil
+	}
+	if err := w.Flush(); err != nil {
+		// A response write failure: the connection is done either way.
+		b.Stats.Errors.Add(1)
+		return false
 	}
 	return true
 }
 
-func (b *Blockserver) handleStoreOp(ctx context.Context, conn net.Conn, op byte, payload []byte) bool {
+func (b *Blockserver) handleStoreOp(ctx context.Context, sc *srvConn, op byte, payload []byte) bool {
+	conn := sc.conn
 	if b.Store == nil {
 		b.Stats.Errors.Add(1)
 		return WriteResponse(conn, StatusError, []byte("no store configured")) == nil
@@ -724,49 +807,32 @@ func (b *Blockserver) handleStoreOp(ctx context.Context, conn net.Conn, op byte,
 	switch op {
 	case OpPutChunkRaw:
 		// Server-side codec: the production deployment's shape.
-		if err := b.acquire(ctx); err != nil {
-			return fail(err)
-		}
-		defer b.release()
-		b.Stats.Compresses.Add(1)
-		ref, err := b.Store.PutFileCtx(ctx, payload)
+		ok, err := b.runOnShard(ctx, sc, jobPutRaw, payload)
 		if err != nil {
 			return fail(err)
 		}
-		if len(ref.Chunks) != 1 {
-			return fail(fmt.Errorf("chunk payload produced %d chunks", len(ref.Chunks)))
-		}
-		h := ref.Chunks[0]
-		return WriteResponse(conn, StatusOK, h[:]) == nil
+		return ok
 	case OpPutChunkCompressed:
 		// Client-side codec (§7): "only" verification runs here — but that
-		// is a full decode, so it takes a worker-pool slot like any other
-		// conversion; otherwise fleet-store puts would bypass MaxConcurrent
-		// and stay invisible to the load probes routing them.
-		if err := b.acquire(ctx); err != nil {
-			return fail(err)
-		}
-		defer b.release()
-		h, err := b.Store.PutCompressedChunkCtx(ctx, payload)
+		// is a full decode, so it takes a shard worker like any other
+		// conversion; otherwise fleet-store puts would bypass the worker
+		// bound and stay invisible to the load probes routing them.
+		ok, err := b.runOnShard(ctx, sc, jobPutCompressed, payload)
 		if err != nil {
 			return fail(err)
 		}
-		return WriteResponse(conn, StatusOK, h[:]) == nil
+		return ok
 	case OpGetChunkRaw:
 		h, err := hashOf(payload)
 		if err != nil {
 			return fail(err)
 		}
-		if err := b.acquire(ctx); err != nil {
-			return fail(err)
+		sc.job.hash = h
+		ok, rerr := b.runOnShard(ctx, sc, jobGetRaw, nil)
+		if rerr != nil {
+			return fail(rerr)
 		}
-		defer b.release()
-		b.Stats.Decompresses.Add(1)
-		out, err := b.Store.GetChunkCtx(ctx, h)
-		if err != nil {
-			return fail(err)
-		}
-		return WriteResponse(conn, StatusOK, out) == nil
+		return ok
 	case OpGetChunkCompressed:
 		h, err := hashOf(payload)
 		if err != nil {
@@ -785,23 +851,123 @@ func (b *Blockserver) handleStoreOp(ctx context.Context, conn net.Conn, op byte,
 	return true
 }
 
-// lazyFrameWriter defers the StatusOK response header until the decoder's
-// first output byte, so every pre-stream validation failure can still be
-// reported as a StatusError on an intact connection.
-type lazyFrameWriter struct {
-	conn    net.Conn
-	size    uint32
-	started bool
+// putRawLocal runs OpPutChunkRaw on a shard worker. The store paths go
+// through the Store's own codec (its budgets and shutoff switch are store
+// configuration); the shard still bounds their concurrency.
+func (b *Blockserver) putRawLocal(ctx context.Context, conn net.Conn, payload []byte) bool {
+	b.Stats.Compresses.Add(1)
+	ref, err := b.Store.PutFileCtx(ctx, payload)
+	if err != nil {
+		return b.respondErr(conn, err)
+	}
+	if len(ref.Chunks) != 1 {
+		return b.respondErr(conn, fmt.Errorf("chunk payload produced %d chunks", len(ref.Chunks)))
+	}
+	h := ref.Chunks[0]
+	return WriteResponse(conn, StatusOK, h[:]) == nil
 }
 
-func (w *lazyFrameWriter) Write(p []byte) (int, error) {
-	if !w.started {
-		if err := WriteResponseHeader(w.conn, StatusOK, w.size); err != nil {
+// putCompressedLocal runs OpPutChunkCompressed on a shard worker.
+func (b *Blockserver) putCompressedLocal(ctx context.Context, conn net.Conn, payload []byte) bool {
+	h, err := b.Store.PutCompressedChunkCtx(ctx, payload)
+	if err != nil {
+		return b.respondErr(conn, err)
+	}
+	return WriteResponse(conn, StatusOK, h[:]) == nil
+}
+
+// getRawLocal runs OpGetChunkRaw on a shard worker.
+func (b *Blockserver) getRawLocal(ctx context.Context, conn net.Conn, h store.Hash) bool {
+	b.Stats.Decompresses.Add(1)
+	out, err := b.Store.GetChunkCtx(ctx, h)
+	if err != nil {
+		return b.respondErr(conn, err)
+	}
+	return WriteResponse(conn, StatusOK, out) == nil
+}
+
+// vecFrameWriter batches a streamed decompress response — frame header
+// plus decoder output segments — into vectored writes (net.Buffers, one
+// writev per flush on TCP and Unix sockets) instead of a write syscall per
+// segment. Queued slices are only aliases; see decompressLocal for why
+// they stay valid until the flush. A small decode's entire response ships
+// in a single writev.
+//
+// The header is queued with the first payload byte but reaches the wire
+// only at the first flush, so every failure before then — not just
+// pre-stream validation, as with the old unbuffered lazy writer — can
+// still be reported as a StatusError on an intact connection.
+type vecFrameWriter struct {
+	conn    net.Conn
+	size    uint32
+	hdr     [5]byte
+	bufs    net.Buffers
+	pending int  // payload bytes queued and not yet flushed
+	wrote   bool // something reached the wire; the response is committed
+	writevs *atomic.Int64
+}
+
+// Flush thresholds: enough batching to collapse a typical multi-segment
+// decode into a few syscalls, low enough that a large reconstruction
+// streams instead of accumulating (and stays well under the kernel's 1024
+// iovec ceiling).
+const (
+	vecFlushBytes = 256 << 10
+	vecMaxIOV     = 64
+)
+
+func (w *vecFrameWriter) reset(conn net.Conn, size uint32, writevs *atomic.Int64) {
+	w.conn = conn
+	w.size = size
+	w.pending = 0
+	w.wrote = false
+	w.writevs = writevs
+	w.bufs = w.bufs[:0]
+}
+
+func (w *vecFrameWriter) Write(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	if len(w.bufs) == 0 && !w.wrote {
+		w.hdr[0] = StatusOK
+		binary.LittleEndian.PutUint32(w.hdr[1:], w.size)
+		w.bufs = append(w.bufs, w.hdr[:])
+	}
+	w.bufs = append(w.bufs, p)
+	w.pending += len(p)
+	if w.pending >= vecFlushBytes || len(w.bufs) >= vecMaxIOV {
+		if err := w.Flush(); err != nil {
 			return 0, err
 		}
-		w.started = true
 	}
-	return w.conn.Write(p)
+	return len(p), nil
+}
+
+// Flush writes everything queued in one vectored write.
+func (w *vecFrameWriter) Flush() error {
+	if len(w.bufs) == 0 {
+		return nil
+	}
+	w.wrote = true
+	if w.writevs != nil {
+		w.writevs.Add(1)
+	}
+	// WriteTo consumes a copy of the slice header; w.bufs keeps the full
+	// backing view so discard() below can release the aliased segments.
+	v := w.bufs
+	_, err := v.WriteTo(w.conn)
+	w.discard()
+	return err
+}
+
+// discard drops queued-but-unflushed output and releases the aliases.
+func (w *vecFrameWriter) discard() {
+	for i := range w.bufs {
+		w.bufs[i] = nil
+	}
+	w.bufs = w.bufs[:0]
+	w.pending = 0
 }
 
 func hashOf(payload []byte) (store.Hash, error) {

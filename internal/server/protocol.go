@@ -69,15 +69,20 @@ func checkPayloadSize(payload []byte) error {
 }
 
 // WriteFrame sends op+payload, leaving the write side open so further
-// requests can follow on the same connection.
+// requests can follow on the same connection. Header and payload go out in
+// one vectored write (a single writev syscall on TCP and Unix sockets, and
+// a single TCP segment for small frames — the header no longer rides
+// alone).
 func WriteFrame(conn net.Conn, op byte, payload []byte) error {
 	var hdr [5]byte
 	hdr[0] = op
 	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
-	if _, err := conn.Write(hdr[:]); err != nil {
+	if len(payload) == 0 {
+		_, err := conn.Write(hdr[:])
 		return err
 	}
-	_, err := conn.Write(payload)
+	bufs := net.Buffers{hdr[:], payload}
+	_, err := bufs.WriteTo(conn)
 	return err
 }
 
@@ -114,12 +119,17 @@ func ReadRequest(conn io.Reader) (op byte, payload []byte, err error) {
 	return hdr[0], payload, nil
 }
 
-// WriteResponse sends status+payload.
+// WriteResponse sends status+payload as one vectored write (see
+// WriteFrame).
 func WriteResponse(conn net.Conn, status byte, payload []byte) error {
-	if err := WriteResponseHeader(conn, status, uint32(len(payload))); err != nil {
-		return err
+	if len(payload) == 0 {
+		return WriteResponseHeader(conn, status, 0)
 	}
-	_, err := conn.Write(payload)
+	var hdr [5]byte
+	hdr[0] = status
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	bufs := net.Buffers{hdr[:], payload}
+	_, err := bufs.WriteTo(conn)
 	return err
 }
 
