@@ -21,6 +21,7 @@
 //	blockserverd -listen tcp:0.0.0.0:7731 -dedicated tcp:10.0.0.5:7731,tcp:10.0.0.6:7731
 //	blockserverd -listen tcp::7731 -peers tcp:peer1:7731,tcp:peer2:7731 -threshold 3
 //	blockserverd -listen tcp::7731 -store -peers tcp:peer1:7731,tcp:peer2:7731
+//	blockserverd -listen tcp::7731 -data-dir /var/lib/lepton -sync-interval 50ms
 //	blockserverd -listen tcp::7731 -request-timeout 30s -drain-timeout 10s
 //	blockserverd -listen tcp::7731 -debug-addr 127.0.0.1:7732
 package main
@@ -37,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"lepton/internal/diskstore"
 	"lepton/internal/server"
 	"lepton/internal/store"
 )
@@ -66,6 +68,18 @@ func main() {
 	shutoff := flag.String("store-shutoff", "",
 		"shutoff-switch path: if this file exists the store bypasses Lepton and"+
 			" deflates instead (§5.7 kill switch; production used /dev/shm)")
+	dataDir := flag.String("data-dir", "",
+		"directory for the durable chunk store (implies -store): chunks are"+
+			" appended to CRC-framed segment logs and survive restarts; empty"+
+			" keeps the in-memory store")
+	syncInterval := flag.Duration("sync-interval", 0,
+		"disk-store fsync batching: 0 group-commits every put before acking,"+
+			" >0 syncs at most that often (bounded loss window), <0 never syncs")
+	segmentSize := flag.Int64("segment-size", 0,
+		"disk-store segment target size in bytes before rotation; 0 = 64 MiB")
+	compactInterval := flag.Duration("compact-interval", 0,
+		"how often the disk store looks for garbage-heavy segments to rewrite;"+
+			" 0 = 15s, <0 disables background compaction")
 	flag.Parse()
 
 	b := &server.Blockserver{
@@ -77,8 +91,28 @@ func main() {
 			fmt.Fprintf(os.Stderr, "blockserverd: "+format+"\n", args...)
 		},
 	}
-	if *withStore {
-		st := store.New()
+	var disk *diskstore.Store
+	if *withStore || *dataDir != "" {
+		var st *store.Store
+		if *dataDir != "" {
+			var err error
+			disk, err = diskstore.Open(*dataDir, diskstore.Options{
+				SyncInterval:      *syncInterval,
+				SegmentTargetSize: *segmentSize,
+				CompactInterval:   *compactInterval,
+				Logf: func(format string, args ...any) {
+					fmt.Fprintf(os.Stderr, "blockserverd: "+format+"\n", args...)
+				},
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "blockserverd:", err)
+				os.Exit(1)
+			}
+			st = store.NewWithBackend(disk)
+			fmt.Printf("durable store in %s (%d chunks replayed)\n", *dataDir, disk.Len())
+		} else {
+			st = store.New()
+		}
 		st.ChunkSize = *chunkSize
 		st.ShutoffPath = *shutoff
 		b.Store = st
@@ -125,7 +159,15 @@ func main() {
 		<-sig
 		cancel()
 	}()
-	if err := b.Shutdown(ctx); err != nil {
+	err = b.Shutdown(ctx)
+	if disk != nil {
+		// After the drain: no request can still be appending, so the close
+		// fsync seals the log cleanly.
+		if cerr := disk.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "blockserverd: closing disk store:", cerr)
+		}
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "blockserverd: drain incomplete, stragglers cancelled: %v\n", err)
 		os.Exit(1)
 	}

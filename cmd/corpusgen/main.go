@@ -4,9 +4,9 @@
 //
 // With -fuzz-seeds it instead regenerates the checked-in seed corpora for
 // the fuzz targets (FuzzDecode in internal/core, FuzzStorePut in
-// internal/store): valid containers across color layouts plus corrupted
-// and truncated variants, written in Go's corpus-file format under each
-// package's testdata/fuzz/ directory.
+// internal/store, FuzzSegmentReplay in internal/diskstore): valid inputs
+// plus corrupted and truncated variants, written in Go's corpus-file
+// format under each package's testdata/fuzz/ directory.
 //
 // Usage:
 //
@@ -15,6 +15,7 @@
 package main
 
 import (
+	"crypto/sha256"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -24,6 +25,7 @@ import (
 
 	"lepton/internal/cluster"
 	"lepton/internal/core"
+	"lepton/internal/diskstore"
 	"lepton/internal/imagegen"
 )
 
@@ -149,6 +151,64 @@ func writeFuzzSeeds(root string) {
 	}
 	storeSeeds = withVariants(storeSeeds, 9, 1)
 	writeCorpus(filepath.Join(root, "internal", "store", "testdata", "fuzz", "FuzzStorePut"), storeSeeds)
+
+	// FuzzSegmentReplay: on-disk segment logs through crash-recovery
+	// replay. Built by writing through a real store so the seeds track the
+	// record format; variants add the bit flips and torn tails replay must
+	// absorb.
+	segSeeds := [][]byte{
+		{},
+		segmentBytes(func(s *diskstore.Store) {
+			put(s, "lone chunk payload")
+		}),
+		segmentBytes(func(s *diskstore.Store) {
+			put(s, "first chunk")
+			put(s, "second chunk with a somewhat longer payload to vary record sizes")
+			put(s, "") // zero-length payload is a legal record
+		}),
+		segmentBytes(func(s *diskstore.Store) {
+			h := put(s, "chunk that gets deleted")
+			put(s, "chunk that survives")
+			if err := s.Delete(h); err != nil {
+				fatal(err)
+			}
+		}),
+	}
+	segSeeds = withVariants(segSeeds, 7, 2)
+	writeCorpus(filepath.Join(root, "internal", "diskstore", "testdata", "fuzz", "FuzzSegmentReplay"), segSeeds)
+}
+
+// put stores payload under its content hash and returns the hash.
+func put(s *diskstore.Store, payload string) diskstore.Hash {
+	h := sha256.Sum256([]byte(payload))
+	if err := s.Put(h, []byte(payload)); err != nil {
+		fatal(err)
+	}
+	return h
+}
+
+// segmentBytes runs build against a scratch disk store and returns the
+// first segment file's raw bytes. Deterministic: record framing depends
+// only on the written hashes and payloads.
+func segmentBytes(build func(s *diskstore.Store)) []byte {
+	dir, err := os.MkdirTemp("", "corpusgen-seg")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	s, err := diskstore.Open(dir, diskstore.Options{SyncInterval: -1, CompactInterval: -1})
+	if err != nil {
+		fatal(err)
+	}
+	build(s)
+	if err := s.Close(); err != nil {
+		fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "seg-00000001.log"))
+	if err != nil {
+		fatal(err)
+	}
+	return b
 }
 
 func rawContainer(payload string, size uint32) []byte {

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"os"
 	"os/exec"
 	"runtime"
@@ -12,13 +14,15 @@ import (
 	"lepton/internal/baseline"
 	"lepton/internal/core"
 	"lepton/internal/cpufeat"
+	"lepton/internal/diskstore"
 	"lepton/internal/imagegen"
 )
 
 // The BENCH_<n>.json artifact (ROADMAP "Raw speed"): a machine-readable
-// record of the single-node Figure 1/2 hot-path benchmarks, checked in per
-// PR so the performance trajectory is tracked instead of anecdotal. The
-// corpus and codecs match bench_test.go's BenchmarkFigure2Compress /
+// record of the single-node Figure 1/2 hot-path benchmarks plus the disk
+// chunk store's put/get/replay paths, checked in per PR so the
+// performance trajectory is tracked instead of anecdotal. The corpus and
+// codecs match bench_test.go's BenchmarkFigure2Compress /
 // BenchmarkFigure1Decompress, so `go test -bench` output and artifacts
 // stay comparable.
 
@@ -79,8 +83,113 @@ func record(name string, r testing.BenchmarkResult) benchRecord {
 	}
 }
 
-// writeBenchJSON measures the Figure 1/2 codec hot paths and writes the
-// artifact to path (conventionally BENCH_<pr>.json at the repo root).
+// diskBenchmarks measures the durable chunk store's three hot paths:
+// the acknowledged put (append plus the group commit's fsync), the
+// indexed read with its CRC re-check, and the crash-recovery replay that
+// rebuilds the index from the segment log on open. 64 KiB chunks — the
+// example deployments' size; the put/get cost is dominated by fsync and
+// CRC, not chunk size.
+func diskBenchmarks() []benchRecord {
+	const (
+		chunkSize = 64 << 10
+		chunkN    = 256 // replay log: 256 x 64 KiB = 16 MiB
+	)
+	payload := make([]byte, chunkSize)
+	rand.New(rand.NewSource(42)).Read(payload)
+	// The store keys on the caller-supplied content hash and never
+	// recomputes it, so counter-derived hashes keep hashing cost out of
+	// the measurement.
+	hashAt := func(i int) (h diskstore.Hash) {
+		binary.LittleEndian.PutUint64(h[:], uint64(i))
+		return h
+	}
+	mustOpen := func(dir string, opt diskstore.Options) *diskstore.Store {
+		s, err := diskstore.Open(dir, opt)
+		if err != nil {
+			panic(err)
+		}
+		return s
+	}
+	scratch := func() string {
+		dir, err := os.MkdirTemp("", "leptonbench-disk")
+		if err != nil {
+			panic(err)
+		}
+		return dir
+	}
+	var recs []benchRecord
+
+	// Put: every op appends a fresh record and blocks until an fsync
+	// covers it (SyncInterval 0) — the cost of an acknowledged durable
+	// write, one committer deep.
+	putDir := scratch()
+	defer os.RemoveAll(putDir)
+	ps := mustOpen(putDir, diskstore.Options{CompactInterval: -1})
+	var putSeq int
+	put := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			putSeq++
+			if err := ps.Put(hashAt(putSeq), payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	_ = ps.Close()
+	recs = append(recs, record("DiskStorePut/64KiB", put))
+
+	// Get: random-ish indexed reads over a warm store, each re-verifying
+	// the record CRC.
+	getDir := scratch()
+	defer os.RemoveAll(getDir)
+	gs := mustOpen(getDir, diskstore.Options{SyncInterval: -1, CompactInterval: -1})
+	for i := 1; i <= chunkN; i++ {
+		if err := gs.Put(hashAt(i), payload); err != nil {
+			panic(err)
+		}
+	}
+	get := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			data, ok, err := gs.Get(hashAt(i%chunkN + 1))
+			if err != nil || !ok || len(data) != chunkSize {
+				b.Fatalf("get: ok=%v err=%v", ok, err)
+			}
+		}
+	})
+	_ = gs.Close()
+	recs = append(recs, record("DiskStoreGet/64KiB", get))
+
+	// Replay: open over a populated log — the warm-restart cost of
+	// rebuilding the in-memory index (and CRC-checking every record).
+	replayDir := scratch()
+	defer os.RemoveAll(replayDir)
+	rs := mustOpen(replayDir, diskstore.Options{SyncInterval: -1, CompactInterval: -1})
+	for i := 1; i <= chunkN; i++ {
+		if err := rs.Put(hashAt(i), payload); err != nil {
+			panic(err)
+		}
+	}
+	_ = rs.Close()
+	replay := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := mustOpen(replayDir, diskstore.Options{SyncInterval: -1, CompactInterval: -1})
+			if s.Len() != chunkN {
+				b.Fatalf("replayed %d chunks, want %d", s.Len(), chunkN)
+			}
+			if err := s.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	recs = append(recs, record("DiskStoreReplayOpen/16MiB", replay))
+	return recs
+}
+
+// writeBenchJSON measures the Figure 1/2 codec hot paths and the disk
+// store, writing the artifact to path (conventionally BENCH_<pr>.json at
+// the repo root).
 func writeBenchJSON(path string) {
 	corpus := benchJSONCorpus()
 	art := benchArtifact{
@@ -124,6 +233,7 @@ func writeBenchJSON(path string) {
 		})
 		art.Benchmarks = append(art.Benchmarks, record("Figure1Decompress/"+c.Name(), dec))
 	}
+	art.Benchmarks = append(art.Benchmarks, diskBenchmarks()...)
 	out, err := json.MarshalIndent(art, "", "  ")
 	if err != nil {
 		panic(err)

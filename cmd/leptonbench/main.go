@@ -45,8 +45,9 @@ func main() {
 	quick := flag.Bool("quick", false, "smaller deployments sims")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	benchJSON := flag.String("bench-json", "",
-		"measure the Figure 1/2 codec hot paths and write a machine-readable"+
-			" artifact (conventionally BENCH_<pr>.json) to this path")
+		"measure the Figure 1/2 codec hot paths and the disk chunk store"+
+			" (put/get/replay) and write a machine-readable artifact"+
+			" (conventionally BENCH_<pr>.json) to this path")
 	flag.Parse()
 
 	if *cpuprofile != "" {

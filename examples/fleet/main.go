@@ -5,33 +5,57 @@
 // same nodes. Midway, one node is hard-killed: the fleet retries its
 // in-flight work elsewhere, evicts the dead node, and every stored file
 // stays retrievable byte-identically from the surviving replicas — then
-// the node restarts, is re-admitted by the health loop, and read-repair
-// heals the chunks it missed.
+// the node restarts, is re-admitted by the health loop, and the chunks
+// it missed are healed (by read-repair with in-memory stores; with
+// -data-dir the node restarts against its intact disk and a warm-restart
+// re-announce tops it up proactively, no client read involved).
 package main
 
 import (
 	"bytes"
 	"context"
+	"flag"
 	"fmt"
 	"log"
+	"path/filepath"
 	"sync"
 	"time"
 
 	"lepton"
+	"lepton/internal/diskstore"
 	"lepton/internal/imagegen"
 	"lepton/internal/server"
 	"lepton/internal/store"
 )
 
 func main() {
+	dataDir := flag.String("data-dir", "",
+		"parent directory for per-node durable stores (default: in-memory"+
+			" stores; a restarted node then comes back empty)")
+	flag.Parse()
+
 	ctx := context.Background()
 
 	// Four blockservers, each with its own chunk store — four machines.
+	// With -data-dir each store is a disk-backed segment log under its own
+	// subdirectory, so a "machine" can reboot without losing its chunks.
 	const n = 4
+	newNodeStore := func(i int) *store.Store {
+		if *dataDir == "" {
+			return store.New()
+		}
+		ds, err := diskstore.Open(filepath.Join(*dataDir, fmt.Sprintf("node%d", i)), diskstore.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return store.NewWithBackend(ds)
+	}
 	nodes := make([]*server.Blockserver, n)
+	stores := make([]*store.Store, n)
 	addrs := make([]string, n)
 	for i := range nodes {
-		nodes[i] = &server.Blockserver{Store: store.New()}
+		stores[i] = newNodeStore(i)
+		nodes[i] = &server.Blockserver{Store: stores[i]}
 		addr, err := server.ListenAndServe("tcp:127.0.0.1:0", nodes[i])
 		if err != nil {
 			log.Fatal(err)
@@ -83,7 +107,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	file, err := imagegen.Generate(99, 512, 384)
+	file, err := imagegen.Generate(99, 1024, 768)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -93,9 +117,10 @@ func main() {
 	}
 	fmt.Printf("stored %d bytes as %d chunks x%d replicas\n", len(file), len(ref.Chunks), 2)
 
-	// Kill node 0 — listener and all: the fleet must evict it and keep
-	// serving, and the file must survive on the remaining replicas.
+	// Kill node 0 — listener, store and all: the fleet must evict it and
+	// keep serving, and the file must survive on the remaining replicas.
 	_ = nodes[0].Close()
+	_ = stores[0].Close()
 	deadline := time.Now().Add(5 * time.Second)
 	for !fleet.NodeDown(addrs[0]) && time.Now().Before(deadline) {
 		time.Sleep(10 * time.Millisecond)
@@ -119,7 +144,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	nodes[0] = &server.Blockserver{Store: store.New()}
+	stores[0] = newNodeStore(0) // same data dir: the segment log replays
+	nodes[0] = &server.Blockserver{Store: stores[0]}
 	if _, err := server.ListenAndServe(addrs[0], nodes[0]); err != nil {
 		log.Fatal(err)
 	}
@@ -129,6 +155,19 @@ func main() {
 	}
 	fmt.Printf("node restarted and readmitted (readmissions=%d)\n",
 		fleet.StatsSnapshot()["readmissions"])
+
+	if *dataDir != "" {
+		// Warm restart: the disk kept every chunk from before the kill, and
+		// the re-announce proactively copies over whatever placement
+		// assigned the node while it was down — healing without waiting for
+		// a client read to stumble on the hole.
+		held, repaired, err := fs.Reannounce(ctx, addrs[0])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("warm restart: %d chunks replayed from disk; reannounce held=%d repaired=%d\n",
+			stores[0].Len(), held, repaired)
+	}
 
 	back2, err := fs.GetFile(ctx, ref2)
 	if err != nil {
@@ -149,8 +188,10 @@ func main() {
 		bytes.Equal(back2, file2), c.ReadRepairs, firstReplica)
 
 	fmt.Printf("router: %v\n", fleet.StatsSnapshot())
-	for _, b := range nodes[1:] {
+	for _, b := range nodes {
 		_ = b.Close()
 	}
-	_ = nodes[0].Close()
+	for _, s := range stores {
+		_ = s.Close()
+	}
 }

@@ -205,3 +205,32 @@ func (st *FleetStore) Placement(h ChunkHash) []string { return st.r.Placement(h)
 
 // Counters returns a snapshot of operational statistics.
 func (st *FleetStore) Counters() FleetStoreCounters { return st.r.Counters() }
+
+// RemoveNode permanently removes addr from the placement ring — for a
+// node that is gone for good, not merely down (eviction handles that).
+// Placement of its chunks moves to the next ring nodes; run AntiEntropy
+// (or wait for the background sweep) to copy the data there and restore
+// replication R.
+func (st *FleetStore) RemoveNode(addr string) { st.r.RemoveNode(addr) }
+
+// AntiEntropy runs one full healing sweep: every node's chunk listing is
+// compared against ring placement and chunks below replication R are
+// copied to the replicas missing them, without any client read involved.
+// Returns the number of replica copies made.
+func (st *FleetStore) AntiEntropy(ctx context.Context) (int, error) {
+	return st.r.AntiEntropy(ctx)
+}
+
+// StartAntiEntropy launches a background AntiEntropy sweep every interval
+// (0 means one minute) and returns its stop function.
+func (st *FleetStore) StartAntiEntropy(interval time.Duration) (stop func()) {
+	return st.r.StartAntiEntropy(interval)
+}
+
+// Reannounce re-integrates a warm-restarted node: its chunk listing
+// proves what its disk still holds (held), and anything placement
+// assigned to it or its peers that is missing gets copied (repaired). A
+// node restarted against an intact data dir reports repaired == 0.
+func (st *FleetStore) Reannounce(ctx context.Context, addr string) (held, repaired int, err error) {
+	return st.r.Reannounce(ctx, addr)
+}

@@ -1,0 +1,75 @@
+package diskstore
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzSegmentReplay throws arbitrary bytes at segment replay — the code
+// path that must never panic, because it runs against whatever a crash
+// left on disk. Whatever Open salvages must behave like a store: every
+// listed hash readable, the salvage stable across a reopen, and fresh
+// writes accepted. Seed corpus lives in testdata/fuzz/FuzzSegmentReplay
+// (regenerate with `go run ./cmd/corpusgen -fuzz-seeds`).
+func FuzzSegmentReplay(f *testing.F) {
+	// Seeds beyond the checked-in corpus: empty, a valid record, and a
+	// valid record with a torn tail.
+	h := sha256.Sum256([]byte("seed"))
+	rec := encodeRecord(kindPut, h, []byte("seed payload"))
+	f.Add([]byte{})
+	f.Add(rec)
+	f.Add(append(append([]byte{}, rec...), rec[:headerSize+3]...))
+	f.Add(append(append([]byte{}, rec...), encodeRecord(kindDelete, h, nil)...))
+
+	f.Fuzz(func(t *testing.T, seg []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "seg-00000001.log"), seg, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, err := Open(dir, Options{SyncInterval: -1, CompactInterval: -1})
+		if err != nil {
+			// I/O-level failure is acceptable; panics are not (the fuzz
+			// harness catches those itself).
+			return
+		}
+		hashes := s.HashesAfter(Hash{}, 0)
+		salvaged := make(map[Hash][]byte, len(hashes))
+		for _, h := range hashes {
+			b, ok, err := s.Get(h)
+			if err != nil {
+				t.Fatalf("Get(%x) after replay: %v", h[:8], err)
+			}
+			if !ok {
+				t.Fatalf("listed hash %x not readable", h[:8])
+			}
+			salvaged[h] = b
+		}
+		// The store must accept new writes after any salvage.
+		nh := sha256.Sum256([]byte("post-replay"))
+		if err := s.Put(nh, []byte("post-replay")); err != nil {
+			t.Fatalf("Put after replay: %v", err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatalf("Close after replay: %v", err)
+		}
+
+		// Replay of the salvaged log is deterministic: same live set.
+		s2, err := Open(dir, Options{SyncInterval: -1, CompactInterval: -1})
+		if err != nil {
+			t.Fatalf("reopen after salvage: %v", err)
+		}
+		defer s2.Close()
+		if got := s2.Len(); got != len(salvaged)+1 {
+			t.Fatalf("reopen Len = %d, want %d", got, len(salvaged)+1)
+		}
+		for h, want := range salvaged {
+			b, ok, err := s2.Get(h)
+			if err != nil || !ok || !bytes.Equal(b, want) {
+				t.Fatalf("chunk %x changed across reopen (ok=%v err=%v)", h[:8], ok, err)
+			}
+		}
+	})
+}

@@ -195,6 +195,14 @@ func (b *Blockserver) StatsSnapshot() map[string]int64 {
 	if pf, ok := b.Outsource.(probeFailureCounter); ok {
 		snap["probe_failures"] = pf.ProbeFailures()
 	}
+	if b.Store != nil {
+		// Durability counters from a stats-capable backend (the disk
+		// store): segment count, live/garbage bytes, quarantines,
+		// compactions — the healing signals leptonload graphs.
+		for k, v := range b.Store.BackendStats() {
+			snap["store_"+k] = v
+		}
+	}
 	b.connMu.Lock()
 	p := b.pool
 	b.connMu.Unlock()
@@ -677,7 +685,7 @@ func (b *Blockserver) serveOne(sc *srvConn, op byte, payload []byte) bool {
 		return b.withRequestCtx(sc, func(ctx context.Context) bool {
 			return b.serveDecompress(ctx, sc, payload)
 		})
-	case OpPutChunkRaw, OpPutChunkCompressed, OpGetChunkRaw, OpGetChunkCompressed:
+	case OpPutChunkRaw, OpPutChunkCompressed, OpGetChunkRaw, OpGetChunkCompressed, OpListChunks:
 		return b.withRequestCtx(sc, func(ctx context.Context) bool {
 			return b.handleStoreOp(ctx, sc, op, payload)
 		})
@@ -847,6 +855,24 @@ func (b *Blockserver) handleStoreOp(ctx context.Context, sc *srvConn, op byte, p
 			return WriteResponse(conn, StatusNotFound, []byte("unknown chunk")) == nil
 		}
 		return WriteResponse(conn, StatusOK, cb) == nil
+	case OpListChunks:
+		// An index walk, not a conversion: served inline like the
+		// compressed-get path, no shard worker.
+		if len(payload) != 36 {
+			return fail(fmt.Errorf("list-chunks request is %d bytes, want 36", len(payload)))
+		}
+		var after store.Hash
+		copy(after[:], payload[:32])
+		max := int(binary.LittleEndian.Uint32(payload[32:]))
+		if max <= 0 || max > ListChunksPageMax {
+			max = ListChunksPageMax
+		}
+		hashes := b.Store.HashesAfter(after, max)
+		resp := make([]byte, 0, len(hashes)*32)
+		for _, h := range hashes {
+			resp = append(resp, h[:]...)
+		}
+		return WriteResponse(conn, StatusOK, resp) == nil
 	}
 	return true
 }

@@ -1,0 +1,361 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"lepton/internal/diskstore"
+	"lepton/internal/server"
+	"lepton/internal/store"
+)
+
+// The disk-backed extension of the PR-5 fault-injection harness: nodes
+// whose chunk stores are log-structured segment files on disk, so kill()
+// followed by restart() is a machine crashing and rebooting against its
+// data — the durability story the in-memory harness could not tell.
+
+func newDiskNodeStore(t *testing.T, dir string, sync time.Duration) *store.Store {
+	t.Helper()
+	ds, err := diskstore.Open(dir, diskstore.Options{
+		SyncInterval:    sync,
+		CompactInterval: -1, // deterministic tests: no background rewrites
+	})
+	if err != nil {
+		t.Fatalf("diskstore.Open(%s): %v", dir, err)
+	}
+	st := store.NewWithBackend(ds)
+	st.ChunkSize = 32 << 10
+	return st
+}
+
+// startDiskTestFleet is startTestFleet with durable stores: each node gets
+// its own data dir that survives kill()/restart().
+func startDiskTestFleet(t *testing.T, n int, sync time.Duration) []*testNode {
+	t.Helper()
+	nodes := make([]*testNode, n)
+	for i := range nodes {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := filepath.Join(t.TempDir(), fmt.Sprintf("node%d", i))
+		nd := &testNode{
+			addr:         "tcp:" + ln.Addr().String(),
+			st:           newDiskNodeStore(t, dir, sync),
+			dataDir:      dir,
+			syncInterval: sync,
+		}
+		nd.start(ln)
+		nodes[i] = nd
+	}
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			nd.mu.Lock()
+			b, alive := nd.b, nd.alive
+			nd.mu.Unlock()
+			if alive {
+				_ = b.Close()
+			}
+			_ = nd.st.Close()
+		}
+	})
+	return nodes
+}
+
+// nodeHolds checks a node's store directly (no fleet read, no counters).
+func nodeHolds(nd *testNode, h store.Hash) bool {
+	_, ok := nd.st.GetCompressedChunk(h)
+	return ok
+}
+
+// listNodeChunks pages a node's full listing through the wire protocol.
+func listNodeChunks(t *testing.T, f *server.Fleet, addr string, pageSize int) map[store.Hash]bool {
+	t.Helper()
+	out := map[store.Hash]bool{}
+	var after store.Hash
+	for {
+		page, err := f.ListChunks(context.Background(), addr, after, pageSize)
+		if err != nil {
+			t.Fatalf("ListChunks(%s): %v", addr, err)
+		}
+		if len(page) == 0 {
+			return out
+		}
+		for _, h := range page {
+			out[h] = true
+		}
+		after = page[len(page)-1]
+	}
+}
+
+func refChunks(refs []store.FileRef) []store.Hash {
+	seen := map[store.Hash]bool{}
+	var out []store.Hash
+	for _, ref := range refs {
+		for _, h := range ref.Chunks {
+			if !seen[h] {
+				seen[h] = true
+				out = append(out, h)
+			}
+		}
+	}
+	return out
+}
+
+// TestFleetKillRestartDiskZeroLoss is the crash-recovery acceptance test:
+// a disk-backed node killed mid-workload and restarted against its data
+// dir serves every chunk it acknowledged — proven by wiping the OTHER
+// replica and reading everything back through the fleet, so the restarted
+// node's disk is the only possible source of the bytes.
+func TestFleetKillRestartDiskZeroLoss(t *testing.T) {
+	// Group commit (SyncInterval 0): a put is acknowledged only once an
+	// fsync covers it — the durability contract under test.
+	nodes := startDiskTestFleet(t, 2, 0)
+	f := newTestFleet(t, nodes, nil)
+	r, err := store.NewRemote(f, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.ChunkSize = 8 << 10
+	ctx := context.Background()
+
+	// Phase A: a settled workload, fully replicated (R = 2 over 2 nodes,
+	// zero replica errors means both replicas acknowledged every chunk).
+	corpus := fleetCorpus(t, 6)
+	var refsA []store.FileRef
+	for _, data := range corpus {
+		ref, err := r.PutFile(ctx, data)
+		if err != nil {
+			t.Fatalf("phase A put: %v", err)
+		}
+		refsA = append(refsA, ref)
+	}
+	if c := r.Counters(); c.ReplicaErrors != 0 {
+		t.Fatalf("phase A not fully replicated: %+v", c)
+	}
+	chunksA := refChunks(refsA)
+
+	// Phase B: keep putting while the node dies mid-workload. Puts still
+	// succeed through the surviving replica; requests racing the kill may
+	// fail on the dying node, which is the point.
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				data := gen(t, int64(900+w*10+i), 128, 96)
+				_, _ = r.PutFile(ctx, data)
+			}
+		}(w)
+	}
+	time.Sleep(20 * time.Millisecond)
+	nodes[1].kill()
+	wg.Wait()
+
+	// Reboot against the same data dir; the health loop re-admits it.
+	nodes[1].restart(t)
+	waitFor(t, 5*time.Second, func() bool { return !f.NodeDown(nodes[1].addr) }, "node 1 readmission")
+
+	// Replay must have rebuilt everything phase A acknowledged — verified
+	// over the wire via the OpListChunks scan.
+	listed := listNodeChunks(t, f, nodes[1].addr, 7)
+	for _, h := range chunksA {
+		if !listed[h] {
+			t.Fatalf("restarted node lost acknowledged chunk %x", h[:8])
+		}
+	}
+
+	// Warm restart: the node's disk is intact, so the re-announce sweep
+	// finds nothing to move for the chunks it holds.
+	held, repaired, err := r.Reannounce(ctx, nodes[1].addr)
+	if err != nil {
+		t.Fatalf("Reannounce: %v", err)
+	}
+	if held < len(chunksA) {
+		t.Fatalf("reannounce saw %d chunks, want >= %d", held, len(chunksA))
+	}
+	if repaired != 0 {
+		t.Fatalf("warm restart repaired %d chunks, want 0 (nothing was lost)", repaired)
+	}
+
+	// The proof: wipe the OTHER node (fresh empty data dir) and read every
+	// phase-A file back. The restarted node's disk is now the only place
+	// the bytes exist; read-repair may re-fill node 0, but the source of
+	// every byte is node 1's replayed segments.
+	nodes[0].kill()
+	nodes[0].dataDir = filepath.Join(t.TempDir(), "node0-wiped")
+	nodes[0].restart(t)
+	waitFor(t, 5*time.Second, func() bool { return !f.NodeDown(nodes[0].addr) }, "node 0 readmission")
+	if got := nodes[0].st.Len(); got != 0 {
+		t.Fatalf("wiped node reports %d chunks", got)
+	}
+
+	for i, ref := range refsA {
+		back, err := r.GetFile(ctx, ref)
+		if err != nil {
+			t.Fatalf("file %d unreadable after wipe: %v", i, err)
+		}
+		if !bytes.Equal(back, corpus[i]) {
+			t.Fatalf("file %d not byte-identical after crash recovery", i)
+		}
+	}
+	if c := r.Counters(); c.CorruptReplicas != 0 {
+		t.Fatalf("corrupt replicas served during recovery: %+v", c)
+	}
+}
+
+// TestFleetAntiEntropyRestoresReplication is the proactive-healing
+// acceptance test: after a node is permanently lost and removed from the
+// ring, the background sweep alone — no client reads — restores every
+// affected chunk to replication R on the survivors.
+func TestFleetAntiEntropyRestoresReplication(t *testing.T) {
+	nodes := startDiskTestFleet(t, 4, -1)
+	f := newTestFleet(t, nodes, nil)
+	r, err := store.NewRemote(f, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.ChunkSize = 8 << 10
+	ctx := context.Background()
+
+	corpus := fleetCorpus(t, 4)
+	var refs []store.FileRef
+	for _, data := range corpus {
+		ref, err := r.PutFile(ctx, data)
+		if err != nil {
+			t.Fatalf("put: %v", err)
+		}
+		refs = append(refs, ref)
+	}
+	if c := r.Counters(); c.ReplicaErrors != 0 {
+		t.Fatalf("workload not fully replicated: %+v", c)
+	}
+	chunks := refChunks(refs)
+
+	// Permanent loss: the machine is gone and operations removes it. Pick
+	// the victim as a node placement actually uses, so at least one chunk
+	// is guaranteed to drop below R and need proactive healing.
+	allByAddr := map[string]*testNode{}
+	for _, nd := range nodes {
+		allByAddr[nd.addr] = nd
+	}
+	victim := allByAddr[r.Placement(chunks[0])[0]]
+	victim.kill()
+	r.RemoveNode(victim.addr)
+	var survivors []*testNode
+	for _, nd := range nodes {
+		if nd != victim {
+			survivors = append(survivors, nd)
+		}
+	}
+	// Sanity: the new placement of chunk 0 includes a replica that does
+	// not hold it yet — the hole the sweep must fill.
+	hole := false
+	for _, addr := range r.Placement(chunks[0]) {
+		if !nodeHolds(allByAddr[addr], chunks[0]) {
+			hole = true
+		}
+	}
+	if !hole {
+		t.Fatal("victim removal left no replication hole; test setup broken")
+	}
+
+	getsBefore := r.Counters().Gets
+	stop := r.StartAntiEntropy(25 * time.Millisecond)
+	defer stop()
+
+	// Every chunk must converge to its (new) full placement on the
+	// survivors, checked against their stores directly — no fleet reads.
+	byAddr := map[string]*testNode{}
+	for _, nd := range survivors {
+		byAddr[nd.addr] = nd
+	}
+	waitFor(t, 15*time.Second, func() bool {
+		for _, h := range chunks {
+			for _, addr := range r.Placement(h) {
+				if !nodeHolds(byAddr[addr], h) {
+					return false
+				}
+			}
+		}
+		return true
+	}, "anti-entropy to restore replication R")
+
+	c := r.Counters()
+	if c.Gets != getsBefore {
+		t.Fatalf("healing involved %d client reads, want 0", c.Gets-getsBefore)
+	}
+	if c.AntiEntropyRepairs == 0 {
+		t.Fatal("no anti-entropy repairs counted")
+	}
+	if c.ReadRepairs != 0 {
+		t.Fatalf("read-repair fired without reads: %+v", c)
+	}
+
+	// And the data is actually servable afterwards.
+	for i, ref := range refs {
+		back, err := r.GetFile(ctx, ref)
+		if err != nil || !bytes.Equal(back, corpus[i]) {
+			t.Fatalf("file %d wrong after healing (err=%v)", i, err)
+		}
+	}
+}
+
+// TestOpListChunksPaging exercises the wire-level ranged scan: small pages
+// walk the full set exactly once, in ascending order, and a malformed
+// request is rejected in-band without poisoning the connection.
+func TestOpListChunksPaging(t *testing.T) {
+	nodes := startTestFleet(t, 1)
+	f := newTestFleet(t, nodes, nil)
+	r, err := store.NewRemote(f, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.ChunkSize = 8 << 10
+	ctx := context.Background()
+
+	ref, err := r.PutFile(ctx, gen(t, 777, 512, 384))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Chunks) < 3 {
+		t.Fatalf("corpus too small: %d chunks", len(ref.Chunks))
+	}
+
+	listed := listNodeChunks(t, f, nodes[0].addr, 2)
+	if len(listed) != nodes[0].st.Len() {
+		t.Fatalf("paged %d chunks, store holds %d", len(listed), nodes[0].st.Len())
+	}
+	for _, h := range ref.Chunks {
+		if !listed[h] {
+			t.Fatalf("chunk %x not listed", h[:8])
+		}
+	}
+
+	// Pages are ascending and respect the cursor.
+	var after store.Hash
+	page, err := f.ListChunks(ctx, nodes[0].addr, after, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(page); i++ {
+		if bytes.Compare(page[i-1][:], page[i][:]) >= 0 {
+			t.Fatal("page not strictly ascending")
+		}
+	}
+
+	// Malformed request: in-band error, connection survives.
+	if _, err := f.DoNode(ctx, nodes[0].addr, server.OpListChunks, []byte("short")); err == nil {
+		t.Fatal("malformed list request accepted")
+	}
+	if _, err := f.ListChunks(ctx, nodes[0].addr, after, 3); err != nil {
+		t.Fatalf("connection poisoned by malformed request: %v", err)
+	}
+}

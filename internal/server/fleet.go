@@ -12,6 +12,7 @@ package server
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -800,4 +801,31 @@ func (f *Fleet) GetCompressed(ctx context.Context, addr string, h store.Hash) ([
 	return resp, nil
 }
 
-var _ store.RemoteTransport = (*Fleet)(nil)
+// ListChunks pages through one node's stored chunk hashes via OpListChunks
+// (exclusive-start cursor, ascending), implementing store.ChunkLister — the
+// capability behind warm-restart re-announce and anti-entropy sweeps.
+func (f *Fleet) ListChunks(ctx context.Context, addr string, after store.Hash, max int) ([]store.Hash, error) {
+	if max <= 0 || max > ListChunksPageMax {
+		max = ListChunksPageMax
+	}
+	req := make([]byte, 36)
+	copy(req, after[:])
+	binary.LittleEndian.PutUint32(req[32:], uint32(max))
+	resp, err := f.DoNode(ctx, addr, OpListChunks, req)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp)%32 != 0 {
+		return nil, fmt.Errorf("server: list-chunks response of %d bytes is not hash-aligned", len(resp))
+	}
+	hashes := make([]store.Hash, len(resp)/32)
+	for i := range hashes {
+		copy(hashes[i][:], resp[i*32:])
+	}
+	return hashes, nil
+}
+
+var (
+	_ store.RemoteTransport = (*Fleet)(nil)
+	_ store.ChunkLister     = (*Fleet)(nil)
+)

@@ -59,12 +59,17 @@ func (ct *connTracker) abortAll() {
 
 // testNode is one fleet member under test control.
 type testNode struct {
-	addr  string // "tcp:127.0.0.1:<port>", stable across restarts
-	st    *store.Store
-	mu    sync.Mutex
-	b     *server.Blockserver
-	tr    *connTracker
-	alive bool
+	addr string // "tcp:127.0.0.1:<port>", stable across restarts
+	st   *store.Store
+	// dataDir, when set, marks a disk-backed node: kill() closes the
+	// store's backend with the node, and restart() reopens the same
+	// directory — a machine rebooting against its disk.
+	dataDir      string
+	syncInterval time.Duration
+	mu           sync.Mutex
+	b            *server.Blockserver
+	tr           *connTracker
+	alive        bool
 }
 
 func (n *testNode) snapshot() map[string]int64 {
@@ -82,12 +87,21 @@ func (n *testNode) kill() {
 	n.mu.Unlock()
 	tr.abortAll()
 	_ = b.Close()
+	if n.dataDir != "" {
+		// The process dies, the disk stays: requests racing the kill see
+		// the backend closed and fail, exactly like a crashing machine's.
+		_ = n.st.Close()
+	}
 }
 
 // restart brings the node back on the same address with the same store —
-// a machine rebooting with its disk intact.
+// a machine rebooting with its disk intact. A disk-backed node reopens its
+// data dir, replaying the segment logs into a fresh index.
 func (n *testNode) restart(t *testing.T) {
 	t.Helper()
+	if n.dataDir != "" {
+		n.st = newDiskNodeStore(t, n.dataDir, n.syncInterval)
+	}
 	ln, err := net.Listen("tcp", trimScheme(n.addr))
 	if err != nil {
 		t.Fatalf("restart %s: %v", n.addr, err)

@@ -36,7 +36,19 @@ const (
 	OpPutChunkCompressed = byte('U') // body: Lepton chunk -> server verifies+stores, returns hash
 	OpGetChunkRaw        = byte('G') // body: hash -> server decompresses, returns raw bytes
 	OpGetChunkCompressed = byte('H') // body: hash -> returns stored compressed bytes
+
+	// OpListChunks is the ranged scan behind warm restart and anti-entropy:
+	// body is a 32-byte exclusive-start hash plus a 4-byte LE page limit;
+	// the response is the node's stored hashes greater than the cursor, in
+	// ascending order, concatenated 32 bytes each. An empty response means
+	// the scan is complete. Paging keeps each response under maxPayload no
+	// matter how many chunks a disk holds.
+	OpListChunks = byte('S')
 )
+
+// ListChunksPageMax caps an OpListChunks page: the largest hash count
+// whose response still fits a frame, rounded down to a tidy number.
+const ListChunksPageMax = (maxPayload / 32) / 2
 
 // Response status codes. StatusError marks a deterministic rejection (the
 // same payload would be rejected by any node); StatusRetry marks a

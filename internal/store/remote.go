@@ -43,6 +43,9 @@ type RemoteCounters struct {
 	Misses          int64 // replicas that answered "no such chunk"
 	ReadRepairs     int64 // chunks written back to repaired replicas
 	CorruptReplicas int64 // replicas whose bytes failed the content hash
+
+	AntiEntropySweeps  int64 // background sweeps started
+	AntiEntropyRepairs int64 // replica copies made by sweeps (not read-repair)
 }
 
 // Remote is the fleet-backed chunk store: content-addressed chunks placed
@@ -64,7 +67,10 @@ type Remote struct {
 	// ChunkSize for splitting files; 0 means the 4-MiB default.
 	ChunkSize int
 
-	ring *hashRing
+	// ringMu guards ring: membership changes only through RemoveNode (a
+	// permanent loss shrinks placement; mere unreachability never does).
+	ringMu sync.RWMutex
+	ring   *hashRing
 
 	counters RemoteCounters
 }
@@ -90,6 +96,8 @@ func NewRemote(t RemoteTransport, replication int) (*Remote, error) {
 // Placement returns the R distinct node addresses that should hold h, in
 // read-preference order.
 func (r *Remote) Placement(h Hash) []string {
+	r.ringMu.RLock()
+	defer r.ringMu.RUnlock()
 	return r.ring.placement(h, r.Replication)
 }
 
@@ -313,6 +321,9 @@ func (r *Remote) Counters() RemoteCounters {
 		Misses:          atomic.LoadInt64(&r.counters.Misses),
 		ReadRepairs:     atomic.LoadInt64(&r.counters.ReadRepairs),
 		CorruptReplicas: atomic.LoadInt64(&r.counters.CorruptReplicas),
+
+		AntiEntropySweeps:  atomic.LoadInt64(&r.counters.AntiEntropySweeps),
+		AntiEntropyRepairs: atomic.LoadInt64(&r.counters.AntiEntropyRepairs),
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -81,10 +82,100 @@ func (s *MemSafetyNet) Get(h Hash) ([]byte, bool) {
 	return v, ok
 }
 
-// Store is an in-memory blockserver store.
-type Store struct {
+// Backend is the blob layer under a Store: where compressed chunks live
+// once admitted. The default is the in-memory MemBackend; a blockserver
+// that must survive restarts plugs in internal/diskstore (which implements
+// this interface) instead. Implementations must be safe for concurrent
+// use and idempotent on Put — keys are content hashes, so re-putting a
+// present hash stores the same bytes.
+type Backend interface {
+	// Put stores data under h.
+	Put(h Hash, data []byte) error
+	// Get returns the stored bytes. A chunk that is absent — or that the
+	// backend refuses to serve, e.g. because it failed an integrity check
+	// — reads as ok=false; the error return is for I/O failures.
+	Get(h Hash) ([]byte, bool, error)
+	// Delete removes h; deleting an absent hash is a no-op.
+	Delete(h Hash) error
+	// Len returns the number of stored chunks.
+	Len() int
+	// HashesAfter returns up to max stored hashes strictly greater than
+	// after in ascending byte order (max <= 0 means all) — the ranged
+	// scan behind OpListChunks and anti-entropy.
+	HashesAfter(after Hash, max int) []Hash
+}
+
+// StatsBackend is implemented by backends with durability counters worth
+// exporting (segment counts, garbage bytes, quarantines, ...).
+type StatsBackend interface {
+	Backend
+	BackendStats() map[string]int64
+}
+
+// MemBackend is the default in-memory Backend.
+type MemBackend struct {
 	mu    sync.RWMutex
 	blobs map[Hash][]byte
+}
+
+// NewMemBackend returns an empty in-memory backend.
+func NewMemBackend() *MemBackend { return &MemBackend{blobs: map[Hash][]byte{}} }
+
+// Put stores a copy of data under h.
+func (m *MemBackend) Put(h Hash, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.blobs[h]; !ok {
+		m.blobs[h] = append([]byte(nil), data...)
+	}
+	return nil
+}
+
+// Get returns the stored bytes for h.
+func (m *MemBackend) Get(h Hash) ([]byte, bool, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	b, ok := m.blobs[h]
+	return b, ok, nil
+}
+
+// Delete removes h.
+func (m *MemBackend) Delete(h Hash) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.blobs, h)
+	return nil
+}
+
+// Len returns the number of stored chunks.
+func (m *MemBackend) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.blobs)
+}
+
+// HashesAfter returns up to max hashes strictly greater than after,
+// ascending.
+func (m *MemBackend) HashesAfter(after Hash, max int) []Hash {
+	m.mu.RLock()
+	out := make([]Hash, 0, len(m.blobs))
+	for h := range m.blobs {
+		if bytes.Compare(h[:], after[:]) > 0 {
+			out = append(out, h)
+		}
+	}
+	m.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return bytes.Compare(out[i][:], out[j][:]) < 0 })
+	if max > 0 && len(out) > max {
+		out = out[:max]
+	}
+	return out
+}
+
+// Store is a blockserver chunk store: admission control and codec policy
+// in front of a pluggable blob Backend.
+type Store struct {
+	backend Backend
 
 	counters Counters
 
@@ -106,8 +197,43 @@ type Store struct {
 	Codec *core.Codec
 }
 
-// New returns an empty store.
-func New() *Store { return &Store{blobs: map[Hash][]byte{}} }
+// New returns an empty store over the in-memory backend.
+func New() *Store { return &Store{backend: NewMemBackend()} }
+
+// NewWithBackend returns a store over b — pass a *diskstore.Store for a
+// store that survives restarts.
+func NewWithBackend(b Backend) *Store { return &Store{backend: b} }
+
+// Backend returns the store's blob backend.
+func (st *Store) Backend() Backend { return st.backend }
+
+// Len returns the number of stored chunks.
+func (st *Store) Len() int { return st.backend.Len() }
+
+// HashesAfter returns up to max stored chunk hashes strictly greater than
+// after in ascending order — the scan OpListChunks serves so a restarted
+// node can re-announce what its disk still holds.
+func (st *Store) HashesAfter(after Hash, max int) []Hash {
+	return st.backend.HashesAfter(after, max)
+}
+
+// BackendStats returns the backend's durability counters, or nil for
+// backends without any (the in-memory default).
+func (st *Store) BackendStats() map[string]int64 {
+	if sb, ok := st.backend.(StatsBackend); ok {
+		return sb.BackendStats()
+	}
+	return nil
+}
+
+// Close releases the backend if it holds resources (a disk-backed store's
+// segment files and background loops); the in-memory backend is a no-op.
+func (st *Store) Close() error {
+	if c, ok := st.backend.(interface{ Close() error }); ok {
+		return c.Close()
+	}
+	return nil
+}
 
 func (st *Store) shutoff() bool {
 	if st.ShutoffPath == "" {
@@ -180,10 +306,13 @@ func (st *Store) PutFileCtx(ctx context.Context, data []byte) (FileRef, error) {
 			}
 			return FileRef{}, fmt.Errorf("store: chunk %d failed admission round trip: %v", k, err)
 		}
-		st.mu.Lock()
-		st.blobs[sum] = cb
-		stored := st.blobs[sum]
-		st.mu.Unlock()
+		if err := st.backend.Put(sum, cb); err != nil {
+			return FileRef{}, fmt.Errorf("store: chunk %d: %w", k, err)
+		}
+		stored, ok, err := st.backend.Get(sum)
+		if err != nil || !ok {
+			return FileRef{}, fmt.Errorf("store: chunk %d unreadable after store (ok=%v): %v", k, ok, err)
+		}
 		if got := sha256.Sum256(stored); got != sum {
 			return FileRef{}, fmt.Errorf("store: chunk %d checksum changed after store", k)
 		}
@@ -252,9 +381,9 @@ func (st *Store) PutCompressedChunkCtx(ctx context.Context, cb []byte) (Hash, er
 		return Hash{}, fmt.Errorf("store: chunk not decodable: %w", err)
 	}
 	sum := sha256.Sum256(cb)
-	st.mu.Lock()
-	st.blobs[sum] = append([]byte(nil), cb...)
-	st.mu.Unlock()
+	if err := st.backend.Put(sum, cb); err != nil {
+		return Hash{}, fmt.Errorf("store: %w", err)
+	}
 	atomic.AddInt64(&st.counters.LeptonChunks, 1)
 	atomic.AddInt64(&st.counters.BytesStored, int64(len(cb)))
 	return sum, nil
@@ -268,9 +397,10 @@ func (st *Store) GetChunk(h Hash) ([]byte, error) {
 // GetChunkCtx is GetChunk under a context; the decode aborts mid-segment on
 // cancellation.
 func (st *Store) GetChunkCtx(ctx context.Context, h Hash) ([]byte, error) {
-	st.mu.RLock()
-	cb, ok := st.blobs[h]
-	st.mu.RUnlock()
+	cb, ok, err := st.backend.Get(h)
+	if err != nil {
+		return nil, fmt.Errorf("store: chunk %x: %w", h[:8], err)
+	}
 	if !ok {
 		return nil, fmt.Errorf("store: unknown chunk %x", h[:8])
 	}
@@ -278,11 +408,14 @@ func (st *Store) GetChunkCtx(ctx context.Context, h Hash) ([]byte, error) {
 	return st.Codec.DecodeCtx(ctx, cb, 0)
 }
 
-// GetCompressedChunk returns the stored (compressed) bytes.
+// GetCompressedChunk returns the stored (compressed) bytes. A backend
+// read failure reads as a miss: the fleet layer treats a miss as a
+// repairable hole, which is exactly what an unreadable replica is.
 func (st *Store) GetCompressedChunk(h Hash) ([]byte, bool) {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	cb, ok := st.blobs[h]
+	cb, ok, err := st.backend.Get(h)
+	if err != nil {
+		return nil, false
+	}
 	return cb, ok
 }
 

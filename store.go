@@ -2,7 +2,9 @@ package lepton
 
 import (
 	"context"
+	"time"
 
+	"lepton/internal/diskstore"
 	"lepton/internal/store"
 )
 
@@ -46,6 +48,11 @@ type StoreOptions struct {
 	// Codec supplies the pooled conversion pipeline; nil shares the
 	// package's default codec.
 	Codec *Codec
+	// SyncInterval tunes a disk-backed store's fsync batching (ignored by
+	// NewStore): 0 group-commits every put before acknowledging it,
+	// positive trades a bounded window of unsynced acknowledgements for
+	// fewer fsyncs, negative disables syncing (tests).
+	SyncInterval time.Duration
 }
 
 // Store is the content-addressed chunk store with the safety mechanisms of
@@ -62,9 +69,30 @@ type Store struct {
 	s *store.Store
 }
 
-// NewStore returns an empty store. opts may be nil.
+// NewStore returns an empty in-memory store. opts may be nil.
 func NewStore(opts *StoreOptions) *Store {
-	s := store.New()
+	return configureStore(store.New(), opts)
+}
+
+// NewDiskStore returns a store whose chunks live in a log-structured
+// on-disk store rooted at dir and survive restarts: reopening the same
+// directory replays the segment logs (truncating a torn tail from a crash
+// mid-write, quarantining corrupt records) and serves every previously
+// acknowledged chunk. opts may be nil; opts.SyncInterval selects the
+// durability/fsync trade-off. Callers own Close.
+func NewDiskStore(dir string, opts *StoreOptions) (*Store, error) {
+	var sync time.Duration
+	if opts != nil {
+		sync = opts.SyncInterval
+	}
+	ds, err := diskstore.Open(dir, diskstore.Options{SyncInterval: sync})
+	if err != nil {
+		return nil, err
+	}
+	return configureStore(store.NewWithBackend(ds), opts), nil
+}
+
+func configureStore(s *store.Store, opts *StoreOptions) *Store {
 	codec := defaultCodec
 	if opts != nil {
 		s.ChunkSize = opts.ChunkSize
@@ -77,6 +105,9 @@ func NewStore(opts *StoreOptions) *Store {
 	s.Codec = codec.core
 	return &Store{s: s}
 }
+
+// The disk store must remain a drop-in backend for the blockserver store.
+var _ store.StatsBackend = (*diskstore.Store)(nil)
 
 // PutFile chunks, compresses, verifies, and admits a file. Chunks that fail
 // the Lepton round trip are stored deflate-compressed instead — the upload
@@ -119,3 +150,15 @@ func (st *Store) RecoverFromSafetyNet(h ChunkHash) ([]byte, error) {
 
 // Counters returns a snapshot of operational statistics.
 func (st *Store) Counters() StoreCounters { return st.s.Counters() }
+
+// Len returns the number of stored chunks.
+func (st *Store) Len() int { return st.s.Len() }
+
+// BackendStats returns a disk-backed store's durability counters (segment
+// count, live/garbage bytes, quarantined records, compactions, fsyncs);
+// nil for the in-memory store.
+func (st *Store) BackendStats() map[string]int64 { return st.s.BackendStats() }
+
+// Close releases a disk-backed store's segment files and background loops
+// after a final fsync; for an in-memory store it is a no-op.
+func (st *Store) Close() error { return st.s.Close() }
