@@ -1,0 +1,165 @@
+// Command backfill runs the §5.6 background recompression pipeline against
+// a live blockserver fleet: it walks a manifest (corpusgen -manifest), fans
+// work across the nodes under per-node congestion windows, verifies every
+// round trip before acknowledging it, and checkpoints progress durably so a
+// killed run resumes where it stopped instead of starting over.
+//
+// A multi-worker deployment splits the manifest with -shard/-shards; each
+// worker owns the manifest indices congruent to its shard and keeps its own
+// checkpoint record, so workers share nothing but the fleet.
+//
+// Usage:
+//
+//	corpusgen -manifest 100000 -out photos.manifest
+//	backfill -manifest photos.manifest -nodes tcp:h1:7701,tcp:h2:7701 -ckpt ./ckpt
+//
+// Interrupt (SIGINT/SIGTERM) stops the run gracefully: in-flight files
+// finish or requeue, a final checkpoint is cut, and the next invocation
+// resumes from it.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"lepton/internal/backfill"
+	"lepton/internal/diskstore"
+	"lepton/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("backfill: ")
+
+	manifestPath := flag.String("manifest", "", "manifest file (corpusgen -manifest format); \"-\" reads stdin")
+	nodesFlag := flag.String("nodes", "", "comma-separated fleet node addresses (tcp:host:port or unix:path)")
+	ckptDir := flag.String("ckpt", "", "checkpoint directory (durable disk store); required for resumability")
+	shard := flag.Int("shard", 0, "this worker's shard index")
+	shards := flag.Int("shards", 1, "total number of shard workers")
+	verify := flag.Bool("verify", true, "round-trip decompress and content-hash check before committing each file")
+	windowFloor := flag.Int("window-floor", 1, "per-node congestion window floor")
+	windowCap := flag.Int("window-cap", 32, "per-node congestion window cap")
+	maxAhead := flag.Int("max-ahead", 1024, "how far past the checkpoint cursor to work ahead")
+	ckptEvery := flag.Duration("checkpoint-every", 500*time.Millisecond, "checkpoint timer interval")
+	ckptFiles := flag.Int("checkpoint-files", 256, "checkpoint after this many commits")
+	yieldLow := flag.Int("yield-low", 2, "foreground in-flight depth at which windows shrink toward the floor")
+	yieldHigh := flag.Int("yield-high", 8, "foreground in-flight depth at which backfill pauses")
+	yieldPoll := flag.Duration("yield-poll", 50*time.Millisecond, "live-load probe interval (negative disables yielding)")
+	progress := flag.Duration("progress", 5*time.Second, "progress log interval (0 disables)")
+	flag.Parse()
+
+	if *manifestPath == "" || *nodesFlag == "" || *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "backfill: -manifest, -nodes, and -ckpt are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	m, err := readManifest(*manifestPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("manifest: %d entries, shard %d/%d", len(m.Entries), *shard, *shards)
+
+	cs, err := diskstore.Open(*ckptDir, diskstore.Options{})
+	if err != nil {
+		log.Fatalf("checkpoint store: %v", err)
+	}
+	defer cs.Close()
+
+	fleet, err := server.NewFleet(strings.Split(*nodesFlag, ","), &server.FleetOptions{
+		Logf: log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("fleet: %v", err)
+	}
+	defer fleet.Close()
+
+	eng, err := backfill.New(backfill.Config{
+		Shard:           *shard,
+		Shards:          *shards,
+		WindowFloor:     *windowFloor,
+		WindowCap:       *windowCap,
+		MaxAhead:        *maxAhead,
+		CheckpointEvery: *ckptEvery,
+		CheckpointFiles: *ckptFiles,
+		YieldLow:        *yieldLow,
+		YieldHigh:       *yieldHigh,
+		YieldPoll:       *yieldPoll,
+		Verify:          *verify,
+		Logf:            log.Printf,
+	}, fleet, &backfill.SyntheticSource{CacheCap: 256}, cs, m)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *progress > 0 {
+		go func() {
+			tick := time.NewTicker(*progress)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+				}
+				st := eng.Stats()
+				log.Printf("progress: %d/%d files (cursor %d/%d), %d retries, %d quarantined, ckpt seq %d",
+					st["total_files"], len(m.Entries)/max(*shards, 1), st["cursor"], st["shard_len"],
+					st["retries"], st["quarantined"], st["checkpoint_seq"])
+			}
+		}()
+	}
+
+	start := time.Now()
+	res, err := eng.Run(ctx)
+	elapsed := time.Since(start)
+
+	verb := "completed"
+	if !res.Complete {
+		verb = "stopped"
+	}
+	log.Printf("%s after %v: %d files this run (%d total), %d→%d bytes (%.2f%% savings), %d retries, %d checkpoints",
+		verb, elapsed.Round(time.Millisecond), res.Files, res.TotalFiles,
+		res.TotalIn, res.TotalOut, 100*(1-ratio(res.TotalOut, res.TotalIn)), res.Retries, res.Checkpoints)
+	if res.Resumed {
+		log.Printf("run resumed from a previous checkpoint")
+	}
+	if res.YieldShrinks+res.YieldPauses > 0 {
+		log.Printf("yielded to live traffic: %d window shrinks, %d pauses", res.YieldShrinks, res.YieldPauses)
+	}
+	if len(res.Quarantined) > 0 {
+		log.Printf("quarantined %d files (manifest indices): %v", len(res.Quarantined), res.Quarantined)
+	}
+	if err != nil && !res.Complete {
+		log.Printf("interrupted (%v); rerun with the same -ckpt to resume", err)
+	}
+}
+
+func readManifest(path string) (backfill.Manifest, error) {
+	if path == "-" {
+		return backfill.ReadManifest(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return backfill.Manifest{}, err
+	}
+	defer f.Close()
+	return backfill.ReadManifest(f)
+}
+
+func ratio(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

@@ -8,9 +8,15 @@
 // plus corrupted and truncated variants, written in Go's corpus-file
 // format under each package's testdata/fuzz/ directory.
 //
+// With -manifest N it instead emits a deterministic backfill manifest:
+// N entries with stable IDs and zipf-mixed sizes in the text format
+// cmd/backfill consumes, written to -out (a file path in this mode), or
+// stdout when -out is not set.
+//
 // Usage:
 //
 //	corpusgen -n 200 -out ./corpus [-seed 1] [-errors]
+//	corpusgen -manifest 100000 -out backfill.manifest [-seed 1]
 //	corpusgen -fuzz-seeds .     # from the repo root
 package main
 
@@ -23,6 +29,7 @@ import (
 	"path/filepath"
 	"strconv"
 
+	"lepton/internal/backfill"
 	"lepton/internal/cluster"
 	"lepton/internal/core"
 	"lepton/internal/diskstore"
@@ -43,10 +50,18 @@ func main() {
 	fuzzSeeds := flag.String("fuzz-seeds", "",
 		"regenerate the checked-in fuzz seed corpora under <dir>/internal/"+
 			"{core,store}/testdata/fuzz/ and exit (pass the repo root)")
+	manifestN := flag.Int("manifest", 0,
+		"emit an N-entry deterministic backfill manifest (zipf-mixed sizes,"+
+			" stable IDs) instead of JPEG files; -out becomes the output file"+
+			" path (stdout if unset)")
 	flag.Parse()
 
 	if *fuzzSeeds != "" {
 		writeFuzzSeeds(*fuzzSeeds)
+		return
+	}
+	if *manifestN > 0 {
+		writeManifest(*seed, *manifestN, *out, flagWasSet("out"))
 		return
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
@@ -94,6 +109,40 @@ func write(dir string, i int, data []byte) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "corpusgen:", err)
 	os.Exit(1)
+}
+
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// writeManifest emits the synthetic backfill manifest. The same (seed, n)
+// always produces byte-identical output, so a manifest can be regenerated
+// instead of shipped.
+func writeManifest(seed int64, n int, out string, toFile bool) {
+	m := backfill.Synthetic(seed, n)
+	if !toFile {
+		if err := backfill.WriteManifest(os.Stdout, m); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		fatal(err)
+	}
+	if err := backfill.WriteManifest(f, m); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d-entry manifest (seed %d) to %s\n", n, seed, out)
 }
 
 // --- fuzz seed corpora ----------------------------------------------------

@@ -234,6 +234,7 @@ func writeBenchJSON(path string) {
 		art.Benchmarks = append(art.Benchmarks, record("Figure1Decompress/"+c.Name(), dec))
 	}
 	art.Benchmarks = append(art.Benchmarks, diskBenchmarks()...)
+	art.Benchmarks = append(art.Benchmarks, backfillBenchmark())
 	out, err := json.MarshalIndent(art, "", "  ")
 	if err != nil {
 		panic(err)

@@ -1,101 +1,92 @@
-// Backfill demonstrates §5.6: a DropSpot-style backfill pass over a
-// pre-existing photo library. A metaserver shards the user table and hands
-// workers batches of chunks; workers recompress each file with the real
-// codec (double-checking the round trip, as production did three times),
-// and the run reports the §5.6.1 cost-effectiveness arithmetic scaled by
-// the measured throughput.
+// Backfill demonstrates §5.6: the background recompression pass over a
+// pre-existing photo library, run by the real engine against a live
+// in-process fleet. Three blockservers come up on loopback; the engine
+// walks a synthetic manifest, fans recompression across the fleet under
+// per-node congestion windows, verifies every round trip before
+// acknowledging it, and checkpoints progress through the durable disk
+// store — kill the process mid-run and the next run resumes from the
+// checkpoint. The run closes with the §5.6.1 cost-effectiveness
+// arithmetic scaled by the measured throughput.
 package main
 
 import (
 	"context"
 	"fmt"
 	"log"
-	"math/rand"
-	"runtime"
-	"sync"
-	"sync/atomic"
+	"os"
 	"time"
 
-	"lepton"
+	"lepton/internal/backfill"
 	"lepton/internal/cluster"
-	"lepton/internal/imagegen"
+	"lepton/internal/diskstore"
+	"lepton/internal/server"
+	"lepton/internal/store"
 )
 
 func main() {
-	// "Existing storage": a library of synthetic photos.
-	const nFiles = 48
-	rng := rand.New(rand.NewSource(9))
-	library := make([][]byte, nFiles)
-	for i := range library {
-		w := 256 + rng.Intn(512)
-		h := 192 + rng.Intn(384)
-		data, err := imagegen.Generate(rng.Int63(), w, h)
+	// A live fleet: three blockservers on loopback, one router over them.
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		b := &server.Blockserver{Store: store.New(), MaxConcurrent: 4}
+		bound, err := server.ListenAndServe("tcp:127.0.0.1:0", b)
 		if err != nil {
 			log.Fatal(err)
 		}
-		library[i] = data
+		defer b.Close()
+		addrs = append(addrs, bound)
+	}
+	fleet, err := server.NewFleet(addrs, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fleet.Close()
+	fmt.Printf("fleet up: %d nodes\n", len(addrs))
+
+	// "Existing storage": a deterministic manifest of synthetic photos —
+	// the same recipe corpusgen -manifest emits.
+	const nFiles = 48
+	m := backfill.Synthetic(9, nFiles)
+
+	// Checkpoints go through the durable disk store; rerunning this
+	// example against a kept directory would resume instead of restart.
+	dir, err := os.MkdirTemp("", "backfill-ckpt")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	cs, err := diskstore.Open(dir, diskstore.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cs.Close()
+
+	eng, err := backfill.New(backfill.Config{
+		Verify:          true, // round-trip + content-hash, as production did
+		WindowCap:       8,
+		CheckpointEvery: 100 * time.Millisecond,
+		Logf:            log.Printf,
+	}, fleet, &backfill.SyntheticSource{CacheCap: nFiles}, cs, m)
+	if err != nil {
+		log.Fatal(err)
 	}
 
-	// The metaserver scans users and hands out work batches (§5.6).
-	ms := cluster.NewMetaserver(1, 4, 64, 12)
-	batches := 0
-	for ms.Remaining() > 0 && batches < 16 {
-		b := ms.NextBatch()
-		batches++
-		fmt.Printf("metaserver batch %d: shard %d, %d users, %d chunks\n",
-			batches, b.Shard, b.Users, b.Chunks)
-	}
-
-	// Backfill workers recompress the library, verifying every file. The
-	// whole run shares one context: cancelling it (an operator abort, a
-	// batch deadline) stops every worker at its current file's next
-	// checkpoint instead of letting the fleet finish work nobody wants —
-	// the §5.6 backfill ran for a year, so operability mattered as much as
-	// throughput.
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
-	var bytesIn, bytesOut, files atomic.Int64
 	start := time.Now()
-	var wg sync.WaitGroup
-	work := make(chan []byte)
-	// One pooled codec shared by every worker: the long-lived backfill
-	// process reuses model tables instead of allocating them per file.
-	codec := lepton.NewCodec()
-	for w := 0; w < runtime.NumCPU(); w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for data := range work {
-				res, err := codec.CompressCtx(ctx, data, &lepton.Options{Verify: true})
-				if err != nil {
-					if ctx.Err() != nil {
-						return // run aborted; drain quietly
-					}
-					log.Fatalf("backfill: %v", err)
-				}
-				bytesIn.Add(int64(len(data)))
-				bytesOut.Add(int64(len(res.Compressed)))
-				files.Add(1)
-			}
-		}()
+	res, err := eng.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
 	}
-	for _, data := range library {
-		work <- data
-	}
-	close(work)
-	wg.Wait()
 	elapsed := time.Since(start)
 
-	imagesPerSec := float64(files.Load()) / elapsed.Seconds()
-	savings := 1 - float64(bytesOut.Load())/float64(bytesIn.Load())
-	fmt.Printf("\nbackfilled %d files in %v: %.1f images/s, %.2f%% savings\n",
-		files.Load(), elapsed.Round(time.Millisecond), imagesPerSec, 100*savings)
+	imagesPerSec := float64(res.Files) / elapsed.Seconds()
+	savings := 1 - float64(res.TotalOut)/float64(res.TotalIn)
+	fmt.Printf("\nbackfilled %d files in %v: %.1f images/s, %.2f%% savings, %d checkpoints\n",
+		res.TotalFiles, elapsed.Round(time.Millisecond), imagesPerSec, 100*savings, res.Checkpoints)
 
 	// §5.6.1 cost model, calibrated with this machine's measured rate.
 	cfg := cluster.DefaultBackfillConfig()
 	cfg.ImagesPerSecPerMachine = imagesPerSec
 	cfg.SavingsRatio = savings
-	cfg.AvgImageMB = float64(bytesIn.Load()) / float64(files.Load()) / 1e6
+	cfg.AvgImageMB = float64(res.TotalIn) / float64(res.TotalFiles) / 1e6
 	c := cluster.Cost(cfg)
 	fmt.Printf("cost model (this machine as the backfill node):\n")
 	fmt.Printf("  conversions per kWh:    %.0f\n", c.ConversionsPerKWh)

@@ -1,0 +1,153 @@
+package backfill
+
+import (
+	"testing"
+
+	"lepton/internal/diskstore"
+)
+
+func openCkptStore(t *testing.T) *diskstore.Store {
+	t.Helper()
+	cs, err := diskstore.Open(t.TempDir(), diskstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = cs.Close() })
+	return cs
+}
+
+func TestCheckpointEncodeDecode(t *testing.T) {
+	m := Synthetic(1, 100)
+	c := Checkpoint{
+		ManifestDigest: m.Digest(),
+		ManifestLen:    100,
+		Shard:          1,
+		Shards:         4,
+		Seq:            9,
+		Cursor:         17,
+		Done:           []uint64{19, 22},
+		Quarantined:    []uint64{5, 77},
+		FilesDone:      40,
+		BytesIn:        1 << 20,
+		BytesOut:       700 << 10,
+	}
+	got, err := decodeCheckpoint(c.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != c.Seq || got.Cursor != c.Cursor || got.FilesDone != c.FilesDone ||
+		got.BytesIn != c.BytesIn || got.BytesOut != c.BytesOut ||
+		got.Shard != c.Shard || got.Shards != c.Shards ||
+		len(got.Done) != 2 || got.Done[1] != 22 ||
+		len(got.Quarantined) != 2 || got.Quarantined[0] != 5 {
+		t.Fatalf("round trip mangled record: %+v", got)
+	}
+	if err := got.Validate(m, 4); err != nil {
+		t.Fatalf("valid record rejected: %v", err)
+	}
+	if err := got.Validate(m, 5); err == nil {
+		t.Fatal("shard-count mismatch accepted")
+	}
+	if err := got.Validate(Synthetic(2, 100), 4); err == nil {
+		t.Fatal("digest mismatch accepted")
+	}
+}
+
+func TestCheckpointDecodeRejectsTruncation(t *testing.T) {
+	c := Checkpoint{Done: []uint64{1, 2, 3}, Quarantined: []uint64{4}}
+	raw := c.encode()
+	for cut := 0; cut < len(raw); cut++ {
+		if _, err := decodeCheckpoint(raw[:cut]); err == nil {
+			t.Fatalf("accepted %d-byte prefix of a %d-byte record", cut, len(raw))
+		}
+	}
+}
+
+// TestCheckpointPingPong drives the two-slot scheme through many saves on a
+// real disk store: every load must return the newest sequence, and deleting
+// either slot (the torn-write crash artifact) must fall back to the other.
+func TestCheckpointPingPong(t *testing.T) {
+	cs := openCkptStore(t)
+	m := Synthetic(1, 50)
+
+	c := Checkpoint{ManifestDigest: m.Digest(), ManifestLen: 50, Shard: 0, Shards: 1}
+	for seq := uint64(1); seq <= 7; seq++ {
+		c.Seq = seq
+		c.Cursor = seq * 3
+		if err := SaveCheckpoint(cs, &c); err != nil {
+			t.Fatalf("save seq %d: %v", seq, err)
+		}
+		got, ok, err := LoadCheckpoint(cs, m, 0, 1)
+		if err != nil || !ok {
+			t.Fatalf("load after seq %d: ok=%v err=%v", seq, ok, err)
+		}
+		if got.Seq != seq || got.Cursor != seq*3 {
+			t.Fatalf("load after seq %d returned seq %d cursor %d", seq, got.Seq, got.Cursor)
+		}
+	}
+
+	// Crash artifact: the slot holding seq 7 is destroyed mid-write.
+	// Recovery must fall back to seq 6 in the other slot — never lose both.
+	if err := cs.Delete(slotKey(0, 7%2)); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := LoadCheckpoint(cs, m, 0, 1)
+	if err != nil || !ok {
+		t.Fatalf("load after torn slot: ok=%v err=%v", ok, err)
+	}
+	if got.Seq != 6 {
+		t.Fatalf("fallback seq = %d, want 6", got.Seq)
+	}
+}
+
+func TestCheckpointShardsIsolated(t *testing.T) {
+	cs := openCkptStore(t)
+	m := Synthetic(1, 50)
+	for shard := uint32(0); shard < 3; shard++ {
+		c := Checkpoint{
+			ManifestDigest: m.Digest(), ManifestLen: 50,
+			Shard: shard, Shards: 3, Seq: 1, Cursor: uint64(shard) + 10,
+		}
+		if err := SaveCheckpoint(cs, &c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for shard := uint32(0); shard < 3; shard++ {
+		got, ok, err := LoadCheckpoint(cs, m, shard, 3)
+		if err != nil || !ok || got.Cursor != uint64(shard)+10 {
+			t.Fatalf("shard %d: ok=%v err=%v got=%+v", shard, ok, err, got)
+		}
+	}
+	if _, ok, _ := LoadCheckpoint(cs, m, 7, 3); ok {
+		t.Fatal("unknown shard returned a checkpoint")
+	}
+}
+
+// TestCheckpointSurvivesStoreReopen is the crash-recovery property end to
+// end: checkpoints written through diskstore must come back after the store
+// is closed and reopened from disk.
+func TestCheckpointSurvivesStoreReopen(t *testing.T) {
+	dir := t.TempDir()
+	m := Synthetic(1, 50)
+	cs, err := diskstore.Open(dir, diskstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Checkpoint{ManifestDigest: m.Digest(), ManifestLen: 50, Shards: 1, Seq: 4, Cursor: 33}
+	if err := SaveCheckpoint(cs, &c); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cs2, err := diskstore.Open(dir, diskstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cs2.Close()
+	got, ok, err := LoadCheckpoint(cs2, m, 0, 1)
+	if err != nil || !ok || got.Seq != 4 || got.Cursor != 33 {
+		t.Fatalf("reopened store lost the checkpoint: ok=%v err=%v got=%+v", ok, err, got)
+	}
+}

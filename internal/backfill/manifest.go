@@ -1,0 +1,146 @@
+// Package backfill is the §5.6 background recompression pipeline: the
+// deployment recompressed hundreds of petabytes of pre-existing images
+// over more than a year without hurting live traffic, which takes three
+// properties the toy loop never had — the run must survive any crash and
+// resume where it stopped (checkpointed cursors persisted through the
+// CRC-framed disk log), it must pace itself against real network and node
+// conditions (a per-node congestion window with Jacobson RTT/RTO timing
+// and CUBIC-style growth), and it must be strictly lower priority than
+// live traffic (the engine polls each node's in-flight depth and shrinks
+// its window toward a floor, then pauses, when foreground load appears).
+//
+// The unit of work is one manifest entry: fetch the original bytes from a
+// Source, compress them on a fleet node, verify the round trip against the
+// input's content hash, and only then count the file done. Files that fail
+// deterministically are quarantined — recorded in the checkpoint and
+// skipped on resume — so one bad input degrades the run's yield instead of
+// wedging it.
+package backfill
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// Entry is one file in the backfill order: a stable ID plus the recipe the
+// synthetic source needs to regenerate its bytes deterministically.
+type Entry struct {
+	ID   uint64 // stable identifier, unique within the manifest
+	Seed int64  // generator seed
+	W, H int    // pixel dimensions
+}
+
+// Manifest is the ordered work list. The order is the backfill order:
+// checkpoints record positions in it, so a manifest must not be reordered
+// or edited between a run and its resume (Digest enforces this).
+type Manifest struct {
+	Entries []Entry
+}
+
+// Digest fingerprints the manifest's exact contents and order. It is
+// stored in every checkpoint so a resume against a different manifest is
+// rejected instead of silently misapplying cursors.
+func (m Manifest) Digest() [32]byte {
+	h := sha256.New()
+	var buf [8 + 8 + 4 + 4]byte
+	for _, e := range m.Entries {
+		binary.LittleEndian.PutUint64(buf[0:], e.ID)
+		binary.LittleEndian.PutUint64(buf[8:], uint64(e.Seed))
+		binary.LittleEndian.PutUint32(buf[16:], uint32(e.W))
+		binary.LittleEndian.PutUint32(buf[20:], uint32(e.H))
+		h.Write(buf[:])
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// sizeClasses is the synthetic photo-library mix: mostly small images with
+// a long tail of large ones, zipf-weighted so class 0 dominates — the
+// shape of a real photo corpus where thumbnails and phone shots vastly
+// outnumber DSLR originals.
+var sizeClasses = [][2]int{
+	{96, 64}, {128, 96}, {160, 120}, {224, 160}, {320, 240}, {448, 336}, {640, 480},
+}
+
+// Synthetic builds a deterministic n-entry manifest: zipf-mixed sizes over
+// sizeClasses and per-entry seeds drawn from one seeded rng, with IDs equal
+// to the entry's position. The same (seed, n) always produces the same
+// manifest, which is what lets tests and benchmarks share fixtures with a
+// checked-in recipe instead of checked-in megabytes.
+func Synthetic(seed int64, n int) Manifest {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.4, 1, uint64(len(sizeClasses)-1))
+	m := Manifest{Entries: make([]Entry, n)}
+	for i := range m.Entries {
+		c := sizeClasses[zipf.Uint64()]
+		m.Entries[i] = Entry{ID: uint64(i), Seed: rng.Int63(), W: c[0], H: c[1]}
+	}
+	return m
+}
+
+const manifestHeader = "#lepton-backfill-manifest v1"
+
+// WriteManifest serializes m in the line format corpusgen -manifest emits:
+// a header line, then one "id seed width height" line per entry.
+func WriteManifest(w io.Writer, m Manifest) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, manifestHeader)
+	for _, e := range m.Entries {
+		fmt.Fprintf(bw, "%d %d %d %d\n", e.ID, e.Seed, e.W, e.H)
+	}
+	return bw.Flush()
+}
+
+// ReadManifest parses the WriteManifest format, validating the header and
+// every line; blank lines and #-comments after the header are skipped.
+func ReadManifest(r io.Reader) (Manifest, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	if !sc.Scan() {
+		return Manifest{}, fmt.Errorf("backfill: empty manifest: %w", sc.Err())
+	}
+	if strings.TrimSpace(sc.Text()) != manifestHeader {
+		return Manifest{}, fmt.Errorf("backfill: not a backfill manifest (header %q)", sc.Text())
+	}
+	var m Manifest
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		f := strings.Fields(text)
+		if len(f) != 4 {
+			return Manifest{}, fmt.Errorf("backfill: manifest line %d: want 4 fields, got %d", line, len(f))
+		}
+		id, err := strconv.ParseUint(f[0], 10, 64)
+		if err != nil {
+			return Manifest{}, fmt.Errorf("backfill: manifest line %d: id: %w", line, err)
+		}
+		seed, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			return Manifest{}, fmt.Errorf("backfill: manifest line %d: seed: %w", line, err)
+		}
+		w, err := strconv.Atoi(f[2])
+		if err != nil || w <= 0 {
+			return Manifest{}, fmt.Errorf("backfill: manifest line %d: bad width %q", line, f[2])
+		}
+		h, err := strconv.Atoi(f[3])
+		if err != nil || h <= 0 {
+			return Manifest{}, fmt.Errorf("backfill: manifest line %d: bad height %q", line, f[3])
+		}
+		m.Entries = append(m.Entries, Entry{ID: id, Seed: seed, W: w, H: h})
+	}
+	if err := sc.Err(); err != nil {
+		return Manifest{}, fmt.Errorf("backfill: reading manifest: %w", err)
+	}
+	return m, nil
+}

@@ -1,0 +1,80 @@
+package backfill
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a := Synthetic(7, 1000)
+	b := Synthetic(7, 1000)
+	if a.Digest() != b.Digest() {
+		t.Fatal("same seed produced different manifests")
+	}
+	if c := Synthetic(8, 1000); c.Digest() == a.Digest() {
+		t.Fatal("different seeds produced identical manifests")
+	}
+	if len(a.Entries) != 1000 {
+		t.Fatalf("got %d entries", len(a.Entries))
+	}
+	for i, e := range a.Entries {
+		if e.ID != uint64(i) {
+			t.Fatalf("entry %d has ID %d; IDs must be stable positions", i, e.ID)
+		}
+		if e.W <= 0 || e.H <= 0 {
+			t.Fatalf("entry %d has degenerate size %dx%d", i, e.W, e.H)
+		}
+	}
+}
+
+func TestSyntheticZipfMix(t *testing.T) {
+	m := Synthetic(3, 5000)
+	counts := map[[2]int]int{}
+	for _, e := range m.Entries {
+		counts[[2]int{e.W, e.H}]++
+	}
+	if len(counts) < 3 {
+		t.Fatalf("only %d size classes in the mix", len(counts))
+	}
+	// Zipf: the smallest class must dominate any large-tail class.
+	if counts[[2]int{96, 64}] <= counts[[2]int{640, 480}] {
+		t.Fatalf("mix is not zipf-shaped: %v", counts)
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := Synthetic(11, 500)
+	var buf bytes.Buffer
+	if err := WriteManifest(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Digest() != m.Digest() {
+		t.Fatal("round trip changed the manifest")
+	}
+}
+
+func TestReadManifestRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"wrong header": "not-a-manifest\n1 2 3 4\n",
+		"short line":   manifestHeader + "\n1 2 3\n",
+		"bad id":       manifestHeader + "\nx 2 3 4\n",
+		"zero width":   manifestHeader + "\n1 2 0 4\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadManifest(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// Comments and blank lines after the header are tolerated.
+	ok := manifestHeader + "\n\n# comment\n5 6 7 8\n"
+	m, err := ReadManifest(strings.NewReader(ok))
+	if err != nil || len(m.Entries) != 1 || m.Entries[0].ID != 5 {
+		t.Fatalf("comment handling: %v %+v", err, m)
+	}
+}

@@ -1,0 +1,200 @@
+// The pacer is one node's congestion controller: a CUBIC-style window
+// (concave recovery toward the last known-good operating point, convex
+// probing beyond it) counted in requests in flight, driven by the same
+// Jacobson RTT/RTO estimator the fleet router uses for probes — except
+// here it is fed by the backfill's own request completions, because the
+// deadline it must set covers a full recompression exchange, not a ping.
+// On transport failure the window multiplicatively decreases and the RTO
+// backs off exponentially; on a yield signal (live traffic appearing on
+// the node) the window is halved toward its floor and the known-good point
+// forgotten, so backfill re-probes from the bottom once the node is quiet.
+package backfill
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"lepton/internal/server"
+)
+
+// CUBIC constants: the standard scaling factor and multiplicative-decrease
+// ratio from the kernel implementation.
+const (
+	cubicC    = 0.4
+	cubicBeta = 0.7
+)
+
+// PacerStat is a point-in-time view of one node's pacer.
+type PacerStat struct {
+	Window   int
+	WMax     float64
+	InFlight int
+	Paused   bool
+	RTT      server.RTTStat
+}
+
+// Pacer gates one node's backfill concurrency. Launch admits a request
+// when the in-flight count is under the window; Done reports the outcome
+// and adjusts. Safe for concurrent use.
+type Pacer struct {
+	rtt server.RTTEstimator
+
+	mu       sync.Mutex
+	wnd      float64 // current window, fractional between acks
+	wMax     float64 // window just before the last decrease
+	wEpoch   float64 // window at the start of the current growth epoch
+	k        float64 // cubic inflection offset for this epoch, seconds
+	epoch    time.Time
+	floor    float64
+	cap      float64
+	inflight int
+	paused   bool
+	// cool blocks admissions until the RTO after a failure: a dead node
+	// gets one probe attempt per (exponentially backed off) timeout
+	// instead of a microsecond-fast connection-refused hot loop.
+	cool time.Time
+}
+
+// NewPacer builds a pacer with the given window bounds. The window starts
+// at the floor and has to earn its way up.
+func NewPacer(floor, cap int) *Pacer {
+	if floor < 1 {
+		floor = 1
+	}
+	if cap < floor {
+		cap = floor
+	}
+	p := &Pacer{floor: float64(floor), cap: float64(cap)}
+	p.wnd = p.floor
+	p.resetEpochLocked()
+	return p
+}
+
+// resetEpochLocked starts a growth epoch from the current window. K places
+// the cubic's inflection at the old wMax, giving the concave approach /
+// convex departure shape; when the window is already at or past wMax the
+// epoch is pure convex probing (K=0).
+func (p *Pacer) resetEpochLocked() {
+	p.wEpoch = p.wnd
+	if p.wMax > p.wnd {
+		p.k = math.Cbrt((p.wMax - p.wnd) / cubicC)
+	} else {
+		p.wMax = p.wnd
+		p.k = 0
+	}
+	p.epoch = time.Now()
+}
+
+// Launch admits one request if the pacer has window for it, incrementing
+// the in-flight count. Callers must pair every true return with Done.
+func (p *Pacer) Launch() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.paused || float64(p.inflight) >= p.wnd {
+		return false
+	}
+	if !p.cool.IsZero() {
+		if time.Now().Before(p.cool) {
+			return false
+		}
+		p.cool = time.Time{}
+	}
+	p.inflight++
+	return true
+}
+
+// Done reports a request's outcome. Success feeds the RTT estimator and
+// grows the window along the cubic; transport failure shrinks the window
+// multiplicatively and backs the RTO off. Deterministic per-file failures
+// should be reported as success here — the node answered promptly; it is
+// the file that is bad.
+func (p *Pacer) Done(rtt time.Duration, ok bool) {
+	p.mu.Lock()
+	if p.inflight > 0 {
+		p.inflight--
+	}
+	if ok {
+		t := time.Since(p.epoch).Seconds()
+		target := cubicC*math.Pow(t-p.k, 3) + p.wMax
+		if target > p.wnd {
+			p.wnd = math.Min(target, p.cap)
+		}
+	} else {
+		p.wMax = p.wnd
+		p.wnd = math.Max(p.floor, p.wnd*cubicBeta)
+		p.resetEpochLocked()
+	}
+	p.mu.Unlock()
+	// RTT bookkeeping outside the window lock; the estimator has its own.
+	if ok {
+		p.rtt.Observe(rtt)
+	} else {
+		p.rtt.Backoff()
+		cool := time.Now().Add(p.rtt.RTO())
+		p.mu.Lock()
+		p.cool = cool
+		p.mu.Unlock()
+	}
+}
+
+// Cancel releases an admission whose request never reached the node — the
+// in-flight slot is returned with no RTT sample and no window change.
+func (p *Pacer) Cancel() {
+	p.mu.Lock()
+	if p.inflight > 0 {
+		p.inflight--
+	}
+	p.mu.Unlock()
+}
+
+// YieldShrink reacts to live traffic on the node: halve toward the floor
+// and forget the old operating point so post-yield growth starts gently.
+func (p *Pacer) YieldShrink() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.wnd = math.Max(p.floor, p.wnd/2)
+	p.wMax = p.wnd
+	p.resetEpochLocked()
+}
+
+// SetPaused freezes (true) or releases (false) admission. Requests already
+// in flight are unaffected. Unpausing restarts the growth epoch so the
+// pause gap doesn't count as cubic time.
+func (p *Pacer) SetPaused(v bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.paused == v {
+		return
+	}
+	p.paused = v
+	if !v {
+		p.resetEpochLocked()
+	}
+}
+
+// RTO returns the node's current request timeout.
+func (p *Pacer) RTO() time.Duration { return p.rtt.RTO() }
+
+// InFlight returns the pacer's own outstanding request count — what the
+// yield poller subtracts from the node's reported depth to estimate
+// foreground load.
+func (p *Pacer) InFlight() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.inflight
+}
+
+// Stat snapshots the pacer.
+func (p *Pacer) Stat() PacerStat {
+	p.mu.Lock()
+	s := PacerStat{
+		Window:   int(p.wnd),
+		WMax:     p.wMax,
+		InFlight: p.inflight,
+		Paused:   p.paused,
+	}
+	p.mu.Unlock()
+	s.RTT = p.rtt.Stat()
+	return s
+}

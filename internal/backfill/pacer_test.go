@@ -1,0 +1,169 @@
+package backfill
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPacerStartsAtFloor(t *testing.T) {
+	p := NewPacer(2, 16)
+	if !p.Launch() || !p.Launch() {
+		t.Fatal("floor window refused admissions")
+	}
+	if p.Launch() {
+		t.Fatal("admitted past the floor window with no successes")
+	}
+	if got := p.InFlight(); got != 2 {
+		t.Fatalf("inflight = %d, want 2", got)
+	}
+}
+
+func TestPacerCubicGrowth(t *testing.T) {
+	p := NewPacer(1, 64)
+	// Backdate the epoch so the cubic has had (virtual) seconds to grow;
+	// white-box: the clock input to the cubic is time since p.epoch.
+	p.mu.Lock()
+	p.epoch = time.Now().Add(-4 * time.Second)
+	p.mu.Unlock()
+	if !p.Launch() {
+		t.Fatal("no admission at floor")
+	}
+	p.Done(time.Millisecond, true)
+	st := p.Stat()
+	// target = C*(t-K)^3 + wMax ≈ 0.4*64 + 1 ≈ 26 at t=4s, K=0.
+	if st.Window < 10 {
+		t.Fatalf("window after 4 virtual seconds = %d, want cubic growth", st.Window)
+	}
+	if st.Window > 64 {
+		t.Fatalf("window %d exceeds cap", st.Window)
+	}
+}
+
+func TestPacerCapsAtCap(t *testing.T) {
+	p := NewPacer(1, 8)
+	p.mu.Lock()
+	p.epoch = time.Now().Add(-time.Hour)
+	p.mu.Unlock()
+	p.Launch()
+	p.Done(time.Millisecond, true)
+	if st := p.Stat(); st.Window != 8 {
+		t.Fatalf("window = %d, want cap 8", st.Window)
+	}
+}
+
+func TestPacerLossShrinksMultiplicatively(t *testing.T) {
+	p := NewPacer(1, 64)
+	p.mu.Lock()
+	p.wnd, p.wMax = 20, 20
+	p.mu.Unlock()
+	p.Launch()
+	p.Done(0, false)
+	st := p.Stat()
+	if st.Window != 14 { // 20 * 0.7
+		t.Fatalf("window after loss = %d, want 14", st.Window)
+	}
+	if st.WMax != 20 {
+		t.Fatalf("wMax after loss = %v, want 20 (the pre-loss window)", st.WMax)
+	}
+	// Repeated losses converge on the floor, never below.
+	for i := 0; i < 20; i++ {
+		p.Launch()
+		p.Done(0, false)
+	}
+	if st := p.Stat(); st.Window < 1 {
+		t.Fatalf("window fell under the floor: %d", st.Window)
+	}
+}
+
+func TestPacerConcaveRecoveryTowardWMax(t *testing.T) {
+	p := NewPacer(1, 64)
+	p.mu.Lock()
+	p.wnd, p.wMax = 32, 32
+	p.mu.Unlock()
+	p.Launch()
+	p.Done(0, false) // drop to ~22, wMax=32, K = cbrt((32-22.4)/0.4) ≈ 2.9s
+	p.mu.Lock()
+	p.epoch = time.Now().Add(-3 * time.Second) // roughly at the inflection
+	p.mu.Unlock()
+	p.Launch()
+	p.Done(time.Millisecond, true)
+	st := p.Stat()
+	// Near t≈K the cubic passes through wMax: the window recovers to the
+	// old operating point, not past it.
+	if st.Window < 28 || st.Window > 36 {
+		t.Fatalf("window near inflection = %d, want ≈ wMax (32)", st.Window)
+	}
+}
+
+func TestPacerYieldShrink(t *testing.T) {
+	p := NewPacer(1, 64)
+	p.mu.Lock()
+	p.wnd, p.wMax = 40, 40
+	p.mu.Unlock()
+	p.YieldShrink()
+	st := p.Stat()
+	if st.Window != 20 {
+		t.Fatalf("window after yield = %d, want 20", st.Window)
+	}
+	if st.WMax != 20 {
+		t.Fatalf("yield must forget the old operating point: wMax = %v", st.WMax)
+	}
+	for i := 0; i < 10; i++ {
+		p.YieldShrink()
+	}
+	if st := p.Stat(); st.Window != 1 {
+		t.Fatalf("yield floor = %d, want 1", st.Window)
+	}
+}
+
+func TestPacerPause(t *testing.T) {
+	p := NewPacer(4, 16)
+	p.SetPaused(true)
+	if p.Launch() {
+		t.Fatal("paused pacer admitted a request")
+	}
+	if st := p.Stat(); !st.Paused {
+		t.Fatal("Stat does not report paused")
+	}
+	p.SetPaused(false)
+	if !p.Launch() {
+		t.Fatal("unpaused pacer refused admission")
+	}
+}
+
+func TestPacerCancelReleasesWithoutGrowth(t *testing.T) {
+	p := NewPacer(1, 16)
+	if !p.Launch() {
+		t.Fatal("no admission")
+	}
+	before := p.Stat().Window
+	p.Cancel()
+	st := p.Stat()
+	if st.InFlight != 0 {
+		t.Fatalf("inflight after cancel = %d", st.InFlight)
+	}
+	if st.Window != before {
+		t.Fatalf("cancel moved the window: %d -> %d", before, st.Window)
+	}
+	if st.RTT.Samples != 0 {
+		t.Fatal("cancel fed the RTT estimator")
+	}
+}
+
+func TestPacerRTOTracksEstimator(t *testing.T) {
+	p := NewPacer(1, 16)
+	if got := p.RTO(); got != time.Second {
+		t.Fatalf("pre-sample RTO = %v, want 1s", got)
+	}
+	p.Launch()
+	p.Done(50*time.Millisecond, true)
+	if got := p.RTO(); got >= time.Second {
+		t.Fatalf("RTO did not adapt to samples: %v", got)
+	}
+	p.Launch()
+	p.Done(0, false)
+	st := p.Stat()
+	if st.RTT.Samples != 1 {
+		t.Fatalf("loss must not add an RTT sample: %+v", st.RTT)
+	}
+}

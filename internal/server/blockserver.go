@@ -11,6 +11,7 @@ import (
 	"net"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -37,6 +38,14 @@ type ctxOutsourcer interface {
 // selection involves load probes; StatsSnapshot surfaces the count.
 type probeFailureCounter interface {
 	ProbeFailures() int64
+}
+
+// probeRTTReporter is optionally implemented by an Outsourcer that tracks
+// per-peer probe round-trip estimates (PeerPool does); StatsSnapshot
+// exports them as peer<i>_srtt_us/_rttvar_us/_rtt_samples in the peer
+// list's address order, making the pacing inputs visible on -debug-addr.
+type probeRTTReporter interface {
+	ProbeRTTs() map[string]RTTStat
 }
 
 // outsourceTarget selects a target through the configured Outsourcer,
@@ -81,11 +90,44 @@ type PeerPool struct {
 	mu           sync.Mutex
 
 	probeFailures atomic.Int64
+
+	// rtts holds one probe RTT EWMA per peer, surfaced through ProbeRTTs
+	// and the owning blockserver's StatsSnapshot (peer<i>_srtt_us).
+	rttMu sync.Mutex
+	rtts  map[string]*RTTEstimator
 }
 
 // NewPeerPool builds a peer pool with a deterministic selector.
 func NewPeerPool(addrs []string, seed int64) *PeerPool {
-	return &PeerPool{Addrs: addrs, ProbeTimeout: time.Second, rng: rand.New(rand.NewSource(seed))}
+	return &PeerPool{Addrs: addrs, ProbeTimeout: time.Second, rng: rand.New(rand.NewSource(seed)),
+		rtts: make(map[string]*RTTEstimator)}
+}
+
+// observeRTT folds one successful probe round trip into addr's estimator.
+func (p *PeerPool) observeRTT(addr string, d time.Duration) {
+	p.rttMu.Lock()
+	e := p.rtts[addr]
+	if e == nil {
+		if p.rtts == nil {
+			p.rtts = make(map[string]*RTTEstimator)
+		}
+		e = &RTTEstimator{}
+		p.rtts[addr] = e
+	}
+	p.rttMu.Unlock()
+	e.Observe(d)
+}
+
+// ProbeRTTs returns the per-peer probe RTT estimates accumulated by
+// TargetCtx selections, keyed by peer address.
+func (p *PeerPool) ProbeRTTs() map[string]RTTStat {
+	p.rttMu.Lock()
+	defer p.rttMu.Unlock()
+	out := make(map[string]RTTStat, len(p.rtts))
+	for addr, e := range p.rtts {
+		out[addr] = e.Stat()
+	}
+	return out
 }
 
 // Target selects a peer without an external context; see TargetCtx.
@@ -116,6 +158,7 @@ func (p *PeerPool) TargetCtx(ctx context.Context) (string, bool) {
 	if a == b {
 		// Same peer drawn twice: one probe decides — a dead peer must not
 		// be selected just because the rng collapsed the pair.
+		start := time.Now()
 		if _, err := probeLoad(pctx, a); err != nil {
 			if ctx.Err() == nil {
 				// Not our own cancellation: a real verdict on the peer.
@@ -123,11 +166,17 @@ func (p *PeerPool) TargetCtx(ctx context.Context) (string, bool) {
 			}
 			return "", false
 		}
+		p.observeRTT(a, time.Since(start))
 		return a, true
 	}
 	pair := [2]string{a, b}
 	win, errs := probePair(pctx, func(ctx context.Context, k int) (uint32, error) {
-		return probeLoad(ctx, pair[k])
+		start := time.Now()
+		load, err := probeLoad(ctx, pair[k])
+		if err == nil {
+			p.observeRTT(pair[k], time.Since(start))
+		}
+		return load, err
 	})
 	if ctx.Err() != nil {
 		// The request was cancelled mid-probe; no verdict on the peers.
@@ -194,6 +243,20 @@ func (b *Blockserver) StatsSnapshot() map[string]int64 {
 	}
 	if pf, ok := b.Outsource.(probeFailureCounter); ok {
 		snap["probe_failures"] = pf.ProbeFailures()
+	}
+	if rr, ok := b.Outsource.(probeRTTReporter); ok {
+		rtts := rr.ProbeRTTs()
+		addrs := make([]string, 0, len(rtts))
+		for addr := range rtts {
+			addrs = append(addrs, addr)
+		}
+		sort.Strings(addrs)
+		for i, addr := range addrs {
+			st := rtts[addr]
+			snap[fmt.Sprintf("peer%d_srtt_us", i)] = st.SRTT.Microseconds()
+			snap[fmt.Sprintf("peer%d_rttvar_us", i)] = st.RTTVar.Microseconds()
+			snap[fmt.Sprintf("peer%d_rtt_samples", i)] = st.Samples
+		}
 	}
 	if b.Store != nil {
 		// Durability counters from a stats-capable backend (the disk

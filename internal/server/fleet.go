@@ -102,6 +102,15 @@ type fleetNode struct {
 	// evicts only after healthEvictAfter of them, because one missed probe
 	// deadline can mean saturation rather than death (see pick).
 	healthFails int
+
+	// rtt is the probe RTT EWMA: fed by every successful OpLoad probe
+	// (target selection, health loop, ProbeNode), exported through
+	// StatsSnapshot and NodeRTT so the backfill pacer's inputs are
+	// operator-visible. Request exchanges do not feed it — a conversion's
+	// latency measures the payload, not the wire.
+	rtt RTTEstimator
+	// evictions counts how many times this node specifically was evicted.
+	evictions atomic.Int64
 }
 
 func (n *fleetNode) isDown() bool {
@@ -210,7 +219,7 @@ func (f *Fleet) StatsSnapshot() map[string]int64 {
 			up++
 		}
 	}
-	return map[string]int64{
+	snap := map[string]int64{
 		"requests":       f.Stats.Requests.Load(),
 		"retries":        f.Stats.Retries.Load(),
 		"hedged":         f.Stats.Hedged.Load(),
@@ -222,6 +231,30 @@ func (f *Fleet) StatsSnapshot() map[string]int64 {
 		"nodes_up":       up,
 		"nodes_down":     down,
 	}
+	for i, n := range f.nodes {
+		st := n.rtt.Stat()
+		snap[fmt.Sprintf("node%d_srtt_us", i)] = st.SRTT.Microseconds()
+		snap[fmt.Sprintf("node%d_rttvar_us", i)] = st.RTTVar.Microseconds()
+		snap[fmt.Sprintf("node%d_rto_us", i)] = st.RTO.Microseconds()
+		snap[fmt.Sprintf("node%d_rtt_samples", i)] = st.Samples
+		snap[fmt.Sprintf("node%d_evictions", i)] = n.evictions.Load()
+		var downFlag int64
+		if n.isDown() {
+			downFlag = 1
+		}
+		snap[fmt.Sprintf("node%d_down", i)] = downFlag
+	}
+	return snap
+}
+
+// NodeRTT returns the RTT estimate for addr, fed by load probes and served
+// requests — the signal the backfill pacer times its window against.
+func (f *Fleet) NodeRTT(addr string) (RTTStat, bool) {
+	n, ok := f.byAddr[addr]
+	if !ok {
+		return RTTStat{}, false
+	}
+	return n.rtt.Stat(), true
 }
 
 // --- per-node connection pool --------------------------------------------
@@ -277,6 +310,7 @@ func (f *Fleet) evict(n *fleetNode, why string) {
 	}
 	if !already {
 		f.Stats.Evictions.Add(1)
+		n.evictions.Add(1)
 		f.logf("fleet: evicted %s (%s)", n.addr, why)
 	}
 }
@@ -305,8 +339,10 @@ func (f *Fleet) probe(ctx context.Context, n *fleetNode) (uint32, error) {
 		if err != nil {
 			return 0, err
 		}
+		start := time.Now()
 		load, err := c.Load(ctx)
 		if err == nil {
+			n.rtt.Observe(time.Since(start))
 			// A node that answers is alive, whatever the health loop last
 			// concluded; readmitting here (before pooling the client, which
 			// a down node would refuse) keeps DoNode usable even when the
@@ -675,6 +711,21 @@ func (f *Fleet) DoNode(ctx context.Context, addr string, op byte, payload []byte
 		return nil, fmt.Errorf("%w: %s", ErrNodeDown, addr)
 	}
 	return f.try(ctx, n, op, payload)
+}
+
+// ProbeNode asks one node for its in-flight load on a pooled connection —
+// the live-traffic-priority signal the backfill engine polls — updating the
+// node's probe RTT estimate as a side effect. A node that answers is
+// readmitted if it had been evicted.
+func (f *Fleet) ProbeNode(ctx context.Context, addr string) (uint32, error) {
+	if f.closed.Load() {
+		return 0, errors.New("server: fleet is closed")
+	}
+	n, ok := f.byAddr[addr]
+	if !ok {
+		return 0, fmt.Errorf("server: %q is not a fleet node", addr)
+	}
+	return f.probe(ctx, n)
 }
 
 // Compress routes one whole-file compression through the fleet.

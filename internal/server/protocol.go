@@ -68,6 +68,11 @@ const (
 // maxPayload bounds a request body (a chunk plus slack).
 const maxPayload = 8 << 20
 
+// ErrPayloadTooLarge marks a request body over the protocol limit: a
+// deterministic refusal that indicts the payload, not the node — batch
+// callers (the backfill engine) quarantine the file instead of retrying.
+var ErrPayloadTooLarge = errors.New("server: request exceeds the protocol payload limit")
+
 // checkPayloadSize rejects a request body the server would refuse for
 // size before any bytes go on the wire. The server's refusal is a
 // connection teardown (ReadRequest cannot answer in-band without draining
@@ -75,7 +80,7 @@ const maxPayload = 8 << 20
 // failure — one over-limit JPEG must not evict the fleet node by node.
 func checkPayloadSize(payload []byte) error {
 	if len(payload) > maxPayload {
-		return fmt.Errorf("server: request of %d bytes exceeds the %d-byte protocol limit", len(payload), maxPayload)
+		return fmt.Errorf("%w: %d bytes > %d", ErrPayloadTooLarge, len(payload), maxPayload)
 	}
 	return nil
 }
