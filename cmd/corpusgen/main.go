@@ -3,10 +3,11 @@
 // §6.2 anomaly classes (progressive, CMYK, non-image, truncated, ...).
 //
 // With -fuzz-seeds it instead regenerates the checked-in seed corpora for
-// the fuzz targets (FuzzDecode in internal/core, FuzzStorePut in
-// internal/store, FuzzSegmentReplay in internal/diskstore): valid inputs
-// plus corrupted and truncated variants, written in Go's corpus-file
-// format under each package's testdata/fuzz/ directory.
+// the fuzz targets (FuzzDecode and FuzzDecompressRange in internal/core,
+// FuzzStorePut in internal/store, FuzzSegmentReplay in
+// internal/diskstore): valid inputs plus corrupted and truncated variants,
+// written in Go's corpus-file format under each package's testdata/fuzz/
+// directory.
 //
 // With -manifest N it instead emits a deterministic backfill manifest:
 // N entries with stable IDs and zipf-mixed sizes in the text format
@@ -190,6 +191,17 @@ func writeFuzzSeeds(root string) {
 	decodeSeeds = withVariants(decodeSeeds, 17, 3)
 	writeCorpus(filepath.Join(root, "internal", "core", "testdata", "fuzz", "FuzzDecode"), decodeSeeds)
 
+	// FuzzDecompressRange: the same container grammar paired with range
+	// bounds — start-of-file, interior, tail-crossing, and clamped-past-EOF
+	// reads over intact, bit-flipped, and truncated containers.
+	var rangeSeeds []rangeSeed
+	for i, s := range decodeSeeds {
+		bounds := [...][2]int64{{0, 1024}, {int64(211*i + 7), 257}, {4096, 1}, {0, 1 << 30}}
+		b := bounds[i%len(bounds)]
+		rangeSeeds = append(rangeSeeds, rangeSeed{data: s, off: b[0], n: b[1]})
+	}
+	writeRangeCorpus(filepath.Join(root, "internal", "core", "testdata", "fuzz", "FuzzDecompressRange"), rangeSeeds)
+
 	// FuzzStorePut: chunk containers through store admission.
 	sy2 := imagegen.Synthesize(5, 112, 80)
 	storeSeeds := [][]byte{
@@ -273,6 +285,34 @@ func rawContainer(payload string, size uint32) []byte {
 // plus one quoted []byte per fuzz argument), replacing the directory so a
 // reshaped generation cannot leave stale seed files behind for CI to keep
 // replaying.
+// rangeSeed is one FuzzDecompressRange corpus entry: a container plus the
+// requested byte range.
+type rangeSeed struct {
+	data   []byte
+	off, n int64
+}
+
+// writeRangeCorpus writes multi-argument corpus files for the
+// ([]byte, int64, int64) fuzz signature of FuzzDecompressRange.
+func writeRangeCorpus(dir string, seeds []rangeSeed) {
+	if err := os.RemoveAll(dir); err != nil {
+		fatal(err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal(err)
+	}
+	for i, s := range seeds {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(s.data)) + ")\n" +
+			"int64(" + strconv.FormatInt(s.off, 10) + ")\n" +
+			"int64(" + strconv.FormatInt(s.n, 10) + ")\n"
+		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("wrote %d fuzz seeds to %s\n", len(seeds), dir)
+}
+
 func writeCorpus(dir string, seeds [][]byte) {
 	if err := os.RemoveAll(dir); err != nil {
 		fatal(err)

@@ -187,6 +187,65 @@ func diskBenchmarks() []benchRecord {
 	return recs
 }
 
+// rangeBenchmarks measures range-serving TTFB against the cost it avoids:
+// a 1 KiB (and 64 KiB) ranged read of a ~20 MB seek-indexed container
+// versus decompressing the whole file. This is the ROADMAP "range serving"
+// claim in artifact form — a small read costs one or two segments, not the
+// file.
+func rangeBenchmarks() []benchRecord {
+	// ~20 MB baseline JPEG: a high-quality, non-subsampled synthetic photo.
+	// Encoded at ForceSegments 32 so the seek index has real granularity.
+	img := imagegen.Synthesize(9, 10200, 7650)
+	jpg, err := imagegen.EncodeJPEG(img, imagegen.Options{Quality: 95, PadBit: 1})
+	if err != nil {
+		panic(err)
+	}
+	// A 78-MP image's row windows exceed the default 24-MiB decode budget;
+	// raise it for this artifact (the production ceiling is per-file size
+	// policy, not a correctness bound).
+	const memBudget = 96 << 20
+	res, err := core.Encode(jpg, core.EncodeOptions{
+		ForceSegments: 32, MemDecodeBudget: memBudget, MemEncodeBudget: 512 << 20,
+	})
+	if err != nil {
+		panic(err)
+	}
+	comp := res.Compressed
+	size := int64(len(jpg))
+	mb := size >> 20
+
+	var recs []benchRecord
+	full := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Decode(comp, memBudget); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	recs = append(recs, record(fmt.Sprintf("FullDecompress/%dMB", mb), full))
+
+	for _, rd := range []struct {
+		name string
+		n    int64
+	}{{"1KiB", 1 << 10}, {"64KiB", 64 << 10}} {
+		rd := rd
+		rng := rand.New(rand.NewSource(7))
+		bm := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				off := rng.Int63n(size - rd.n)
+				got, err := core.DecodeRange(comp, off, rd.n, memBudget)
+				if err != nil || int64(len(got)) != rd.n {
+					b.Fatalf("range read: %d bytes, %v", len(got), err)
+				}
+			}
+		})
+		recs = append(recs, record(fmt.Sprintf("RangeTTFB/%s@%dMB", rd.name, mb), bm))
+	}
+	return recs
+}
+
 // writeBenchJSON measures the Figure 1/2 codec hot paths and the disk
 // store, writing the artifact to path (conventionally BENCH_<pr>.json at
 // the repo root).
@@ -234,6 +293,7 @@ func writeBenchJSON(path string) {
 		art.Benchmarks = append(art.Benchmarks, record("Figure1Decompress/"+c.Name(), dec))
 	}
 	art.Benchmarks = append(art.Benchmarks, diskBenchmarks()...)
+	art.Benchmarks = append(art.Benchmarks, rangeBenchmarks()...)
 	art.Benchmarks = append(art.Benchmarks, backfillBenchmark())
 	out, err := json.MarshalIndent(art, "", "  ")
 	if err != nil {

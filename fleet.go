@@ -100,6 +100,17 @@ func (fl *Fleet) Decompress(ctx context.Context, comp []byte) ([]byte, error) {
 	return fl.f.Decompress(ctx, comp)
 }
 
+// GetRange asks the fleet for bytes [off, off+n) of the reconstruction of
+// the chunk stored under h, clamped at the chunk's size, without placement
+// knowledge: nodes are picked by load, hedged like any routed request, and
+// a node that does not hold the chunk is excluded and the read retried
+// elsewhere. The serving node decodes only the segments the range touches
+// when the chunk carries a seek index. Callers that know placement should
+// prefer FleetStore.GetRange, which tries the replicas directly.
+func (fl *Fleet) GetRange(ctx context.Context, h ChunkHash, off, n int64) ([]byte, error) {
+	return fl.f.GetRangeAny(ctx, h, off, n)
+}
+
 // Nodes returns every configured node address, up or down.
 func (fl *Fleet) Nodes() []string { return fl.f.Nodes() }
 
@@ -197,6 +208,25 @@ func (st *FleetStore) Get(ctx context.Context, h ChunkHash) ([]byte, error) {
 // decoding them.
 func (st *FleetStore) GetCompressed(ctx context.Context, h ChunkHash) ([]byte, error) {
 	return st.r.GetCompressed(ctx, h)
+}
+
+// GetRange fetches bytes [off, off+n) of one chunk's reconstruction,
+// clamped at the chunk's size, from the first replica that serves it: the
+// replica decodes only the segments the range touches (seek-indexed
+// containers), so a small read of a large chunk costs one segment, not one
+// chunk. When no replica serves the range the chunk is fetched whole,
+// verified, and range-decoded locally.
+func (st *FleetStore) GetRange(ctx context.Context, h ChunkHash, off, n int64) ([]byte, error) {
+	return st.r.GetRange(ctx, h, off, n)
+}
+
+// GetFileRange reads bytes [off, off+n) of a stored file, clamped at its
+// size, touching only the chunks — and within each chunk only the decoded
+// segments — that the range overlaps. The store's ChunkSize must match the
+// one the file was stored under. This is the ranged-download primitive an
+// HTTP gateway maps Range: requests onto (see examples/gateway).
+func (st *FleetStore) GetFileRange(ctx context.Context, ref FileRef, off, n int64) ([]byte, error) {
+	return st.r.GetFileRange(ctx, ref, off, n)
 }
 
 // Placement returns the replica addresses that should hold h, in read

@@ -9,7 +9,6 @@ import (
 	"testing"
 
 	"lepton"
-	"lepton/internal/imagegen"
 )
 
 // updateGolden regenerates the golden-bitstream fixtures instead of checking
@@ -42,30 +41,7 @@ var goldenCases = []struct {
 func TestGoldenBitstream(t *testing.T) {
 	for _, tc := range goldenCases {
 		t.Run(tc.name, func(t *testing.T) {
-			var data []byte
-			var err error
-			opt := &lepton.Options{}
-			switch tc.name {
-			case "gray":
-				img := imagegen.Synthesize(tc.seed, tc.w, tc.h)
-				data, err = imagegen.EncodeJPEG(img, imagegen.Options{
-					Quality: 85, Grayscale: true, PadBit: 1,
-				})
-			case "progressive":
-				data = progressiveSample(t, tc.seed, tc.w, tc.h)
-				opt.AllowProgressive = true
-			case "cmyk":
-				img := imagegen.Synthesize(tc.seed, tc.w, tc.h)
-				data, err = imagegen.EncodeJPEG(img, imagegen.Options{
-					Quality: 85, CMYK: true, PadBit: 1, RestartInterval: 4,
-				})
-				opt.AllowCMYK = true
-			default:
-				data, err = imagegen.Generate(tc.seed, tc.w, tc.h)
-			}
-			if err != nil {
-				t.Fatal(err)
-			}
+			data, opt := goldenInput(t, tc.name, tc.seed, tc.w, tc.h)
 			res, err := lepton.Compress(data, opt)
 			if err != nil {
 				t.Fatal(err)

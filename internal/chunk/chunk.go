@@ -57,6 +57,10 @@ type Options struct {
 	// mode with O(ChunkSize) memory — the same treatment production gave
 	// files over the memory budget (§6.2).
 	BufferLimit int64
+	// DisableSeekIndex omits the per-MCU-row seek index from each chunk
+	// container, reproducing the pre-index chunk bytes exactly. Range
+	// reads of index-less chunks fall back to decoding the whole chunk.
+	DisableSeekIndex bool
 }
 
 // Compress splits data into chunks and compresses each one independently.
@@ -334,6 +338,20 @@ func compressOne(ctx context.Context, data []byte, f *jpeg.File, s *jpeg.Scan, f
 	}
 	c.Segments = segs
 	c.Streams = streams
+	if !opt.DisableSeekIndex && core.SeekIndexable(f) {
+		// The chunk covers MCU rows [mStart/W, ceil(mEnd/W)); the scan
+		// decode above recorded a position at every MCU, so the row table
+		// is a stride over it. With it, a range read inside this chunk
+		// decodes only the overlapping thread segments instead of the
+		// whole chunk.
+		w := f.MCUsWide
+		r0, rEnd := mStart/w, (mEnd+w-1)/w
+		idx := make([]jpeg.MCUPos, rEnd-r0)
+		for i := range idx {
+			idx[i] = s.Positions[(r0+i)*w]
+		}
+		c.SeekIndex = idx
+	}
 	b, err := opt.Codec.MarshalContainer(c)
 	release()
 	return b, err

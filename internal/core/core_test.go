@@ -160,13 +160,36 @@ func TestDecodeRejectsCorruptContainer(t *testing.T) {
 			_, _ = core.Decode(bad, 0)
 		}
 	}
-	// Truncations.
-	for _, n := range []int{0, 1, 4, 27, 40, len(comp) / 2, len(comp) - 1} {
+	// Truncations. The container ends with an optional seek-index section
+	// that readers must tolerate losing (it is advisory: a damaged index
+	// falls back to full decode), so the must-fail region is everything up
+	// to the end of the arithmetic streams — the index-less encoding's
+	// exact length.
+	noIdx, err := core.Encode(data, core.EncodeOptions{DisableSeekIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamEnd := len(noIdx.Compressed)
+	if streamEnd >= len(comp) {
+		t.Fatalf("expected a trailing seek index: %d >= %d", streamEnd, len(comp))
+	}
+	for _, n := range []int{0, 1, 4, 27, 40, streamEnd / 2, streamEnd - 1} {
 		if n <= len(comp) {
 			_, err := core.Decode(comp[:n], 0)
-			if err == nil && n < len(comp) {
+			if err == nil && n < streamEnd {
 				t.Fatalf("truncation to %d bytes decoded successfully", n)
 			}
+		}
+	}
+	// Truncating within the trailing index must still decode — to the
+	// right bytes — with the mangled index discarded.
+	for _, n := range []int{streamEnd, len(comp) - 1} {
+		out, err := core.Decode(comp[:n], 0)
+		if err != nil {
+			t.Fatalf("truncation into seek index (%d bytes): %v", n, err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("truncation into seek index (%d bytes) changed output", n)
 		}
 	}
 	// Body bit flips: must error or produce different output, never panic.

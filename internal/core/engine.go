@@ -36,6 +36,22 @@ import (
 // 0xFF scans) dispatch to AVX2 kernels where the CPU has them — see
 // internal/dct and internal/bitio, portable twins enforced bit-identical
 // by differential fuzzing.
+//
+// Range serving (§3, §5.5): serving arbitrary HTTP Range requests out of
+// recompressed files was the deployment's hard requirement, and the
+// streaming architecture above makes it nearly free. The stream scan
+// encoder already computes, at every MCU row, the exact Huffman handover
+// word (scan byte/bit position, partial byte, restart count, DC
+// predictors) needed to resume emission mid-file; the encoder persists
+// that table as a CRC-guarded trailing section (seekindex.go) that legacy
+// readers skip and DisableSeekIndex omits entirely. DecodeRange
+// (rangedec.go) binary-searches it to map a byte range to an MCU-row
+// interval, arith-decodes only the thread segments containing those rows
+// (each seeded from its recorded handover state), and re-emits exactly
+// the requested scan bytes — a 1 KB read costs roughly one segment, not
+// one file. Containers the planner distrusts — progressive, CMYK, legacy
+// index-less, corrupt index — take a counted fallback through the full
+// decode, which is always correct, only slower.
 const (
 	DefaultMemDecodeBudget = 24 << 20
 	DefaultMemEncodeBudget = 178 << 20
@@ -69,6 +85,11 @@ type EncodeOptions struct {
 	// AllowCMYK enables four-component files ("an extra model for the 4th
 	// color channel", §6.2) — also off in production.
 	AllowCMYK bool
+	// DisableSeekIndex omits the trailing per-MCU-row seek index (see
+	// seekindex.go), reproducing the pre-index container byte for byte.
+	// Index-less files stay fully decodable; range reads on them fall back
+	// to full decode.
+	DisableSeekIndex bool
 }
 
 // Result is the encoder's output plus accounting.
@@ -120,6 +141,19 @@ func segmentRanges(f *jpeg.File, nSeg, startRow, endRow int) []int {
 		starts = append(starts, r*f.MCUsWide)
 	}
 	return starts
+}
+
+// SeekIndexable reports whether a parsed file can carry the range-serving
+// seek index: a gray/color baseline image (CMYK range reads fall back to
+// full decode — §6.2 kept the fourth channel off in production, so the
+// index would be dead weight) with few enough MCU rows to keep the table
+// compact. The chunk layer consults it too.
+func SeekIndexable(f *jpeg.File) bool {
+	return len(f.Components) < 4 && f.MCUsHigh > 0 && f.MCUsHigh <= seekIndexMaxRows
+}
+
+func seekIndexEligible(opt EncodeOptions, f *jpeg.File) bool {
+	return !opt.DisableSeekIndex && SeekIndexable(f)
 }
 
 // planesOf adapts a decoded scan to the model's whole-plane view.
@@ -255,18 +289,31 @@ func (c *Codec) EncodeCtx(ctx context.Context, data []byte, opt EncodeOptions) (
 			return nil, segErr
 		}
 		res.OriginalClassBits = originalClassBits(f, s)
+		if seekIndexEligible(opt, f) {
+			// The buffered pipeline recorded a position at every MCU; the
+			// index wants the row starts.
+			idx := make([]jpeg.MCUPos, f.MCUsHigh)
+			for r := range idx {
+				idx[r] = s.Positions[r*f.MCUsWide]
+			}
+			cont.SeekIndex = idx
+		}
 	} else {
 		// Streamed pipeline: the sequential scan decode overlaps the
 		// parallel segment encodes, row by row, under the encode budget's
 		// retained-row ceiling.
 		var info *jpeg.StreamScanInfo
+		var rowPos []jpeg.MCUPos
 		var segErr error
-		cont.Segments, cont.Streams, info, release, segErr = c.encodeSegmentsStreamed(ctx, f, starts, total, flags, encBudget)
+		cont.Segments, cont.Streams, info, rowPos, release, segErr = c.encodeSegmentsStreamed(ctx, f, starts, total, flags, encBudget)
 		if segErr != nil {
 			release()
 			return nil, segErr
 		}
 		cont.Tail, cont.PadBit, cont.RSTCount = info.Tail, info.PadBit, uint32(info.RSTCount)
+		if seekIndexEligible(opt, f) {
+			cont.SeekIndex = rowPos
+		}
 	}
 	res.Segments = len(cont.Segments)
 	res.ClassBits = stats
@@ -436,11 +483,15 @@ func (c *Codec) EncodeSegmentsCtx(ctx context.Context, f *jpeg.File, s *jpeg.Sca
 // until the segment's planar traversal reaches them, with the total
 // retained bytes capped by the encode budget (raised to the structural
 // minimum when the budget is smaller — the conversion streams rather than
-// failing). Handover words are recorded only at segment starts.
+// failing). Handover words are recorded at every MCU-row start — the
+// segment handovers are the subset at segment-start rows, and the full
+// table (returned as rowPos when the image is small enough to index) is
+// the seek index that makes DecodeRange segment-sized instead of
+// file-sized.
 //
 // On success the returned streams alias pooled encoder buffers: marshal
 // first, then call release. release is non-nil on every path.
-func (cd *Codec) encodeSegmentsStreamed(ctx context.Context, f *jpeg.File, starts []int, total int, flags model.Flags, encBudget int64) (segs []Segment, streams [][]byte, info *jpeg.StreamScanInfo, release func(), err error) {
+func (cd *Codec) encodeSegmentsStreamed(ctx context.Context, f *jpeg.File, starts []int, total int, flags model.Flags, encBudget int64) (segs []Segment, streams [][]byte, info *jpeg.StreamScanInfo, rowPos []jpeg.MCUPos, release func(), err error) {
 	nSeg := len(starts)
 	ncomp := len(f.Components)
 	done := ctx.Done()
@@ -530,8 +581,21 @@ func (cd *Codec) encodeSegmentsStreamed(ctx context.Context, f *jpeg.File, start
 		f: f, gate: gate, recs: recs, feeds: feeds,
 		segRowEnd: segRowEnd, segOf: make([]int, ncomp), rowB: rowB, ctx: ctx,
 	}
-	posOut := make([]jpeg.MCUPos, len(starts))
-	info, perr := jpeg.DecodeScanStream(f, router, starts, posOut)
+	// Record a handover at every MCU-row start when the image is small
+	// enough to index; otherwise only at segment starts, as before. Segment
+	// starts are always row-aligned (segmentRanges), so the per-segment
+	// handovers are a subset of the row table.
+	rows := f.MCUsHigh
+	indexable := rows > 0 && rows <= seekIndexMaxRows
+	posAt := starts
+	if indexable {
+		posAt = make([]int, rows)
+		for r := range posAt {
+			posAt[r] = r * f.MCUsWide
+		}
+	}
+	posOut := make([]jpeg.MCUPos, len(posAt))
+	info, perr := jpeg.DecodeScanStream(f, router, posAt, posOut)
 	if perr != nil {
 		abortAll()
 	}
@@ -552,15 +616,19 @@ func (cd *Codec) encodeSegmentsStreamed(ctx context.Context, f *jpeg.File, start
 			// error, not scan corruption.
 			perr = sink
 		}
-		return nil, nil, nil, release, perr
+		return nil, nil, nil, nil, release, perr
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, nil, nil, release, err
+		return nil, nil, nil, nil, release, err
 	}
 	for i, start := range starts {
+		pos := posOut[i]
+		if indexable {
+			pos = posOut[start/f.MCUsWide]
+		}
 		var h Handover
 		if start > 0 {
-			h = handoverFromPos(posOut[i])
+			h = handoverFromPos(pos)
 		}
 		segs = append(segs, Segment{
 			StartMCU: uint32(start),
@@ -569,7 +637,10 @@ func (cd *Codec) encodeSegmentsStreamed(ctx context.Context, f *jpeg.File, start
 		})
 		streams = append(streams, outs[i])
 	}
-	return segs, streams, info, release, nil
+	if indexable {
+		rowPos = posOut
+	}
+	return segs, streams, info, rowPos, release, nil
 }
 
 // Decode reconstructs the original bytes from a Lepton container.

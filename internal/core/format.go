@@ -89,6 +89,13 @@ type Container struct {
 	Segments   []Segment
 	// Streams holds each segment's arithmetic-coded bytes.
 	Streams [][]byte
+	// SeekIndex, when non-nil, is the per-MCU-row handover table enabling
+	// range decode (see seekindex.go): entry r is the scan position at the
+	// start of MCU row MCUStart/MCUsWide + r. It rides an optional trailing
+	// section after the streams; containers without one (all pre-index
+	// files, interleaved layouts, progressive/raw modes) decode exactly as
+	// before and ranges fall back to full decode.
+	SeekIndex []jpeg.MCUPos
 	// ProgScans describes each scan of a progressive file
 	// (ModeProgressive only).
 	ProgScans []ProgScanMeta
@@ -248,6 +255,11 @@ func (c *Container) marshal(p *Codec) ([]byte, error) {
 	out.Write(z.Bytes())
 	for _, s := range c.Streams {
 		out.Write(s)
+	}
+	if len(c.SeekIndex) > 0 && c.Mode == ModeLepton {
+		// Trailing section: invisible to the stream-length-driven reader,
+		// so index-less decoders (and old binaries) are unaffected.
+		appendSeekIndex(out, c.SeekIndex)
 	}
 	return out.Bytes(), nil
 }
@@ -409,6 +421,11 @@ func unmarshal(data []byte, p *Codec) (*Container, *bytes.Buffer, error) {
 		}
 		c.Streams = append(c.Streams, data[body:body+int(l)])
 		body += int(l)
+	}
+	if body < len(data) {
+		// Anything after the last stream is an optional seek-index section;
+		// unknown or corrupt trailing bytes are ignored, as they always were.
+		c.SeekIndex = parseSeekIndex(data[body:])
 	}
 	return c, headBuf, nil
 }

@@ -74,6 +74,54 @@ func FuzzDecode(f *testing.F) {
 	})
 }
 
+// FuzzDecompressRange feeds arbitrary container bytes and range bounds to
+// the range decoder. Invariants: never panic or hang; whenever the full
+// decode succeeds and the bounds are non-negative, the range decode must
+// succeed and return exactly the matching slice of the full output
+// (whether it took the indexed fast path or the fallback); coefficient
+// memory must always drain.
+func FuzzDecompressRange(f *testing.F) {
+	seeds := fuzzSeedContainers(f)
+	for i, s := range seeds {
+		f.Add(s, int64(0), int64(1024))
+		f.Add(s, int64(31*i+7), int64(257))
+		if len(s) > 64 {
+			// Flip a byte near the tail — usually inside the seek index,
+			// exercising the corrupt-index fallback — and truncate.
+			c := append([]byte(nil), s...)
+			c[len(c)-9] ^= 0x11
+			f.Add(c, int64(64), int64(512))
+			f.Add(s[:7*len(s)/8], int64(0), int64(1<<20))
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte, off, n int64) {
+		full, ferr := Decode(data, 0)
+		got, rerr := DecodeRange(data, off, n, 0)
+		if ferr == nil && off >= 0 && n >= 0 {
+			if rerr != nil {
+				t.Fatalf("full decode ok but DecodeRange(off=%d n=%d): %v", off, n, rerr)
+			}
+			size := int64(len(full))
+			a, z := off, off+n
+			if a > size {
+				a = size
+			}
+			if z > size || z < 0 {
+				z = size
+			}
+			if z < a {
+				z = a
+			}
+			if !bytes.Equal(got, full[a:z]) {
+				t.Fatalf("DecodeRange(off=%d n=%d) differs from full-decode slice", off, n)
+			}
+		}
+		if inUse, _ := CoeffMemStats(); inUse != 0 {
+			t.Fatalf("range decode leaked %d coefficient bytes", inUse)
+		}
+	})
+}
+
 // FuzzDecodeToWriterErrors decodes a valid container into a writer that
 // fails partway: the pipeline must return the write error without panic or
 // goroutine leak.

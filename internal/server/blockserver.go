@@ -212,8 +212,11 @@ func probeLoad(ctx context.Context, addr string) (uint32, error) {
 type Stats struct {
 	Compresses   atomic.Int64
 	Decompresses atomic.Int64
-	Outsourced   atomic.Int64
-	Errors       atomic.Int64
+	// GetRanges counts OpGetRange requests served (fast path and fallback
+	// alike; the split lives in core.RangeStats, merged into StatsSnapshot).
+	GetRanges  atomic.Int64
+	Outsourced atomic.Int64
+	Errors     atomic.Int64
 	// Cancelled counts conversions aborted mid-flight by a per-request
 	// context: peer disconnect, RequestTimeout, or a forced drain.
 	Cancelled atomic.Int64
@@ -233,6 +236,7 @@ func (b *Blockserver) StatsSnapshot() map[string]int64 {
 	snap := map[string]int64{
 		"compresses":                b.Stats.Compresses.Load(),
 		"decompresses":              b.Stats.Decompresses.Load(),
+		"get_ranges":                b.Stats.GetRanges.Load(),
 		"outsourced":                b.Stats.Outsourced.Load(),
 		"errors":                    b.Stats.Errors.Load(),
 		"cancelled":                 b.Stats.Cancelled.Load(),
@@ -240,6 +244,11 @@ func (b *Blockserver) StatsSnapshot() map[string]int64 {
 		"writevs":                   b.Stats.Writevs.Load(),
 		"coeff_window_bytes_in_use": inUse,
 		"coeff_window_bytes_peak":   peak,
+	}
+	// Process-wide range-decode counters (fast path vs fallback split),
+	// same process-global scope as the coefficient gauges above.
+	for k, v := range core.RangeStats() {
+		snap[k] = v
 	}
 	if pf, ok := b.Outsource.(probeFailureCounter); ok {
 		snap["probe_failures"] = pf.ProbeFailures()
@@ -748,7 +757,7 @@ func (b *Blockserver) serveOne(sc *srvConn, op byte, payload []byte) bool {
 		return b.withRequestCtx(sc, func(ctx context.Context) bool {
 			return b.serveDecompress(ctx, sc, payload)
 		})
-	case OpPutChunkRaw, OpPutChunkCompressed, OpGetChunkRaw, OpGetChunkCompressed, OpListChunks:
+	case OpPutChunkRaw, OpPutChunkCompressed, OpGetChunkRaw, OpGetChunkCompressed, OpListChunks, OpGetRange:
 		return b.withRequestCtx(sc, func(ctx context.Context) bool {
 			return b.handleStoreOp(ctx, sc, op, payload)
 		})
@@ -904,6 +913,29 @@ func (b *Blockserver) handleStoreOp(ctx context.Context, sc *srvConn, op byte, p
 			return fail(rerr)
 		}
 		return ok
+	case OpGetRange:
+		// A range decode is a (partial) conversion, so it takes a shard
+		// worker like OpGetChunkRaw; the fixed-size request is parsed here
+		// on the connection goroutine.
+		if len(payload) != getRangeReqLen {
+			return fail(fmt.Errorf("get-range request is %d bytes, want %d", len(payload), getRangeReqLen))
+		}
+		h, err := hashOf(payload[:32])
+		if err != nil {
+			return fail(err)
+		}
+		off := int64(binary.LittleEndian.Uint64(payload[32:]))
+		if off < 0 {
+			return fail(core.ErrInvalidRange)
+		}
+		sc.job.hash = h
+		sc.job.off = off
+		sc.job.n = int64(binary.LittleEndian.Uint32(payload[40:]))
+		ok, rerr := b.runOnShard(ctx, sc, jobGetRange, nil)
+		if rerr != nil {
+			return fail(rerr)
+		}
+		return ok
 	case OpGetChunkCompressed:
 		h, err := hashOf(payload)
 		if err != nil {
@@ -973,6 +1005,60 @@ func (b *Blockserver) getRawLocal(ctx context.Context, conn net.Conn, h store.Ha
 		return b.respondErr(conn, err)
 	}
 	return WriteResponse(conn, StatusOK, out) == nil
+}
+
+// getRangeLocal runs OpGetRange on a shard worker: decode only the chunk
+// rows overlapping [off, off+n) and stream exactly those bytes. The range
+// decoder reports the response length up front (RangeLength clamps against
+// the container's recorded output size), so the response rides the same
+// vectored frame writer as a full decompress — header framed lazily,
+// failures before the first flush still answered in-band, a shortfall after
+// it signaled by connection teardown.
+func (b *Blockserver) getRangeLocal(ctx context.Context, cd *core.Codec, sc *srvConn, h store.Hash, off, n int64) bool {
+	conn := sc.conn
+	b.Stats.GetRanges.Add(1)
+	cb, ok := b.Store.GetCompressedChunk(h)
+	if !ok {
+		b.Stats.Errors.Add(1)
+		return WriteResponse(conn, StatusNotFound, []byte("unknown chunk")) == nil
+	}
+	rlen, err := core.RangeLength(cb, off, n)
+	if err != nil {
+		b.Stats.Errors.Add(1)
+		return WriteResponse(conn, StatusError, []byte(err.Error())) == nil
+	}
+	if rlen > maxPayload {
+		// The client's ReadResponse caps a frame at maxPayload; a range this
+		// large should be fetched as the whole chunk instead.
+		b.Stats.Errors.Add(1)
+		return WriteResponse(conn, StatusError,
+			[]byte(fmt.Sprintf("range of %d bytes exceeds the %d-byte response limit", rlen, maxPayload))) == nil
+	}
+	w := &sc.fw
+	w.reset(conn, uint32(rlen), &b.Stats.Writevs)
+	if _, err := cd.DecodeRangeToCtx(ctx, w, cb, off, n, 0); err != nil {
+		if !w.wrote {
+			w.discard()
+			return b.respondErr(conn, err)
+		}
+		if ctx.Err() != nil {
+			b.Stats.Cancelled.Add(1)
+		} else {
+			b.Stats.Errors.Add(1)
+		}
+		w.discard()
+		b.logf("get-range stream failed: %v", err)
+		return false
+	}
+	if !w.wrote && w.pending == 0 {
+		// Empty range (off at or past the end): frame the zero-length body.
+		return WriteResponseHeader(conn, StatusOK, uint32(rlen)) == nil
+	}
+	if err := w.Flush(); err != nil {
+		b.Stats.Errors.Add(1)
+		return false
+	}
+	return true
 }
 
 // vecFrameWriter batches a streamed decompress response — frame header

@@ -132,6 +132,18 @@ func (c *Client) Decompress(ctx context.Context, comp []byte) ([]byte, error) {
 	return c.DoCtx(ctx, OpDecompress, comp)
 }
 
+// GetRange asks the server for bytes [off, off+n) of the reconstruction of
+// the chunk stored under h, clamped at the chunk's size. The server decodes
+// only the arithmetic segments the range touches when the chunk carries a
+// seek index; n is capped at what one response frame can carry.
+func (c *Client) GetRange(ctx context.Context, h [32]byte, off, n int64) ([]byte, error) {
+	req, err := encodeGetRange(h, off, n)
+	if err != nil {
+		return nil, err
+	}
+	return c.DoCtx(ctx, OpGetRange, req)
+}
+
 // Load probes the server's in-flight conversion count — the power-of-two
 // choices signal (§5.5).
 func (c *Client) Load(ctx context.Context) (uint32, error) {

@@ -620,11 +620,14 @@ func (f *Fleet) tryHedged(ctx context.Context, primary *fleetNode, op byte, payl
 				return r.resp, nil
 			}
 			var re *RemoteError
-			if errors.As(r.err, &re) && !re.Transient {
+			if errors.As(r.err, &re) && !re.Transient && !re.NotFound {
 				// Deterministic in-band rejection: the other copy would be
 				// rejected identically, so don't wait for it (or let it
 				// burn a worker slot to completion). A transient decline
-				// (StatusRetry) falls through: another node may serve it.
+				// (StatusRetry) falls through: another node may serve it —
+				// as does NotFound, which is deterministic only for the
+				// answering node (a store read's chunk may well live on the
+				// other copy's node).
 				pcancel()
 				cancelAll()
 				return nil, r.err
@@ -852,6 +855,78 @@ func (f *Fleet) GetCompressed(ctx context.Context, addr string, h store.Hash) ([
 	return resp, nil
 }
 
+// GetRange fetches bytes [off, off+n) of the reconstruction of the chunk
+// stored under h from a specific node via OpGetRange — the
+// placement-addressed read store.Remote range reads use. The node decodes
+// only the arithmetic segments the range touches when the chunk carries a
+// seek index. A node that answered StatusNotFound comes back as
+// store.ErrRemoteMiss (wrapped), like GetCompressed, so replicated readers
+// move on to the next replica.
+func (f *Fleet) GetRange(ctx context.Context, addr string, h store.Hash, off, n int64) ([]byte, error) {
+	req, err := encodeGetRange(h, off, n)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := f.DoNode(ctx, addr, OpGetRange, req)
+	if err != nil {
+		var re *RemoteError
+		if errors.As(err, &re) && re.NotFound {
+			return nil, fmt.Errorf("%w: %s", store.ErrRemoteMiss, addr)
+		}
+		return nil, err
+	}
+	return resp, nil
+}
+
+// GetRangeAny routes a chunk range read through the fleet without placement
+// knowledge: nodes are picked by loaded-probe power-of-two choices, hedged
+// like any routed request, and — unlike Do — a node answering
+// StatusNotFound is excluded and the read retried elsewhere, because a miss
+// is deterministic only for the node that answered it. When every attempted
+// node missed, the last miss is returned (a *RemoteError with NotFound
+// set).
+func (f *Fleet) GetRangeAny(ctx context.Context, h store.Hash, off, n int64) ([]byte, error) {
+	if f.closed.Load() {
+		return nil, errors.New("server: fleet is closed")
+	}
+	req, err := encodeGetRange(h, off, n)
+	if err != nil {
+		return nil, err
+	}
+	f.Stats.Requests.Add(1)
+	exclude := make(map[*fleetNode]bool)
+	var lastErr error
+	for attempt := 0; attempt < f.opts.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		node, err := f.pick(ctx, exclude)
+		if err != nil {
+			if lastErr != nil {
+				return nil, lastErr
+			}
+			return nil, err
+		}
+		if attempt > 0 {
+			f.Stats.Retries.Add(1)
+		}
+		resp, err := f.tryHedged(ctx, node, OpGetRange, req, exclude)
+		if err == nil {
+			return resp, nil
+		}
+		var re *RemoteError
+		if errors.As(err, &re) && !re.Transient && !re.NotFound {
+			return nil, err
+		}
+		if ctx.Err() != nil {
+			return nil, ctxOr(ctx, err)
+		}
+		lastErr = err
+		exclude[node] = true
+	}
+	return nil, lastErr
+}
+
 // ListChunks pages through one node's stored chunk hashes via OpListChunks
 // (exclusive-start cursor, ascending), implementing store.ChunkLister — the
 // capability behind warm-restart re-announce and anti-entropy sweeps.
@@ -879,4 +954,5 @@ func (f *Fleet) ListChunks(ctx context.Context, addr string, after store.Hash, m
 var (
 	_ store.RemoteTransport = (*Fleet)(nil)
 	_ store.ChunkLister     = (*Fleet)(nil)
+	_ store.RangeTransport  = (*Fleet)(nil)
 )

@@ -44,7 +44,36 @@ const (
 	// the scan is complete. Paging keeps each response under maxPayload no
 	// matter how many chunks a disk holds.
 	OpListChunks = byte('S')
+
+	// OpGetRange serves a byte range of one chunk's reconstruction without
+	// decoding the whole chunk: body is a 32-byte hash, an 8-byte LE byte
+	// offset, and a 4-byte LE length; the response is exactly the requested
+	// slice of the raw bytes (clamped at the chunk's reconstructed size, so
+	// a range past the end returns an empty body, like an HTTP suffix read).
+	// Indexed containers decode only the arithmetic segments the range
+	// touches; legacy containers fall back to a full decode server-side.
+	OpGetRange = byte('R')
 )
+
+// getRangeReqLen is the fixed OpGetRange body: hash + u64 offset + u32 len.
+const getRangeReqLen = 32 + 8 + 4
+
+// encodeGetRange builds an OpGetRange request body, rejecting bounds the
+// protocol cannot carry (negative, or a length no response frame can hold)
+// before any bytes go on the wire.
+func encodeGetRange(h [32]byte, off, n int64) ([]byte, error) {
+	if off < 0 || n < 0 {
+		return nil, fmt.Errorf("server: negative range off=%d n=%d", off, n)
+	}
+	if n > maxPayload {
+		return nil, fmt.Errorf("server: range of %d bytes exceeds the %d-byte response limit", n, maxPayload)
+	}
+	req := make([]byte, getRangeReqLen)
+	copy(req, h[:])
+	binary.LittleEndian.PutUint64(req[32:], uint64(off))
+	binary.LittleEndian.PutUint32(req[40:], uint32(n))
+	return req, nil
+}
 
 // ListChunksPageMax caps an OpListChunks page: the largest hash count
 // whose response still fits a frame, rounded down to a tidy number.

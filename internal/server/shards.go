@@ -36,6 +36,7 @@ const (
 	jobPutRaw
 	jobPutCompressed
 	jobGetRaw
+	jobGetRange
 )
 
 // jobState tracks where a job is in its lifecycle, guarded by the pool
@@ -59,7 +60,8 @@ type shardJob struct {
 	kind    jobKind
 	ctx     context.Context
 	payload []byte
-	hash    store.Hash // jobGetRaw: parsed before submit, on the conn goroutine
+	hash    store.Hash // jobGetRaw/jobGetRange: parsed before submit, on the conn goroutine
+	off, n  int64      // jobGetRange bounds, parsed with the hash
 
 	fn func() bool // jobFunc (tests)
 
@@ -82,6 +84,8 @@ func (j *shardJob) run(cd *core.Codec) bool {
 		return j.b.putCompressedLocal(j.ctx, j.sc.conn, j.payload)
 	case jobGetRaw:
 		return j.b.getRawLocal(j.ctx, j.sc.conn, j.hash)
+	case jobGetRange:
+		return j.b.getRangeLocal(j.ctx, cd, j.sc, j.hash, j.off, j.n)
 	case jobFunc:
 		return j.fn()
 	}

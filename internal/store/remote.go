@@ -35,6 +35,16 @@ type RemoteTransport interface {
 	GetCompressed(ctx context.Context, addr string, h Hash) ([]byte, error)
 }
 
+// RangeTransport is the optional range-read capability a RemoteTransport
+// may implement (server.Fleet does, over OpGetRange): fetch bytes
+// [off, off+n) of one chunk's reconstruction from one node, letting the
+// node decode only the segments the range touches. A node that does not
+// hold the chunk fails with ErrRemoteMiss (wrapped). Transports without the
+// capability are served by the local fallback in Remote.GetRange.
+type RangeTransport interface {
+	GetRange(ctx context.Context, addr string, h Hash, off, n int64) ([]byte, error)
+}
+
 // RemoteCounters exposes the distributed store's operational statistics.
 type RemoteCounters struct {
 	Puts            int64
@@ -46,6 +56,9 @@ type RemoteCounters struct {
 
 	AntiEntropySweeps  int64 // background sweeps started
 	AntiEntropyRepairs int64 // replica copies made by sweeps (not read-repair)
+
+	RangeGets      int64 // chunk range reads requested
+	RangeFallbacks int64 // of those, served by full-chunk fetch + local range decode
 }
 
 // Remote is the fleet-backed chunk store: content-addressed chunks placed
@@ -207,6 +220,120 @@ func (r *Remote) Get(ctx context.Context, h Hash) ([]byte, error) {
 	return r.Codec.DecodeCtx(ctx, cb, 0)
 }
 
+// GetRange fetches bytes [off, off+n) of one chunk's reconstruction,
+// clamped at the chunk's size. With a range-capable transport the decode
+// runs on the replica holding the chunk — only the segments the range
+// touches — and the replicas are tried in placement order. A partial read
+// cannot be verified against the chunk's content hash (that covers the
+// whole compressed chunk), so range reads trust the replica's
+// admission-time verification and perform no read-repair; when every
+// replica fails, or the transport lacks the capability, the chunk is
+// fetched whole through the verifying GetCompressed path and range-decoded
+// locally.
+func (r *Remote) GetRange(ctx context.Context, h Hash, off, n int64) ([]byte, error) {
+	if off < 0 || n < 0 {
+		return nil, fmt.Errorf("store: negative range off=%d n=%d", off, n)
+	}
+	atomic.AddInt64(&r.counters.RangeGets, 1)
+	if rt, ok := r.T.(RangeTransport); ok {
+		for _, addr := range r.Placement(h) {
+			b, err := rt.GetRange(ctx, addr, h, off, n)
+			if err == nil {
+				return b, nil
+			}
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			if errors.Is(err, ErrRemoteMiss) {
+				atomic.AddInt64(&r.counters.Misses, 1)
+			} else {
+				atomic.AddInt64(&r.counters.ReplicaErrors, 1)
+			}
+		}
+	}
+	atomic.AddInt64(&r.counters.RangeFallbacks, 1)
+	cb, err := r.GetCompressed(ctx, h)
+	if err != nil {
+		return nil, err
+	}
+	return r.Codec.DecodeRangeCtx(ctx, cb, off, n, 0)
+}
+
+// GetFileRange reads bytes [off, off+n) of a stored file, clamped at its
+// size, touching only the chunks the range overlaps. Chunk k of a file
+// covers exactly raw bytes [k*ChunkSize, (k+1)*ChunkSize) (the splitter
+// cuts on fixed boundaries; the last chunk is short), so the mapping is
+// pure arithmetic — but it requires this store's ChunkSize to match the one
+// the file was stored under, which is checked against the ref's chunk
+// count.
+func (r *Remote) GetFileRange(ctx context.Context, ref FileRef, off, n int64) ([]byte, error) {
+	size := int64(r.ChunkSize)
+	if size <= 0 {
+		size = chunk.DefaultChunkSize
+	}
+	return getFileRange(ctx, ref, off, n, size, r.GetRange)
+}
+
+// getFileRange is the chunk-arithmetic core shared by the remote and local
+// stores: clamp [off, off+n) to the file, check the ref's chunk count
+// against the chunk size, and fan the per-chunk sub-ranges out through
+// getRange.
+func getFileRange(ctx context.Context, ref FileRef, off, n, chunkSize int64,
+	getRange func(ctx context.Context, h Hash, off, n int64) ([]byte, error)) ([]byte, error) {
+	if off < 0 || n < 0 {
+		return nil, fmt.Errorf("store: negative range off=%d n=%d", off, n)
+	}
+	end := off + n
+	if off > ref.Size {
+		off = ref.Size
+	}
+	if end > ref.Size || end < 0 { // end < 0: off+n overflowed int64
+		end = ref.Size
+	}
+	if end <= off {
+		return []byte{}, nil
+	}
+	if want := (ref.Size + chunkSize - 1) / chunkSize; int64(len(ref.Chunks)) != want {
+		return nil, fmt.Errorf("store: file ref has %d chunks for %d bytes at chunk size %d (stored under a different chunk size?)",
+			len(ref.Chunks), ref.Size, chunkSize)
+	}
+	k0 := int(off / chunkSize)
+	k1 := int((end + chunkSize - 1) / chunkSize)
+	parts := make([][]byte, k1-k0)
+	err := forEachChunk(ctx, k1-k0, func(ctx context.Context, i int) error {
+		k := k0 + i
+		c0 := int64(k) * chunkSize
+		cEnd := c0 + chunkSize
+		if cEnd > ref.Size {
+			cEnd = ref.Size
+		}
+		a, z := off, end
+		if a < c0 {
+			a = c0
+		}
+		if z > cEnd {
+			z = cEnd
+		}
+		b, err := getRange(ctx, ref.Chunks[k], a-c0, z-a)
+		if err != nil {
+			return fmt.Errorf("store: chunk %d: %w", k, err)
+		}
+		if int64(len(b)) != z-a {
+			return fmt.Errorf("store: chunk %d range returned %d bytes, want %d", k, len(b), z-a)
+		}
+		parts[i] = b
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, end-off)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out, nil
+}
+
 // fileChunkConcurrency bounds how many of a file's chunks PutFile/GetFile
 // move at once: chunks are independent (content-addressed, distinct
 // replica sets), so fanning out cuts file latency from chunk-count round
@@ -324,6 +451,9 @@ func (r *Remote) Counters() RemoteCounters {
 
 		AntiEntropySweeps:  atomic.LoadInt64(&r.counters.AntiEntropySweeps),
 		AntiEntropyRepairs: atomic.LoadInt64(&r.counters.AntiEntropyRepairs),
+
+		RangeGets:      atomic.LoadInt64(&r.counters.RangeGets),
+		RangeFallbacks: atomic.LoadInt64(&r.counters.RangeFallbacks),
 	}
 }
 

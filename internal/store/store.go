@@ -440,6 +440,33 @@ func (st *Store) GetFileCtx(ctx context.Context, ref FileRef) ([]byte, error) {
 	return out, nil
 }
 
+// GetChunkRangeCtx decodes only bytes [off, off+n) of one stored chunk's
+// reconstruction, clamped at the chunk's size — for an indexed container,
+// only the arithmetic segments the range touches.
+func (st *Store) GetChunkRangeCtx(ctx context.Context, h Hash, off, n int64) ([]byte, error) {
+	cb, ok, err := st.backend.Get(h)
+	if err != nil {
+		return nil, fmt.Errorf("store: chunk %x: %w", h[:8], err)
+	}
+	if !ok {
+		return nil, fmt.Errorf("store: unknown chunk %x", h[:8])
+	}
+	atomic.AddInt64(&st.counters.Decodes, 1)
+	return st.Codec.DecodeRangeCtx(ctx, cb, off, n, 0)
+}
+
+// GetFileRangeCtx reads bytes [off, off+n) of a stored file, clamped at
+// its size, decoding only the chunks (and within each chunk only the
+// segments) the range overlaps. The store's ChunkSize must match the one
+// the file was stored under; see Remote.GetFileRange.
+func (st *Store) GetFileRangeCtx(ctx context.Context, ref FileRef, off, n int64) ([]byte, error) {
+	size := int64(st.ChunkSize)
+	if size <= 0 {
+		size = chunk.DefaultChunkSize
+	}
+	return getFileRange(ctx, ref, off, n, size, st.GetChunkRangeCtx)
+}
+
 // RecoverFromSafetyNet restores a chunk's raw bytes from the safety net —
 // the disaster-recovery path the team drilled but never needed (§5.7).
 func (st *Store) RecoverFromSafetyNet(h Hash) ([]byte, error) {

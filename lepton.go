@@ -142,6 +142,11 @@ type Options struct {
 	// AllowCMYK enables four-component (CMYK) files, the paper's "extra
 	// model for the 4th color channel" — likewise off in production.
 	AllowCMYK bool
+	// DisableSeekIndex omits the per-MCU-row seek index normally appended
+	// to baseline containers. Without it DecompressRange falls back to a
+	// full decode; the container reproduces the pre-index format byte for
+	// byte.
+	DisableSeekIndex bool
 }
 
 func (o *Options) coreOptions() core.EncodeOptions {
@@ -162,6 +167,7 @@ func (o *Options) coreOptions() core.EncodeOptions {
 		MemEncodeBudget:  o.MemEncodeBudget,
 		AllowProgressive: o.AllowProgressive,
 		AllowCMYK:        o.AllowCMYK,
+		DisableSeekIndex: o.DisableSeekIndex,
 	}
 }
 
@@ -290,6 +296,43 @@ func (c *Codec) DecompressToCtx(ctx context.Context, w io.Writer, comp []byte) e
 	return c.core.DecodeToCtx(ctx, w, comp, 0)
 }
 
+// DecompressRange reconstructs exactly the byte range [off, off+n) of the
+// original file — clamped to the file size — without decoding the rest.
+// Baseline containers carry a per-MCU-row seek index (see Options.
+// DisableSeekIndex), so a small read out of a large file costs roughly one
+// thread segment of arithmetic decoding: header and trailer bytes come
+// from the stored verbatim copies, scan bytes from re-encoding only the
+// MCU rows the range overlaps. Progressive and CMYK containers, and legacy
+// containers without an index, are served by a full decode that discards
+// the bytes outside the range — always correct, only slower (the causes
+// are counted in RangeStats).
+func (c *Codec) DecompressRange(comp []byte, off, n int64) ([]byte, error) {
+	return c.DecompressRangeCtx(context.Background(), comp, off, n)
+}
+
+// DecompressRangeCtx is DecompressRange under a context.
+func (c *Codec) DecompressRangeCtx(ctx context.Context, comp []byte, off, n int64) ([]byte, error) {
+	if err := checkMagic(comp); err != nil {
+		return nil, err
+	}
+	return c.core.DecodeRangeCtx(ctx, comp, off, n, 0)
+}
+
+// DecompressRangeTo streams the byte range [off, off+n) of the original
+// file into w and returns how many bytes it wrote (RangeLength predicts
+// it).
+func (c *Codec) DecompressRangeTo(w io.Writer, comp []byte, off, n int64) (int64, error) {
+	return c.DecompressRangeToCtx(context.Background(), w, comp, off, n)
+}
+
+// DecompressRangeToCtx is DecompressRangeTo under a context.
+func (c *Codec) DecompressRangeToCtx(ctx context.Context, w io.Writer, comp []byte, off, n int64) (int64, error) {
+	if err := checkMagic(comp); err != nil {
+		return 0, err
+	}
+	return c.core.DecodeRangeToCtx(ctx, w, comp, off, n, 0)
+}
+
 // Verify round-trips data through compress and decompress and reports
 // whether the reconstruction is exact (§5.7 admission control).
 func (c *Codec) Verify(data []byte, opts *Options) error {
@@ -346,6 +389,33 @@ func DecompressTo(w io.Writer, comp []byte) error {
 	return defaultCodec.DecompressTo(w, comp)
 }
 
+// DecompressRange reconstructs exactly the byte range [off, off+n) of the
+// original file via the default codec; see Codec.DecompressRange.
+func DecompressRange(comp []byte, off, n int64) ([]byte, error) {
+	return defaultCodec.DecompressRange(comp, off, n)
+}
+
+// DecompressRangeCtx decompresses a byte range via the default codec under
+// a context.
+func DecompressRangeCtx(ctx context.Context, comp []byte, off, n int64) ([]byte, error) {
+	return defaultCodec.DecompressRangeCtx(ctx, comp, off, n)
+}
+
+// RangeLength returns how many bytes DecompressRange(comp, off, n) will
+// produce — the clamp of [off, off+n) to the decompressed size — without
+// decoding anything.
+func RangeLength(comp []byte, off, n int64) (int64, error) {
+	if err := checkMagic(comp); err != nil {
+		return 0, err
+	}
+	return core.RangeLength(comp, off, n)
+}
+
+// RangeStats returns cumulative process-wide range-decode counters:
+// requests served, indexed fast-path hits, fallbacks to full decode split
+// by cause, and thread segments decoded by the fast path.
+func RangeStats() map[string]int64 { return core.RangeStats() }
+
 // DecompressToCtx streams the reconstruction via the default codec under a
 // context.
 func DecompressToCtx(ctx context.Context, w io.Writer, comp []byte) error {
@@ -372,6 +442,9 @@ type ChunkOptions struct {
 	// memory; 0 means the deployed encode budget. Larger streams are
 	// chunk-compressed incrementally in raw mode with O(ChunkSize) memory.
 	BufferLimit int64
+	// DisableSeekIndex omits the per-chunk seek index (see
+	// Options.DisableSeekIndex).
+	DisableSeekIndex bool
 }
 
 func (o *ChunkOptions) chunkOptions(c *core.Codec) chunk.Options {
@@ -381,6 +454,7 @@ func (o *ChunkOptions) chunkOptions(c *core.Codec) chunk.Options {
 		co.VerifyRoundtrip = o.Verify
 		co.SegmentsPerChunk = o.Threads
 		co.BufferLimit = o.BufferLimit
+		co.DisableSeekIndex = o.DisableSeekIndex
 	}
 	return co
 }

@@ -1,0 +1,207 @@
+package lepton_test
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lepton"
+	"lepton/internal/imagegen"
+)
+
+// goldenInput regenerates the deterministic source JPEG and compression
+// options for one golden corpus case.
+func goldenInput(t testing.TB, name string, seed int64, w, h int) ([]byte, *lepton.Options) {
+	t.Helper()
+	opt := &lepton.Options{}
+	var data []byte
+	var err error
+	switch name {
+	case "gray":
+		img := imagegen.Synthesize(seed, w, h)
+		data, err = imagegen.EncodeJPEG(img, imagegen.Options{
+			Quality: 85, Grayscale: true, PadBit: 1,
+		})
+	case "progressive":
+		data = progressiveSample(t, seed, w, h)
+		opt.AllowProgressive = true
+	case "cmyk":
+		img := imagegen.Synthesize(seed, w, h)
+		data, err = imagegen.EncodeJPEG(img, imagegen.Options{
+			Quality: 85, CMYK: true, PadBit: 1, RestartInterval: 4,
+		})
+		opt.AllowCMYK = true
+	default:
+		data, err = imagegen.Generate(seed, w, h)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data, opt
+}
+
+// checkRange asserts DecompressRange(comp, off, n) equals the matching
+// slice of the full reconstruction.
+func checkRange(t *testing.T, comp, full []byte, off, n int64) {
+	t.Helper()
+	got, err := lepton.DecompressRange(comp, off, n)
+	if err != nil {
+		t.Fatalf("DecompressRange(off=%d n=%d): %v", off, n, err)
+	}
+	size := int64(len(full))
+	a, z := off, off+n
+	if a > size {
+		a = size
+	}
+	if z > size || z < 0 {
+		z = size
+	}
+	if z < a {
+		z = a
+	}
+	if !bytes.Equal(got, full[a:z]) {
+		t.Fatalf("DecompressRange(off=%d n=%d): %d bytes differ from full-decode slice (first diff %d)",
+			off, n, len(got), firstDiff(got, full[a:z]))
+	}
+	wantN, err := lepton.RangeLength(comp, off, n)
+	if err != nil {
+		t.Fatalf("RangeLength(off=%d n=%d): %v", off, n, err)
+	}
+	if int64(len(got)) != wantN {
+		t.Fatalf("RangeLength(off=%d n=%d)=%d but DecompressRange returned %d bytes",
+			off, n, wantN, len(got))
+	}
+}
+
+// TestDecompressRangeGoldenDifferential sweeps byte ranges over every
+// golden corpus case — including the progressive and CMYK cases, which
+// exercise the full-decode fallback — and asserts each range is
+// byte-identical to the corresponding slice of the full decompression.
+func TestDecompressRangeGoldenDifferential(t *testing.T) {
+	for _, tc := range goldenCases {
+		t.Run(tc.name, func(t *testing.T) {
+			data, opt := goldenInput(t, tc.name, tc.seed, tc.w, tc.h)
+			res, err := lepton.Compress(data, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			comp := res.Compressed
+			full, err := lepton.Decompress(comp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(full, data) {
+				t.Fatal("full decompression does not round-trip")
+			}
+			size := int64(len(full))
+			// Deterministic edges: start, tail, whole file, clamps.
+			for _, p := range [][2]int64{
+				{0, 0}, {0, 1}, {0, 100}, {0, size}, {0, size * 2},
+				{size - 1, 1}, {size - 1, 50}, {size, 10}, {size + 7, 3},
+				{size / 2, 1}, {size / 2, 1024}, {1, size - 2},
+			} {
+				checkRange(t, comp, full, p[0], p[1])
+			}
+			// Seeded probes: small reads, medium reads, and reads sized to
+			// cross MCU-row and thread-segment boundaries.
+			rng := rand.New(rand.NewSource(tc.seed * 1000003))
+			for i := 0; i < 20; i++ {
+				off := rng.Int63n(size)
+				n := rng.Int63n(size/3 + 1)
+				checkRange(t, comp, full, off, n)
+			}
+		})
+	}
+}
+
+// TestDecompressRangeChunks runs the same differential against individual
+// chunk containers from chunked compression: each chunk carries its own
+// seek index and must serve sub-ranges of its own reconstruction.
+func TestDecompressRangeChunks(t *testing.T) {
+	data, _ := goldenInput(t, "color-multiseg", 7, 640, 480)
+	chunks, err := lepton.CompressChunks(data, &lepton.ChunkOptions{ChunkSize: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunks) < 3 {
+		t.Fatalf("want several chunks, got %d", len(chunks))
+	}
+	rng := rand.New(rand.NewSource(99))
+	for k, ch := range chunks {
+		full, err := lepton.DecompressChunk(ch)
+		if err != nil {
+			t.Fatalf("chunk %d: %v", k, err)
+		}
+		size := int64(len(full))
+		for _, p := range [][2]int64{{0, 1}, {0, size}, {size - 1, 1}, {size / 2, 256}} {
+			checkRange(t, ch, full, p[0], p[1])
+		}
+		for i := 0; i < 6; i++ {
+			checkRange(t, ch, full, rng.Int63n(size), rng.Int63n(size/2+1))
+		}
+	}
+}
+
+// TestLegacyContainerBackCompat pins the pre-seek-index container format:
+// fixtures captured before the index existed must decompress unchanged
+// through every entry point, compressing with DisableSeekIndex must
+// reproduce those legacy bytes exactly, and range reads against index-less
+// containers must be served correctly by the fallback.
+func TestLegacyContainerBackCompat(t *testing.T) {
+	for _, tc := range goldenCases {
+		t.Run(tc.name, func(t *testing.T) {
+			legacy, err := os.ReadFile(filepath.Join("testdata", "legacy-"+tc.name+".lep"))
+			if err != nil {
+				t.Fatalf("missing legacy fixture: %v", err)
+			}
+			data, opt := goldenInput(t, tc.name, tc.seed, tc.w, tc.h)
+
+			// Every decompress entry point must reconstruct the original.
+			back, err := lepton.Decompress(legacy)
+			if err != nil {
+				t.Fatalf("Decompress: %v", err)
+			}
+			if !bytes.Equal(back, data) {
+				t.Fatal("legacy container does not decompress to the original JPEG")
+			}
+			var buf bytes.Buffer
+			if err := lepton.DecompressTo(&buf, legacy); err != nil {
+				t.Fatalf("DecompressTo: %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), data) {
+				t.Fatal("DecompressTo mismatch on legacy container")
+			}
+			if back, err = lepton.DecompressChunk(legacy); err != nil || !bytes.Equal(back, data) {
+				t.Fatalf("DecompressChunk on legacy container: %v", err)
+			}
+
+			// Compressing with the index disabled must reproduce the legacy
+			// format byte for byte (and for progressive/CMYK, which never
+			// carry an index, current output must equal legacy output).
+			o := *opt
+			o.DisableSeekIndex = true
+			res, err := lepton.Compress(data, &o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(res.Compressed, legacy) {
+				t.Fatalf("DisableSeekIndex output diverged from legacy container (%d vs %d bytes, first diff %d)",
+					len(res.Compressed), len(legacy), firstDiff(res.Compressed, legacy))
+			}
+
+			// Range reads on index-less containers go through the fallback
+			// and must still match slices of the full decode.
+			size := int64(len(data))
+			before := lepton.RangeStats()
+			for _, p := range [][2]int64{{0, 64}, {size / 2, 512}, {size - 9, 9}} {
+				checkRange(t, legacy, data, p[0], p[1])
+			}
+			after := lepton.RangeStats()
+			if after["range_fast"]-before["range_fast"] != 0 {
+				t.Error("legacy container unexpectedly took the indexed fast path")
+			}
+		})
+	}
+}

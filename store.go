@@ -142,6 +142,21 @@ func (st *Store) GetCompressed(h ChunkHash) ([]byte, bool) {
 	return st.s.GetCompressedChunk(h)
 }
 
+// GetRange decodes only bytes [off, off+n) of one stored chunk's
+// reconstruction, clamped at the chunk's size — for seek-indexed containers
+// only the arithmetic segments the range touches are decoded.
+func (st *Store) GetRange(ctx context.Context, h ChunkHash, off, n int64) ([]byte, error) {
+	return st.s.GetChunkRangeCtx(ctx, h, off, n)
+}
+
+// GetFileRange reads bytes [off, off+n) of a stored file, clamped at its
+// size, decoding only the chunks (and within each chunk only the segments)
+// the range overlaps. The store's ChunkSize must match the one the file was
+// stored under.
+func (st *Store) GetFileRange(ctx context.Context, ref FileRef, off, n int64) ([]byte, error) {
+	return st.s.GetFileRangeCtx(ctx, ref, off, n)
+}
+
 // RecoverFromSafetyNet restores a chunk's raw bytes from the safety net —
 // the disaster-recovery path the team drilled but never needed (§5.7).
 func (st *Store) RecoverFromSafetyNet(h ChunkHash) ([]byte, error) {
