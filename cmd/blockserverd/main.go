@@ -28,20 +28,31 @@ package main
 
 import (
 	"context"
-	"expvar"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"lepton/internal/admin"
 	"lepton/internal/diskstore"
 	"lepton/internal/server"
 	"lepton/internal/store"
 )
+
+// newDebugServer builds the daemon's debug/admin HTTP server: the
+// blockserver's counters under /debug/vars (the shape the old expvar
+// endpoint served) and /api/stats, on an owned *http.Server with a private
+// mux and a ReadHeaderTimeout — never http.DefaultServeMux, never
+// unshutdownable. Kept as a named helper so the lifecycle is testable: the
+// drain path must Shutdown it and release the port (see main_test.go).
+func newDebugServer(b *server.Blockserver) *admin.Server {
+	adm := admin.New()
+	adm.Register("blockserver", b.StatsSnapshot)
+	return adm
+}
 
 func main() {
 	listen := flag.String("listen", "unix:/tmp/lepton.sock", "listen address (unix:<path> or tcp:<host:port>)")
@@ -131,18 +142,18 @@ func main() {
 	}
 	fmt.Printf("blockserverd listening on %s (threshold %d)\n", addr, *threshold)
 
+	var adm *admin.Server
 	if *debugAddr != "" {
-		// Importing expvar registers /debug/vars on the default mux; the
-		// published func snapshots counters plus the row-window memory
+		// The snapshot source reads counters plus the row-window memory
 		// gauges on every scrape, making production memory behavior (the
 		// §5.1 streaming ceiling) observable without instrumentation.
-		expvar.Publish("blockserver", expvar.Func(func() any { return b.StatsSnapshot() }))
-		go func() {
-			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "blockserverd: debug server:", err)
-			}
-		}()
-		fmt.Printf("debug vars on http://%s/debug/vars\n", *debugAddr)
+		adm = newDebugServer(b)
+		dbg, err := adm.ListenAndServe(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "blockserverd:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("debug vars on http://%s/debug/vars\n", dbg)
 	}
 
 	sig := make(chan os.Signal, 2)
@@ -159,6 +170,14 @@ func main() {
 		<-sig
 		cancel()
 	}()
+	if adm != nil {
+		// The debug port is part of the drain contract: release it now so a
+		// replacement process (same machine, rolling restart) can bind it,
+		// instead of holding it until exit as the old ListenAndServe did.
+		if err := adm.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "blockserverd: debug server shutdown:", err)
+		}
+	}
 	err = b.Shutdown(ctx)
 	if disk != nil {
 		// After the drain: no request can still be appending, so the close

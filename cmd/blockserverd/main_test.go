@@ -1,0 +1,62 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"lepton/internal/server"
+)
+
+// TestDebugServerReleasesPortOnDrain is the regression test for the
+// lifecycle bug this daemon shipped with: the debug HTTP server was
+// started with http.ListenAndServe on the global mux and never shut down,
+// so a SIGTERM drain left the debug port bound until process exit. The
+// drain path now owns the server and must release the port the moment
+// Shutdown returns — exactly what a rolling restart on the same machine
+// needs.
+func TestDebugServerReleasesPortOnDrain(t *testing.T) {
+	b := &server.Blockserver{}
+	adm := newDebugServer(b)
+	addr, err := adm.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The endpoint serves the blockserver snapshot in the expvar shape the
+	// old endpoint exported: {"blockserver": {"compresses": 0, ...}}.
+	resp, err := http.Get("http://" + addr + "/debug/vars")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	var vars map[string]map[string]int64
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	resp.Body.Close()
+	bs, ok := vars["blockserver"]
+	if !ok {
+		t.Fatalf("no blockserver section: %v", vars)
+	}
+	for _, key := range []string{"compresses", "decompresses", "in_flight", "coeff_window_bytes_peak"} {
+		if _, ok := bs[key]; !ok {
+			t.Fatalf("debug vars missing %q: %v", key, bs)
+		}
+	}
+
+	// Drain: the same shutdown call main makes. The port must be free
+	// before the in-flight conversions would even finish draining.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := adm.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("debug port %s still bound after drain: %v", addr, err)
+	}
+	ln.Close()
+}

@@ -1,0 +1,115 @@
+// Command leptonload is the load-and-SLO harness: it replays a
+// production-shaped trace — zipf-mixed image sizes, a diurnal Poisson
+// arrival process, a configurable compress/decompress/range-GET mix,
+// scheduled node kills — against a live fleet, open-loop, and writes a
+// LOAD_<run>.json results file with per-op-class latency quantiles, a
+// throughput timeline, per-node utilization from load probes, and the
+// router/store counters (hedges, retries, evictions, read repairs).
+//
+// Scheduling is coordinated-omission-safe: every op has an intended
+// send time fixed before the run starts, and latency is measured from
+// that intended time, so a fleet that stalls shows the stall in its
+// tail quantiles instead of quietly slowing the generator.
+//
+// Usage:
+//
+//	leptonload -inproc 3 -duration 10s -rate 40 -kill 4s:1:2s -run 010
+//	leptonload -nodes tcp:10.0.0.5:7731,tcp:10.0.0.6:7731 -duration 5m -rate 200
+//	leptonload -inproc 4 -mix compress=30,decompress=50,range=20 -admin-addr 127.0.0.1:7740
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	nodes := flag.String("nodes", "", "comma-separated fleet addresses (tcp:<host:port>) to load")
+	inproc := flag.Int("inproc", 0, "spawn this many in-process blockservers instead of -nodes (enables -kill)")
+	duration := flag.Duration("duration", 10*time.Second, "trace length")
+	rate := flag.Float64("rate", 50, "mean arrival rate, ops/sec")
+	diurnalAmp := flag.Float64("diurnal-amp", 0.5, "relative diurnal rate swing in [0,1): λ(t)=rate·(1+amp·sin)")
+	diurnalPeriod := flag.Duration("diurnal-period", 0, "diurnal cycle length; 0 = the trace duration (one full day per run)")
+	mix := flag.String("mix", "compress=40,decompress=40,range=20", "op-class weights")
+	images := flag.Int("images", 32, "catalog size: distinct zipf-size-mixed images in the trace")
+	seed := flag.Int64("seed", 1, "trace seed; identical seeds replay identical schedules")
+	kill := flag.String("kill", "", "node-kill schedule, comma-separated <at>:<node>:<down> (e.g. 4s:1:2s); in-process fleets only")
+	rangeBytes := flag.Int64("range-bytes", 4<<10, "bytes per range GET")
+	replication := flag.Int("replication", 2, "fleet-store replication for the range-GET corpus")
+	chunkSize := flag.Int("chunk-size", 0, "fleet-store chunk size; 0 = 4 MiB")
+	hedgeAfter := flag.Duration("hedge-after", 100*time.Millisecond, "fleet hedging threshold; 0 disables hedging")
+	maxInFlight := flag.Int("max-in-flight", 256, "cap on concurrently outstanding ops (queueing above it is measured, not hidden)")
+	adminAddr := flag.String("admin-addr", "", "optional HTTP address for the live admin plane (status page + /api/stats)")
+	runName := flag.String("run", "local", "run label; results default to LOAD_<run>.json")
+	out := flag.String("out", "", "results file path; empty derives LOAD_<run>.json")
+	quiet := flag.Bool("quiet", false, "suppress progress logging")
+	flag.Parse()
+
+	kills, err := parseKills(*kill)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "leptonload:", err)
+		os.Exit(2)
+	}
+	opMix, err := parseMix(*mix)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "leptonload:", err)
+		os.Exit(2)
+	}
+	period := *diurnalPeriod
+	if period == 0 {
+		period = *duration
+	}
+	outPath := *out
+	if outPath == "" {
+		outPath = fmt.Sprintf("LOAD_%s.json", *runName)
+	}
+	cfg := config{
+		Trace: traceSpec{
+			Seed:          *seed,
+			Duration:      *duration,
+			Rate:          *rate,
+			DiurnalAmp:    *diurnalAmp,
+			DiurnalPeriod: period,
+			Mix:           opMix,
+			Images:        *images,
+			Kills:         kills,
+			RangeBytes:    *rangeBytes,
+		},
+		InProc:      *inproc,
+		Replication: *replication,
+		ChunkSize:   *chunkSize,
+		HedgeAfter:  *hedgeAfter,
+		MaxInFlight: *maxInFlight,
+		AdminAddr:   *adminAddr,
+		Run:         *runName,
+		Out:         outPath,
+	}
+	if *nodes != "" {
+		cfg.Nodes = strings.Split(*nodes, ",")
+	}
+	if !*quiet {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "leptonload: "+format+"\n", args...)
+		}
+	}
+
+	res, err := run(context.Background(), cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "leptonload:", err)
+		os.Exit(1)
+	}
+	for _, class := range []string{"compress", "decompress", "range_get"} {
+		if cs, ok := res.OpClasses[class]; ok {
+			fmt.Printf("%-10s  n=%-6d err=%-4d p50=%.1fms p95=%.1fms p99=%.1fms p999=%.1fms\n",
+				class, cs.Count, cs.Errors, cs.P50Ms, cs.P95Ms, cs.P99Ms, cs.P999Ms)
+		}
+	}
+	fmt.Printf("fleet: hedged=%d hedge_wins=%d retries=%d evictions=%d read_repairs=%d\n",
+		res.Fleet["hedged"], res.Fleet["hedge_wins"], res.Fleet["retries"],
+		res.Fleet["evictions"], res.Store["read_repairs"])
+	fmt.Printf("results: %s\n", outPath)
+}

@@ -1,0 +1,230 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestLeptonloadSmoke runs the whole harness in-process: a 3-node fleet,
+// a ~2s trace mixing all three op classes, one mid-run node kill, and
+// the JSON results file. It asserts the file parses and carries every
+// SLO field a dashboard would read — this is the same configuration the
+// CI loadgen-smoke job runs under -race.
+func TestLeptonloadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet smoke test in -short mode")
+	}
+	out := filepath.Join(t.TempDir(), "LOAD_smoke.json")
+	cfg := config{
+		Trace: traceSpec{
+			Seed:          7,
+			Duration:      2 * time.Second,
+			Rate:          30,
+			DiurnalAmp:    0.5,
+			DiurnalPeriod: 2 * time.Second,
+			Mix:           opMix{Compress: 40, Decompress: 40, Range: 20},
+			Images:        8,
+			Kills:         []killEvent{{At: 700 * time.Millisecond, Node: 1, Down: 500 * time.Millisecond}},
+			RangeBytes:    2 << 10,
+		},
+		InProc:      3,
+		Replication: 2,
+		ChunkSize:   16 << 10,
+		HedgeAfter:  150 * time.Millisecond,
+		MaxInFlight: 64,
+		Run:         "smoke",
+		Out:         out,
+		Logf:        t.Logf,
+	}
+	if _, err := run(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	// The returned result and the file must agree; the file is the
+	// artifact CI uploads, so validate through it.
+	buf, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got result
+	if err := json.Unmarshal(buf, &got); err != nil {
+		t.Fatalf("results file does not parse: %v", err)
+	}
+	if got.Schema != "lepton-load/v1" {
+		t.Fatalf("schema = %q", got.Schema)
+	}
+	if got.Run != "smoke" {
+		t.Fatalf("run = %q", got.Run)
+	}
+	if got.Config.NodeCount != 3 {
+		t.Fatalf("node_count = %d, want 3", got.Config.NodeCount)
+	}
+	if got.Config.KillsApplied != 1 {
+		t.Fatalf("kills_applied = %d, want 1", got.Config.KillsApplied)
+	}
+
+	// Every op class must have run and carry the full quantile ladder.
+	var total int64
+	for _, class := range []string{"compress", "decompress", "range_get"} {
+		cs, ok := got.OpClasses[class]
+		if !ok {
+			t.Fatalf("no stats for op class %q: %v", class, got.OpClasses)
+		}
+		if cs.Count <= 0 {
+			t.Fatalf("class %q ran no ops", class)
+		}
+		total += cs.Count
+		if cs.P50Ms <= 0 || cs.P95Ms < cs.P50Ms || cs.P99Ms < cs.P95Ms || cs.P999Ms < cs.P99Ms {
+			t.Fatalf("class %q quantiles not monotone: p50=%v p95=%v p99=%v p999=%v",
+				class, cs.P50Ms, cs.P95Ms, cs.P99Ms, cs.P999Ms)
+		}
+		if cs.MaxMs < cs.P999Ms || cs.MinMs > cs.P50Ms {
+			t.Fatalf("class %q min/max inconsistent with quantiles: %+v", class, cs)
+		}
+	}
+	if total != int64(got.Config.ScheduledOps) {
+		t.Fatalf("completed %d ops, scheduled %d — the open loop must finish every op", total, got.Config.ScheduledOps)
+	}
+
+	// The throughput timeline covers the trace and accounts for every op.
+	var tlTotal int64
+	for _, s := range got.Throughput {
+		tlTotal += s.Ops
+	}
+	if tlTotal != total {
+		t.Fatalf("timeline accounts for %d ops, histograms for %d", tlTotal, total)
+	}
+	if len(got.Utilization) == 0 {
+		t.Fatal("no utilization samples")
+	}
+	for _, s := range got.Utilization {
+		if len(s.Loads) != 3 {
+			t.Fatalf("utilization sample probes %d nodes, want 3", len(s.Loads))
+		}
+	}
+	if len(got.Nodes) != 3 {
+		t.Fatalf("per-node stats for %d nodes, want 3", len(got.Nodes))
+	}
+	if got.Fleet["requests"] <= 0 {
+		t.Fatalf("fleet snapshot missing traffic: %v", got.Fleet)
+	}
+	if got.Store["puts"] <= 0 {
+		t.Fatalf("store snapshot missing warmup puts: %v", got.Store)
+	}
+}
+
+// TestTraceDeterminism: the same spec must replay the identical
+// schedule — that is what makes a LOAD_<run>.json reproducible.
+func TestTraceDeterminism(t *testing.T) {
+	spec := traceSpec{
+		Seed: 42, Duration: 5 * time.Second, Rate: 100,
+		DiurnalAmp: 0.6, DiurnalPeriod: 5 * time.Second,
+		Mix: opMix{Compress: 1, Decompress: 1, Range: 1}, Images: 16,
+	}
+	a, b := spec.schedule(), spec.schedule()
+	if len(a) == 0 {
+		t.Fatal("empty schedule")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	for i := range a {
+		if a[i].at < 0 || a[i].at >= spec.Duration {
+			t.Fatalf("op %d outside the trace window: %v", i, a[i].at)
+		}
+		if a[i].img < 0 || a[i].img >= spec.Images {
+			t.Fatalf("op %d references image %d of %d", i, a[i].img, spec.Images)
+		}
+	}
+	// A different seed must produce a different schedule.
+	spec.Seed = 43
+	c := spec.schedule()
+	if len(c) == len(a) {
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds replayed the identical schedule")
+		}
+	}
+}
+
+// TestDiurnalRateShapesSchedule: with a strong diurnal swing, the peak
+// half of the cycle must carry more arrivals than the trough half.
+func TestDiurnalRateShapesSchedule(t *testing.T) {
+	spec := traceSpec{
+		Seed: 9, Duration: 20 * time.Second, Rate: 200,
+		DiurnalAmp: 0.9, DiurnalPeriod: 20 * time.Second,
+		Mix: opMix{Compress: 1}, Images: 4,
+	}
+	ops := spec.schedule()
+	var peak, trough int
+	for _, op := range ops {
+		if op.at < spec.Duration/2 {
+			peak++ // sin > 0 over the first half-cycle
+		} else {
+			trough++
+		}
+	}
+	if peak <= trough {
+		t.Fatalf("diurnal shaping missing: %d peak-half vs %d trough-half arrivals", peak, trough)
+	}
+}
+
+func TestParseKills(t *testing.T) {
+	kills, err := parseKills("4s:1:2s,1s:0:500ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []killEvent{
+		{At: time.Second, Node: 0, Down: 500 * time.Millisecond},
+		{At: 4 * time.Second, Node: 1, Down: 2 * time.Second},
+	}
+	if len(kills) != len(want) {
+		t.Fatalf("got %d kills", len(kills))
+	}
+	for i := range want {
+		if kills[i] != want[i] {
+			t.Fatalf("kill %d = %+v, want %+v", i, kills[i], want[i])
+		}
+	}
+	if got, err := parseKills(""); err != nil || got != nil {
+		t.Fatalf("empty schedule: %v, %v", got, err)
+	}
+	for _, bad := range []string{"4s:1", "x:1:2s", "4s:-1:2s", "4s:a:2s", "4s:1:x"} {
+		if _, err := parseKills(bad); err == nil {
+			t.Fatalf("parseKills(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	m, err := parseMix("compress=30,decompress=50,range=20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != (opMix{Compress: 30, Decompress: 50, Range: 20}) {
+		t.Fatalf("mix = %+v", m)
+	}
+	if m, err := parseMix(""); err != nil || m != (opMix{Compress: 1}) {
+		t.Fatalf("default mix = %+v, %v", m, err)
+	}
+	for _, bad := range []string{"compress", "bogus=1", "compress=-1", "compress=0,range=0,decompress=0"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Fatalf("parseMix(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,506 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lepton"
+	"lepton/internal/admin"
+	"lepton/internal/backfill"
+	"lepton/internal/imagegen"
+	"lepton/internal/loadhist"
+	"lepton/internal/server"
+	"lepton/internal/store"
+)
+
+// config is everything one load run needs. Exactly one of Nodes (an
+// external fleet to aim at) or InProc (spawn that many blockservers in
+// this process, which also enables the kill schedule) must be set.
+type config struct {
+	Trace       traceSpec
+	Nodes       []string
+	InProc      int
+	Replication int
+	ChunkSize   int
+	HedgeAfter  time.Duration
+	MaxInFlight int
+	AdminAddr   string
+	Run         string
+	Out         string
+	Logf        func(format string, args ...any)
+}
+
+func (c config) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// The results file: schema "lepton-load/v1". Latencies are reported in
+// milliseconds per op class; the throughput timeline is bucketed by the
+// ops' intended second, so a stalled fleet shows completed-late ops in
+// their scheduled bucket rather than smearing the timeline.
+type result struct {
+	Schema      string                `json:"schema"`
+	Run         string                `json:"run"`
+	Config      resultConfig          `json:"config"`
+	OpClasses   map[string]classStats `json:"op_classes"`
+	Throughput  []secondStats         `json:"throughput"`
+	Utilization []utilSample          `json:"utilization"`
+	Fleet       map[string]int64      `json:"fleet"`
+	Store       map[string]int64      `json:"store"`
+	Nodes       []nodeStats           `json:"nodes"`
+}
+
+type resultConfig struct {
+	Seed          int64   `json:"seed"`
+	DurationSec   float64 `json:"duration_sec"`
+	RatePerSec    float64 `json:"rate_per_sec"`
+	DiurnalAmp    float64 `json:"diurnal_amp"`
+	Images        int     `json:"images"`
+	NodeCount     int     `json:"node_count"`
+	Replication   int     `json:"replication"`
+	ScheduledOps  int     `json:"scheduled_ops"`
+	MaxInFlight   int     `json:"max_in_flight"`
+	HedgeAfterMs  float64 `json:"hedge_after_ms"`
+	RangeBytes    int64   `json:"range_bytes"`
+	KillsApplied  int     `json:"kills_applied"`
+	MixCompress   float64 `json:"mix_compress"`
+	MixDecompress float64 `json:"mix_decompress"`
+	MixRange      float64 `json:"mix_range"`
+}
+
+type classStats struct {
+	Count   int64   `json:"count"`
+	Errors  int64   `json:"errors"`
+	MeanMs  float64 `json:"mean_ms"`
+	P50Ms   float64 `json:"p50_ms"`
+	P95Ms   float64 `json:"p95_ms"`
+	P99Ms   float64 `json:"p99_ms"`
+	P999Ms  float64 `json:"p999_ms"`
+	MaxMs   float64 `json:"max_ms"`
+	MinMs   float64 `json:"min_ms"`
+	Timeout int64   `json:"timeouts"`
+}
+
+type secondStats struct {
+	Second int   `json:"second"`
+	Ops    int64 `json:"ops"`
+	Errors int64 `json:"errors"`
+}
+
+type utilSample struct {
+	AtMs  int64            `json:"at_ms"`
+	Loads map[string]int64 `json:"loads"` // in-flight per node; -1 = probe failed
+}
+
+type nodeStats struct {
+	Addr  string           `json:"addr"`
+	Stats map[string]int64 `json:"stats,omitempty"`
+}
+
+// catalogImage is one pre-generated trace image: original JPEG bytes (for
+// compress ops), the locally compressed container (for decompress ops),
+// and — after warmup — the content hash it is stored under in the fleet
+// (for range GETs).
+type catalogImage struct {
+	data []byte
+	comp []byte
+	hash lepton.ChunkHash
+}
+
+// inprocNode is one harness-owned blockserver, killable and restartable
+// on the same address with its store intact (a crash, not a disk loss).
+type inprocNode struct {
+	addr  string
+	store *store.Store
+	mu    sync.Mutex
+	b     *server.Blockserver
+}
+
+func (n *inprocNode) current() *server.Blockserver {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.b
+}
+
+func (n *inprocNode) kill() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	_ = n.b.Close()
+}
+
+func (n *inprocNode) restart() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.b = &server.Blockserver{Store: n.store}
+	_, err := server.ListenAndServe(n.addr, n.b)
+	return err
+}
+
+// run executes one load run end to end and writes the results file.
+func run(ctx context.Context, cfg config) (*result, error) {
+	if cfg.Trace.Images <= 0 {
+		cfg.Trace.Images = 32
+	}
+	if cfg.Trace.RangeBytes <= 0 {
+		cfg.Trace.RangeBytes = 4 << 10
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 256
+	}
+	if cfg.Replication <= 0 {
+		cfg.Replication = 2
+	}
+
+	// The image catalog: zipf-mixed sizes from the shared backfill model,
+	// generated and compressed once up front so the hot loop spends its
+	// cycles on fleet requests, not local codec work for op generation.
+	cfg.logf("generating %d-image catalog", cfg.Trace.Images)
+	man := backfill.Synthetic(cfg.Trace.Seed, cfg.Trace.Images)
+	catalog := make([]catalogImage, len(man.Entries))
+	for i, e := range man.Entries {
+		data, err := imagegen.Generate(e.Seed, e.W, e.H)
+		if err != nil {
+			return nil, fmt.Errorf("catalog image %d: %v", i, err)
+		}
+		res, err := lepton.Compress(data, nil)
+		if err != nil {
+			return nil, fmt.Errorf("catalog compress %d: %v", i, err)
+		}
+		catalog[i] = catalogImage{data: data, comp: res.Compressed}
+	}
+
+	// The fleet under test: external addresses, or harness-owned
+	// blockservers on loopback (which the kill schedule can reach).
+	var inproc []*inprocNode
+	addrs := cfg.Nodes
+	if cfg.InProc > 0 {
+		inproc = make([]*inprocNode, cfg.InProc)
+		addrs = make([]string, cfg.InProc)
+		for i := range inproc {
+			st := store.New()
+			b := &server.Blockserver{Store: st}
+			addr, err := server.ListenAndServe("tcp:127.0.0.1:0", b)
+			if err != nil {
+				return nil, fmt.Errorf("node %d: %v", i, err)
+			}
+			inproc[i] = &inprocNode{addr: addr, store: st, b: b}
+			addrs[i] = addr
+		}
+		cfg.logf("in-process fleet: %v", addrs)
+	}
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("no fleet: set -nodes or -inproc")
+	}
+
+	fl, err := lepton.DialFleet(addrs, &lepton.FleetOptions{
+		HedgeAfter:     cfg.HedgeAfter,
+		HealthInterval: 50 * time.Millisecond,
+		Seed:           cfg.Trace.Seed + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer fl.Close()
+	fs, err := lepton.NewFleetStore(fl, &lepton.FleetStoreOptions{
+		Replication: cfg.Replication,
+		ChunkSize:   cfg.ChunkSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Warmup: place every catalog image in the fleet store so range GETs
+	// have content to hit from the first scheduled op.
+	for i := range catalog {
+		h, err := fs.Put(ctx, catalog[i].comp)
+		if err != nil {
+			return nil, fmt.Errorf("warmup put %d: %v", i, err)
+		}
+		catalog[i].hash = h
+	}
+
+	ops := cfg.Trace.schedule()
+	cfg.logf("trace: %d ops over %v", len(ops), cfg.Trace.Duration)
+
+	// Progress counters, exported live through the admin plane and
+	// folded into the results file at the end.
+	var sent, done, errs, inFlight atomic.Int64
+	var adm *admin.Server
+	if cfg.AdminAddr != "" {
+		adm = admin.New()
+		adm.Register("loadgen", func() map[string]int64 {
+			return map[string]int64{
+				"ops_scheduled": int64(len(ops)),
+				"ops_sent":      sent.Load(),
+				"ops_done":      done.Load(),
+				"errors":        errs.Load(),
+				"in_flight":     inFlight.Load(),
+			}
+		})
+		adm.Register("fleet", fl.StatsSnapshot)
+		adm.Register("store", fs.StatsSnapshot)
+		for i, n := range inproc {
+			n := n
+			adm.Register(fmt.Sprintf("node%d", i), func() map[string]int64 {
+				return n.current().StatsSnapshot()
+			})
+		}
+		bound, err := adm.ListenAndServe(cfg.AdminAddr)
+		if err != nil {
+			return nil, err
+		}
+		cfg.logf("admin plane on http://%s/", bound)
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := adm.Shutdown(sctx); err != nil {
+				cfg.logf("admin shutdown: %v", err)
+			}
+		}()
+	}
+
+	// Per-class histograms (mutex-guarded: loadhist is single-writer by
+	// design) and the per-intended-second throughput timeline.
+	type classRec struct {
+		mu     sync.Mutex
+		hist   *loadhist.Hist
+		errors int64
+	}
+	recs := make([]*classRec, numOpClasses)
+	for i := range recs {
+		recs[i] = &classRec{hist: loadhist.New()}
+	}
+	seconds := int(cfg.Trace.Duration/time.Second) + 1
+	tlOps := make([]atomic.Int64, seconds)
+	tlErrs := make([]atomic.Int64, seconds)
+
+	// Utilization sampler: the same load probes power-of-two routing
+	// uses, here as a per-node busyness time series.
+	var utilMu sync.Mutex
+	var utilization []utilSample
+	samplerCtx, stopSampler := context.WithCancel(ctx)
+	var samplerWG sync.WaitGroup
+	samplerWG.Add(1)
+	runStart := time.Now()
+	go func() {
+		defer samplerWG.Done()
+		tick := time.NewTicker(250 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-samplerCtx.Done():
+				return
+			case <-tick.C:
+			}
+			sample := utilSample{AtMs: time.Since(runStart).Milliseconds(), Loads: make(map[string]int64, len(addrs))}
+			for _, addr := range addrs {
+				pctx, cancel := context.WithTimeout(samplerCtx, 200*time.Millisecond)
+				load, err := fl.ProbeNode(pctx, addr)
+				cancel()
+				if err != nil {
+					sample.Loads[addr] = -1
+					continue
+				}
+				sample.Loads[addr] = int64(load)
+			}
+			utilMu.Lock()
+			utilization = append(utilization, sample)
+			utilMu.Unlock()
+		}
+	}()
+
+	// The kill schedule: node crashes (listener dies mid-traffic, store
+	// survives) and recoveries, driven off the same run clock as the ops.
+	killsApplied := 0
+	var killWG sync.WaitGroup
+	for _, k := range cfg.Trace.Kills {
+		if k.Node >= len(inproc) {
+			cfg.logf("kill at %v skipped: node %d not in-process", k.At, k.Node)
+			continue
+		}
+		killsApplied++
+		killWG.Add(1)
+		go func(k killEvent) {
+			defer killWG.Done()
+			node := inproc[k.Node]
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(time.Until(runStart.Add(k.At))):
+			}
+			cfg.logf("killing node %d (%s) for %v", k.Node, node.addr, k.Down)
+			node.kill()
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(k.Down):
+			}
+			if err := node.restart(); err != nil {
+				cfg.logf("restart node %d: %v", k.Node, err)
+				return
+			}
+			cfg.logf("node %d back on %s", k.Node, node.addr)
+		}(k)
+	}
+
+	// The open loop. The dispatcher releases each op at its intended
+	// time unconditionally; the semaphore caps real concurrency but is
+	// acquired *inside* the op's goroutine, so time spent waiting for a
+	// slot is part of the measured latency — a saturated fleet cannot
+	// slow the generator down and hide its own queueing (coordinated
+	// omission).
+	sem := make(chan struct{}, cfg.MaxInFlight)
+	var opWG sync.WaitGroup
+	opTimeout := 10 * time.Second
+dispatch:
+	for _, op := range ops {
+		select {
+		case <-ctx.Done():
+			break dispatch
+		case <-time.After(time.Until(runStart.Add(op.at))):
+		}
+		sent.Add(1)
+		opWG.Add(1)
+		go func(op tracedOp) {
+			defer opWG.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			inFlight.Add(1)
+			defer inFlight.Add(-1)
+
+			img := &catalog[op.img]
+			octx, cancel := context.WithTimeout(ctx, opTimeout)
+			var err error
+			switch op.class {
+			case opCompress:
+				_, err = fl.Compress(octx, img.data)
+			case opDecompress:
+				_, err = fl.Decompress(octx, img.comp)
+			case opRange:
+				n := cfg.Trace.RangeBytes
+				span := int64(len(img.data)) - n
+				var off int64
+				if span > 0 {
+					off = int64(op.offFrac * float64(span))
+				}
+				_, err = fs.GetRange(octx, img.hash, off, n)
+			}
+			cancel()
+			// Latency from the op's *intended* send time: scheduling
+			// slip, semaphore wait, and fleet time all count.
+			lat := time.Since(runStart.Add(op.at))
+
+			rec := recs[op.class]
+			rec.mu.Lock()
+			rec.hist.Record(lat)
+			if err != nil {
+				rec.errors++
+			}
+			rec.mu.Unlock()
+
+			sec := int(op.at / time.Second)
+			if sec >= seconds {
+				sec = seconds - 1
+			}
+			tlOps[sec].Add(1)
+			if err != nil {
+				tlErrs[sec].Add(1)
+				errs.Add(1)
+			}
+			done.Add(1)
+		}(op)
+	}
+	opWG.Wait()
+	killWG.Wait()
+	stopSampler()
+	samplerWG.Wait()
+	elapsed := time.Since(runStart)
+	cfg.logf("run complete: %d ops in %v (%d errors)", done.Load(), elapsed.Round(time.Millisecond), errs.Load())
+
+	// Assemble the results file.
+	res := &result{
+		Schema: "lepton-load/v1",
+		Run:    cfg.Run,
+		Config: resultConfig{
+			Seed:          cfg.Trace.Seed,
+			DurationSec:   cfg.Trace.Duration.Seconds(),
+			RatePerSec:    cfg.Trace.Rate,
+			DiurnalAmp:    cfg.Trace.DiurnalAmp,
+			Images:        cfg.Trace.Images,
+			NodeCount:     len(addrs),
+			Replication:   cfg.Replication,
+			ScheduledOps:  len(ops),
+			MaxInFlight:   cfg.MaxInFlight,
+			HedgeAfterMs:  float64(cfg.HedgeAfter) / float64(time.Millisecond),
+			RangeBytes:    cfg.Trace.RangeBytes,
+			KillsApplied:  killsApplied,
+			MixCompress:   cfg.Trace.Mix.Compress,
+			MixDecompress: cfg.Trace.Mix.Decompress,
+			MixRange:      cfg.Trace.Mix.Range,
+		},
+		OpClasses: make(map[string]classStats, numOpClasses),
+		Fleet:     fl.StatsSnapshot(),
+		Store:     fs.StatsSnapshot(),
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	for class, rec := range recs {
+		rec.mu.Lock()
+		h := rec.hist
+		if h.Count() > 0 {
+			res.OpClasses[opClass(class).String()] = classStats{
+				Count:  h.Count(),
+				Errors: rec.errors,
+				MeanMs: float64(h.Mean()) / float64(time.Millisecond),
+				P50Ms:  ms(h.Quantile(0.50)),
+				P95Ms:  ms(h.Quantile(0.95)),
+				P99Ms:  ms(h.Quantile(0.99)),
+				P999Ms: ms(h.Quantile(0.999)),
+				MaxMs:  ms(h.Max()),
+				MinMs:  ms(h.Min()),
+			}
+		}
+		rec.mu.Unlock()
+	}
+	for i := range tlOps {
+		res.Throughput = append(res.Throughput, secondStats{
+			Second: i, Ops: tlOps[i].Load(), Errors: tlErrs[i].Load(),
+		})
+	}
+	utilMu.Lock()
+	res.Utilization = utilization
+	utilMu.Unlock()
+	for i, addr := range addrs {
+		ns := nodeStats{Addr: addr}
+		if i < len(inproc) {
+			ns.Stats = inproc[i].current().StatsSnapshot()
+		}
+		res.Nodes = append(res.Nodes, ns)
+	}
+	sort.Slice(res.Nodes, func(i, j int) bool { return res.Nodes[i].Addr < res.Nodes[j].Addr })
+
+	if cfg.Out != "" {
+		buf, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(cfg.Out, buf, 0o644); err != nil {
+			return nil, err
+		}
+		cfg.logf("results written to %s", cfg.Out)
+	}
+
+	for _, n := range inproc {
+		n.kill()
+		_ = n.store.Close()
+	}
+	return res, nil
+}

@@ -1,0 +1,198 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The trace model: a deterministic, production-shaped request schedule
+// computed entirely up front from a seed. Arrivals follow a
+// nonhomogeneous Poisson process whose rate swings sinusoidally around
+// the configured mean (the diurnal pattern of a photo-storage front
+// end), each arrival is assigned an operation class by the configured
+// mix, and the image it touches is drawn from a zipf-size-mixed catalog
+// (thumbnails dominate, a heavy tail of large photos — the same
+// distribution the backfill engine models). Because the whole schedule
+// exists before the first byte is sent, the harness can measure latency
+// from each op's *intended* send time: a stalled fleet shows up as
+// queueing delay in the histograms instead of being silently absorbed
+// by a slowed-down generator (coordinated omission).
+
+type opClass int
+
+const (
+	opCompress opClass = iota
+	opDecompress
+	opRange
+	numOpClasses
+)
+
+func (c opClass) String() string {
+	switch c {
+	case opCompress:
+		return "compress"
+	case opDecompress:
+		return "decompress"
+	case opRange:
+		return "range_get"
+	}
+	return "unknown"
+}
+
+// tracedOp is one scheduled request: fire at `at` after run start,
+// against catalog image `img`. For range GETs, offFrac picks where in
+// the decoded chunk the read lands.
+type tracedOp struct {
+	at      time.Duration
+	class   opClass
+	img     int
+	offFrac float64
+}
+
+// killEvent schedules a node outage: node Node goes down At after run
+// start and returns Down later (inproc fleets only — the harness cannot
+// kill processes it does not own).
+type killEvent struct {
+	At   time.Duration
+	Node int
+	Down time.Duration
+}
+
+// parseKills parses a comma-separated kill schedule, each entry
+// "<at>:<node>:<down>", e.g. "4s:1:2s,8s:0:1s".
+func parseKills(s string) ([]killEvent, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var kills []killEvent
+	for _, part := range strings.Split(s, ",") {
+		fields := strings.Split(part, ":")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("kill %q: want <at>:<node>:<down>", part)
+		}
+		at, err := time.ParseDuration(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("kill %q: %v", part, err)
+		}
+		node, err := strconv.Atoi(fields[1])
+		if err != nil || node < 0 {
+			return nil, fmt.Errorf("kill %q: bad node index %q", part, fields[1])
+		}
+		down, err := time.ParseDuration(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("kill %q: %v", part, err)
+		}
+		kills = append(kills, killEvent{At: at, Node: node, Down: down})
+	}
+	sort.Slice(kills, func(i, j int) bool { return kills[i].At < kills[j].At })
+	return kills, nil
+}
+
+// opMix weights the three op classes; zero-total means compress-only.
+type opMix struct {
+	Compress   float64
+	Decompress float64
+	Range      float64
+}
+
+// parseMix parses "compress=40,decompress=40,range=20".
+func parseMix(s string) (opMix, error) {
+	m := opMix{}
+	if s == "" {
+		return opMix{Compress: 1}, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return m, fmt.Errorf("mix %q: want class=weight", part)
+		}
+		w, err := strconv.ParseFloat(v, 64)
+		if err != nil || w < 0 {
+			return m, fmt.Errorf("mix %q: bad weight %q", part, v)
+		}
+		switch strings.TrimSpace(k) {
+		case "compress":
+			m.Compress = w
+		case "decompress":
+			m.Decompress = w
+		case "range", "range_get":
+			m.Range = w
+		default:
+			return m, fmt.Errorf("mix %q: unknown class %q", part, k)
+		}
+	}
+	if m.Compress+m.Decompress+m.Range <= 0 {
+		return m, fmt.Errorf("mix %q: all weights zero", s)
+	}
+	return m, nil
+}
+
+// traceSpec is the full deterministic description of a load trace.
+type traceSpec struct {
+	Seed          int64
+	Duration      time.Duration
+	Rate          float64 // mean arrivals/sec
+	DiurnalAmp    float64 // relative swing in [0,1): λ(t) = Rate·(1 + Amp·sin)
+	DiurnalPeriod time.Duration
+	Mix           opMix
+	Images        int // catalog size
+	Kills         []killEvent
+	RangeBytes    int64 // bytes per range GET
+}
+
+// rateAt is the instantaneous arrival rate λ(t): the mean rate modulated
+// by a sinusoidal diurnal swing (a whole day compressed into
+// DiurnalPeriod).
+func (t traceSpec) rateAt(at time.Duration) float64 {
+	if t.DiurnalAmp == 0 || t.DiurnalPeriod <= 0 {
+		return t.Rate
+	}
+	phase := 2 * math.Pi * float64(at) / float64(t.DiurnalPeriod)
+	return t.Rate * (1 + t.DiurnalAmp*math.Sin(phase))
+}
+
+// schedule materializes the trace: arrival times by thinning (generate a
+// homogeneous Poisson process at λmax = Rate·(1+Amp), accept each point
+// with probability λ(t)/λmax), then class and image assignment from the
+// same rng stream. Identical specs produce identical schedules.
+func (t traceSpec) schedule() []tracedOp {
+	rng := rand.New(rand.NewSource(t.Seed))
+	lambdaMax := t.Rate * (1 + t.DiurnalAmp)
+	if lambdaMax <= 0 {
+		return nil
+	}
+	total := t.Mix.Compress + t.Mix.Decompress + t.Mix.Range
+	var ops []tracedOp
+	at := time.Duration(0)
+	for {
+		// Exponential inter-arrival at the envelope rate.
+		at += time.Duration(rng.ExpFloat64() / lambdaMax * float64(time.Second))
+		if at >= t.Duration {
+			break
+		}
+		if rng.Float64()*lambdaMax > t.rateAt(at) {
+			continue // thinned out: we are in a diurnal trough
+		}
+		var class opClass
+		switch p := rng.Float64() * total; {
+		case p < t.Mix.Compress:
+			class = opCompress
+		case p < t.Mix.Compress+t.Mix.Decompress:
+			class = opDecompress
+		default:
+			class = opRange
+		}
+		ops = append(ops, tracedOp{
+			at:      at,
+			class:   class,
+			img:     rng.Intn(t.Images),
+			offFrac: rng.Float64(),
+		})
+	}
+	return ops
+}

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"lepton"
+	"lepton/internal/admin"
 	"lepton/internal/diskstore"
 	"lepton/internal/imagegen"
 	"lepton/internal/server"
@@ -32,6 +33,9 @@ func main() {
 	dataDir := flag.String("data-dir", "",
 		"parent directory for per-node durable stores (default: in-memory"+
 			" stores; a restarted node then comes back empty)")
+	adminAddr := flag.String("admin-addr", "",
+		"optional HTTP address for the fleet admin plane: a status page plus"+
+			" /api/stats over the router, store, and per-node counters")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -73,6 +77,30 @@ func main() {
 	}
 	defer fleet.Close()
 
+	// The management plane: one HTTP server over the router's, the store's,
+	// and every node's counters — what an operator watches while the demo's
+	// kill/restart sequence plays out. nodeMu covers the restart below,
+	// where a node's Blockserver is replaced while scrapes may be reading.
+	var nodeMu sync.Mutex
+	var adm *admin.Server
+	if *adminAddr != "" {
+		adm = admin.New()
+		adm.Register("fleet", fleet.StatsSnapshot)
+		for i := range nodes {
+			adm.Register(fmt.Sprintf("node%d", i), func() map[string]int64 {
+				nodeMu.Lock()
+				b := nodes[i]
+				nodeMu.Unlock()
+				return b.StatsSnapshot()
+			})
+		}
+		bound, err := adm.ListenAndServe(*adminAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("admin plane on http://%s/ (JSON at /api/stats)\n", bound)
+	}
+
 	// Concurrent conversion roundtrips spread across the nodes.
 	var wg sync.WaitGroup
 	for i := 0; i < 16; i++ {
@@ -106,6 +134,9 @@ func main() {
 	fs, err := lepton.NewFleetStore(fleet, &lepton.FleetStoreOptions{Replication: 2, ChunkSize: 16 << 10})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if adm != nil {
+		adm.Register("store", fs.StatsSnapshot)
 	}
 	file, err := imagegen.Generate(99, 1024, 768)
 	if err != nil {
@@ -144,8 +175,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	nodeMu.Lock()
 	stores[0] = newNodeStore(0) // same data dir: the segment log replays
 	nodes[0] = &server.Blockserver{Store: stores[0]}
+	nodeMu.Unlock()
 	if _, err := server.ListenAndServe(addrs[0], nodes[0]); err != nil {
 		log.Fatal(err)
 	}
@@ -188,6 +221,15 @@ func main() {
 		bytes.Equal(back2, file2), c.ReadRepairs, firstReplica)
 
 	fmt.Printf("router: %v\n", fleet.StatsSnapshot())
+	if adm != nil {
+		// Graceful shutdown releases the admin port before the nodes go
+		// away — the same drain discipline blockserverd applies.
+		sctx, scancel := context.WithTimeout(ctx, 5*time.Second)
+		if err := adm.Shutdown(sctx); err != nil {
+			log.Printf("admin shutdown: %v", err)
+		}
+		scancel()
+	}
 	for _, b := range nodes {
 		_ = b.Close()
 	}

@@ -114,6 +114,14 @@ func (fl *Fleet) GetRange(ctx context.Context, h ChunkHash, off, n int64) ([]byt
 // Nodes returns every configured node address, up or down.
 func (fl *Fleet) Nodes() []string { return fl.f.Nodes() }
 
+// ProbeNode asks one node for its current in-flight load on a pooled
+// connection — the per-node utilization signal the load harness samples
+// and the backfill engine yields to. A node that answers is re-admitted if
+// it had been evicted.
+func (fl *Fleet) ProbeNode(ctx context.Context, addr string) (uint32, error) {
+	return fl.f.ProbeNode(ctx, addr)
+}
+
 // NodeDown reports whether addr is currently evicted.
 func (fl *Fleet) NodeDown(addr string) bool { return fl.f.NodeDown(addr) }
 
@@ -235,6 +243,11 @@ func (st *FleetStore) Placement(h ChunkHash) []string { return st.r.Placement(h)
 
 // Counters returns a snapshot of operational statistics.
 func (st *FleetStore) Counters() FleetStoreCounters { return st.r.Counters() }
+
+// StatsSnapshot returns the counters as a flat name→value map, the same
+// shape Fleet.StatsSnapshot and the per-node /debug/vars export — ready to
+// register as an admin-plane source.
+func (st *FleetStore) StatsSnapshot() map[string]int64 { return st.r.Counters().Map() }
 
 // RemoveNode permanently removes addr from the placement ring — for a
 // node that is gone for good, not merely down (eviction handles that).

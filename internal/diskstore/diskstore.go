@@ -612,6 +612,27 @@ func greaterThan(a, b Hash) bool { return string(a[:]) > string(b[:]) }
 func (s *Store) syncLoop() {
 	defer s.bg.Done()
 	interval := s.opt.SyncInterval
+	// One reused timer serves every periodic wait: the old per-iteration
+	// time.After allocated a fresh runtime timer each tick, so a long-lived
+	// periodic-sync store generated garbage forever just by idling. Reset
+	// is safe without draining since Go 1.23 (unbuffered timer channels),
+	// and only this goroutine ever receives from tick.C.
+	var tick *time.Timer
+	if interval > 0 {
+		tick = time.NewTimer(interval)
+		defer tick.Stop()
+	}
+	// sleep waits one interval on the reused timer; false means stopCh
+	// fired first.
+	sleep := func() bool {
+		tick.Reset(interval)
+		select {
+		case <-s.stopCh:
+			return false
+		case <-tick.C:
+			return true
+		}
+	}
 	for {
 		s.syncMu.Lock()
 		for s.appended == s.synced {
@@ -625,10 +646,8 @@ func (s *Store) syncLoop() {
 				// Periodic mode: poll on the interval; cond waits would
 				// need a waker per append, which group commit already has.
 				s.syncMu.Unlock()
-				select {
-				case <-s.stopCh:
+				if !sleep() {
 					return
-				case <-time.After(interval):
 				}
 				s.syncMu.Lock()
 				continue
@@ -639,11 +658,9 @@ func (s *Store) syncLoop() {
 		s.syncMu.Unlock()
 
 		if interval > 0 {
-			select {
-			case <-s.stopCh:
-				// Final sync below via Close; just fall through to sync now.
-			case <-time.After(interval):
-			}
+			// On stop, fall through and sync now: Close's final sync path
+			// relies on it.
+			_ = sleep()
 		}
 		err := s.syncActive()
 

@@ -1,0 +1,183 @@
+// Package loadhist records latency distributions for the load-and-SLO
+// harness: a log-linear histogram in the HdrHistogram shape, sized for
+// durations from nanoseconds to minutes at a bounded relative error.
+//
+// Buckets are organized in octaves (powers of two) with subCount linear
+// sub-buckets per octave, so the relative width of any bucket is at most
+// 1/subCount (~3.1%): precise enough for p50..p999 SLO reporting, compact
+// enough (15 KiB) that every worker can keep private histograms and merge
+// them at the end — recording is a single array increment, no locks, no
+// allocation, which is what an open-loop generator needs so measurement
+// never perturbs the arrival schedule.
+//
+// A Hist is NOT safe for concurrent use; give each recording goroutine its
+// own and combine with Merge (associative and commutative, tested).
+package loadhist
+
+import (
+	"math"
+	"math/bits"
+	"time"
+)
+
+const (
+	// subBits fixes the sub-bucket resolution: 2^subBits linear buckets
+	// per octave, bounding relative quantile error at 2^-subBits.
+	subBits  = 5
+	subCount = 1 << subBits
+
+	// numBuckets covers every non-negative int64 nanosecond value: octave
+	// exponents 0..(64-subBits) with subCount sub-buckets each.
+	numBuckets = (64 - subBits + 1) * subCount
+)
+
+// Hist is a log-linear histogram over time.Duration values. The zero value
+// is ready to use.
+type Hist struct {
+	counts   [numBuckets]int64
+	count    int64
+	sum      int64 // nanoseconds; saturates instead of wrapping
+	min, max int64
+}
+
+// New returns an empty histogram.
+func New() *Hist { return &Hist{} }
+
+// bucketIndex maps a nanosecond value to its bucket. Values < subCount get
+// exact unit buckets; above, the top subBits+1 significant bits select
+// (octave, sub-bucket).
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	if u < subCount {
+		return int(u)
+	}
+	exp := bits.Len64(u) - subBits // >= 1
+	sub := u >> uint(exp-1)        // in [subCount, 2*subCount)
+	return exp<<subBits + int(sub) - subCount
+}
+
+// bucketLow returns the smallest value mapping to bucket i; bucket i covers
+// [bucketLow(i), bucketLow(i+1)).
+func bucketLow(i int) int64 {
+	exp := i >> subBits
+	sub := i & (subCount - 1)
+	if exp == 0 {
+		return int64(sub)
+	}
+	return int64(uint64(subCount+sub) << uint(exp-1))
+}
+
+// Record adds one observation. Negative durations count as zero (a clock
+// step backwards must not corrupt the distribution).
+func (h *Hist) Record(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	if s := h.sum + v; s >= h.sum {
+		h.sum = s
+	} else {
+		h.sum = math.MaxInt64
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Hist) Count() int64 { return h.count }
+
+// Min returns the smallest recorded value (0 when empty).
+func (h *Hist) Min() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.min)
+}
+
+// Max returns the largest recorded value (0 when empty).
+func (h *Hist) Max() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.max)
+}
+
+// Mean returns the arithmetic mean (0 when empty).
+func (h *Hist) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / h.count)
+}
+
+// Merge folds o into h. Merging is associative and commutative: merging
+// per-worker histograms in any grouping yields the same distribution.
+func (h *Hist) Merge(o *Hist) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	for i, c := range o.counts {
+		if c != 0 {
+			h.counts[i] += c
+		}
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	if s := h.sum + o.sum; s >= h.sum {
+		h.sum = s
+	} else {
+		h.sum = math.MaxInt64
+	}
+}
+
+// Quantile returns an estimate of the q-quantile (0 < q <= 1): the upper
+// edge of the bucket holding the ceil(q*count)-th smallest observation,
+// clamped into [Min, Max] so exact extremes stay exact. Empty histograms
+// return 0.
+func (h *Hist) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return time.Duration(h.min)
+	}
+	if q >= 1 {
+		return time.Duration(h.max)
+	}
+	target := int64(math.Ceil(q * float64(h.count)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if cum >= target {
+			v := bucketLow(i+1) - 1 // inclusive upper edge of bucket i
+			if v > h.max {
+				v = h.max
+			}
+			if v < h.min {
+				v = h.min
+			}
+			return time.Duration(v)
+		}
+	}
+	return time.Duration(h.max)
+}

@@ -1,0 +1,196 @@
+package loadhist
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// oracle computes the exact quantile the histogram approximates: the
+// ceil(q*n)-th smallest sample.
+func oracle(sorted []int64, q float64) int64 {
+	n := len(sorted)
+	k := int(float64(n)*q + 0.9999999)
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return sorted[k-1]
+}
+
+// TestQuantileAgainstSortedOracle checks every reported quantile against
+// the exact sorted-sample answer within the histogram's documented relative
+// error (1/subCount per bucket, doubled for safety at octave edges).
+func TestQuantileAgainstSortedOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, dist := range []struct {
+		name string
+		draw func() int64
+	}{
+		{"uniform", func() int64 { return rng.Int63n(int64(2 * time.Second)) }},
+		{"exponential", func() int64 { return int64(rng.ExpFloat64() * float64(50*time.Millisecond)) }},
+		{"bimodal", func() int64 {
+			if rng.Intn(10) == 0 {
+				return int64(time.Second) + rng.Int63n(int64(time.Second))
+			}
+			return int64(time.Millisecond) + rng.Int63n(int64(5*time.Millisecond))
+		}},
+		{"tiny-values", func() int64 { return rng.Int63n(64) }},
+	} {
+		h := New()
+		samples := make([]int64, 0, 20000)
+		for i := 0; i < 20000; i++ {
+			v := dist.draw()
+			samples = append(samples, v)
+			h.Record(time.Duration(v))
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0} {
+			want := oracle(samples, q)
+			got := int64(h.Quantile(q))
+			tol := want/(subCount/2) + 1
+			if got < want-tol || got > want+tol {
+				t.Errorf("%s q=%v: got %d, oracle %d (tol %d)", dist.name, q, got, want, tol)
+			}
+		}
+		if h.Min() != time.Duration(samples[0]) || h.Max() != time.Duration(samples[len(samples)-1]) {
+			t.Errorf("%s: min/max %v/%v, want %d/%d", dist.name, h.Min(), h.Max(), samples[0], samples[len(samples)-1])
+		}
+	}
+}
+
+// TestMergeAssociativity verifies that merging per-worker histograms in any
+// grouping produces identical counts and quantiles — the property the load
+// generator's end-of-run combine relies on.
+func TestMergeAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	parts := make([]*Hist, 4)
+	for i := range parts {
+		parts[i] = New()
+		for j := 0; j < 5000; j++ {
+			parts[i].Record(time.Duration(rng.Int63n(int64(time.Second) << uint(i))))
+		}
+	}
+	clone := func(h *Hist) *Hist { c := *h; return &c }
+
+	// ((a+b)+c)+d
+	left := clone(parts[0])
+	for _, p := range parts[1:] {
+		left.Merge(p)
+	}
+	// a+(b+(c+d))
+	right := clone(parts[3])
+	tmp := clone(parts[2])
+	tmp.Merge(right)
+	right = clone(parts[1])
+	right.Merge(tmp)
+	tmp2 := clone(parts[0])
+	tmp2.Merge(right)
+	right = tmp2
+	// (a+b)+(c+d), mixed order
+	ab := clone(parts[1])
+	ab.Merge(parts[0])
+	cd := clone(parts[3])
+	cd.Merge(parts[2])
+	mid := clone(ab)
+	mid.Merge(cd)
+
+	for _, other := range []*Hist{right, mid} {
+		if left.count != other.count || left.sum != other.sum || left.min != other.min || left.max != other.max {
+			t.Fatalf("merge grouping changed summary: %+v vs %+v",
+				[4]int64{left.count, left.sum, left.min, left.max},
+				[4]int64{other.count, other.sum, other.min, other.max})
+		}
+		if left.counts != other.counts {
+			t.Fatal("merge grouping changed bucket counts")
+		}
+		for _, q := range []float64{0.5, 0.99, 0.999} {
+			if left.Quantile(q) != other.Quantile(q) {
+				t.Fatalf("q=%v differs across merge groupings", q)
+			}
+		}
+	}
+
+	// Merging an empty histogram is the identity.
+	id := clone(left)
+	id.Merge(New())
+	if id.counts != left.counts || id.count != left.count || id.min != left.min {
+		t.Fatal("merging an empty histogram changed the result")
+	}
+	empty := New()
+	empty.Merge(left)
+	if empty.counts != left.counts || empty.min != left.min || empty.max != left.max {
+		t.Fatal("merging into an empty histogram lost data")
+	}
+}
+
+// TestBucketBoundaries pins the bucket geometry: every value lands in a
+// bucket whose [low, high] range contains it, indices are monotone, and
+// exact bucket edges map to the bucket they open.
+func TestBucketBoundaries(t *testing.T) {
+	// Exhaustive over the linear region and the first octaves.
+	last := -1
+	for v := int64(0); v < 4*subCount; v++ {
+		i := bucketIndex(v)
+		if lo := bucketLow(i); lo > v {
+			t.Fatalf("v=%d: bucketLow(%d)=%d > v", v, i, lo)
+		}
+		if hi := bucketLow(i+1) - 1; hi < v {
+			t.Fatalf("v=%d: bucket %d ends at %d < v", v, i, hi)
+		}
+		if i < last {
+			t.Fatalf("v=%d: index %d not monotone (prev %d)", v, i, last)
+		}
+		last = i
+	}
+	// Spot-check edges across the full range: bucketLow(i) must map back
+	// to bucket i, and the value one below to bucket i-1.
+	for _, v := range []int64{
+		subCount, subCount + 1, 2*subCount - 1, 2 * subCount, 1 << 20,
+		int64(time.Millisecond), int64(time.Second), int64(time.Minute), 1 << 40, 1 << 56,
+	} {
+		i := bucketIndex(v)
+		if got := bucketIndex(bucketLow(i)); got != i {
+			t.Fatalf("bucketLow(%d)=%d maps to bucket %d", i, bucketLow(i), got)
+		}
+		if lo := bucketLow(i); lo > 0 {
+			if got := bucketIndex(lo - 1); got != i-1 {
+				t.Fatalf("value %d below bucket %d's low edge maps to %d, want %d", lo-1, i, got, i-1)
+			}
+		}
+	}
+	// Negative durations are clamped, never panic.
+	h := New()
+	h.Record(-time.Second)
+	if h.Count() != 1 || h.Min() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatalf("negative record: count=%d min=%v q50=%v", h.Count(), h.Min(), h.Quantile(0.5))
+	}
+	// A single sample answers every quantile with itself (within a bucket).
+	h2 := New()
+	h2.Record(1500 * time.Microsecond)
+	for _, q := range []float64{0.001, 0.5, 0.999, 1} {
+		got := h2.Quantile(q)
+		if got != 1500*time.Microsecond {
+			t.Fatalf("single sample q=%v: got %v", q, got)
+		}
+	}
+}
+
+func TestMeanAndCount(t *testing.T) {
+	h := New()
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count=%d", h.Count())
+	}
+	if m := h.Mean(); m != 50500*time.Microsecond {
+		t.Fatalf("mean=%v, want 50.5ms", m)
+	}
+}

@@ -61,6 +61,24 @@ type RemoteCounters struct {
 	RangeFallbacks int64 // of those, served by full-chunk fetch + local range decode
 }
 
+// Map renders the counters as a flat name→value map in the shape every
+// other stats surface exports (Blockserver/Fleet StatsSnapshot), so the
+// admin plane and the load harness can scrape all three uniformly.
+func (c RemoteCounters) Map() map[string]int64 {
+	return map[string]int64{
+		"puts":                 c.Puts,
+		"gets":                 c.Gets,
+		"replica_errors":       c.ReplicaErrors,
+		"misses":               c.Misses,
+		"read_repairs":         c.ReadRepairs,
+		"corrupt_replicas":     c.CorruptReplicas,
+		"anti_entropy_sweeps":  c.AntiEntropySweeps,
+		"anti_entropy_repairs": c.AntiEntropyRepairs,
+		"range_gets":           c.RangeGets,
+		"range_fallbacks":      c.RangeFallbacks,
+	}
+}
+
 // Remote is the fleet-backed chunk store: content-addressed chunks placed
 // on R nodes by consistent hashing, written through the blockserver store
 // protocol, and read back with verification against the content hash plus
